@@ -1,0 +1,153 @@
+//! Materializing the concrete job list a simulation will execute.
+
+use serde::{Deserialize, Serialize};
+use stadvs_sim::{ExecutionSource, JobId, TaskSet};
+
+/// One concrete job instance: the clairvoyant view of a workload.
+///
+/// Because [`ExecutionSource`] implementations are deterministic per
+/// `(task, index)`, the exact job list any simulation will execute can be
+/// produced *ahead of time*. On-line governors never see this; off-line
+/// bounds (the YDS optimal schedule, the oracle static speed) are computed
+/// from it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobInstance {
+    /// The job's identity.
+    pub id: JobId,
+    /// Release instant, in seconds.
+    pub release: f64,
+    /// Absolute deadline, in seconds.
+    pub deadline: f64,
+    /// Worst-case work (full-speed seconds).
+    pub wcet: f64,
+    /// Actual work (full-speed seconds), clamped into `[0, wcet]`.
+    pub actual: f64,
+}
+
+/// Lists every job released in `[0, horizon)`, exactly as the simulator
+/// generates them (same ids, releases, deadlines, and actual demands).
+///
+/// # Panics
+///
+/// Panics if `horizon` is not finite and positive.
+///
+/// ```
+/// use stadvs_sim::{ConstantRatio, Task, TaskSet};
+/// use stadvs_analysis::materialize_jobs;
+///
+/// # fn main() -> Result<(), stadvs_sim::SimError> {
+/// let tasks = TaskSet::new(vec![Task::new(1.0, 4.0)?])?;
+/// let jobs = materialize_jobs(&tasks, &ConstantRatio::new(0.5), 10.0);
+/// assert_eq!(jobs.len(), 3); // releases at 0, 4, 8
+/// assert_eq!(jobs[1].release, 4.0);
+/// assert_eq!(jobs[1].actual, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn materialize_jobs<E>(tasks: &TaskSet, exec: &E, horizon: f64) -> Vec<JobInstance>
+where
+    E: ExecutionSource + ?Sized,
+{
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "horizon {horizon} must be finite and positive"
+    );
+    let mut jobs = Vec::new();
+    for (id, task) in tasks.iter() {
+        let mut index = 0u64;
+        loop {
+            let release = task.release_of(index);
+            if release >= horizon {
+                break;
+            }
+            let actual = exec
+                .actual_work(id, task, index)
+                .clamp(0.0, task.wcet());
+            jobs.push(JobInstance {
+                id: JobId { task: id, index },
+                release,
+                deadline: release + task.deadline(),
+                wcet: task.wcet(),
+                actual,
+            });
+            index += 1;
+        }
+    }
+    jobs.sort_by(|a, b| {
+        a.release
+            .total_cmp(&b.release)
+            .then(a.id.task.cmp(&b.id.task))
+            .then(a.id.index.cmp(&b.id.index))
+    });
+    jobs
+}
+
+/// Keeps only jobs whose deadline falls within the horizon — the subset any
+/// valid lower bound must be computed on (the simulator may leave later jobs
+/// partially executed at the horizon).
+pub fn due_within(jobs: &[JobInstance], horizon: f64) -> Vec<JobInstance> {
+    jobs.iter()
+        .copied()
+        .filter(|j| j.deadline <= horizon + 1.0e-9)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_sim::{ConstantRatio, Task, WorstCase};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(2.0, 6.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_match_periods() {
+        let jobs = materialize_jobs(&tasks(), &WorstCase, 12.0);
+        // T0: 0,4,8 → 3 jobs; T1: 0,6 → 2 jobs.
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(
+            jobs.iter().filter(|j| j.id.task.0 == 0).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn sorted_by_release_then_task() {
+        let jobs = materialize_jobs(&tasks(), &WorstCase, 12.0);
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        // Simultaneous releases at t=0: T0 before T1.
+        assert_eq!(jobs[0].id.task.0, 0);
+        assert_eq!(jobs[1].id.task.0, 1);
+    }
+
+    #[test]
+    fn actual_follows_source() {
+        let jobs = materialize_jobs(&tasks(), &ConstantRatio::new(0.25), 6.0);
+        for j in &jobs {
+            assert!((j.actual - 0.25 * j.wcet).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn due_within_filters_late_deadlines() {
+        let jobs = materialize_jobs(&tasks(), &WorstCase, 12.0);
+        let due = due_within(&jobs, 12.0);
+        // T0#2 has deadline 12 (included); T1#1 released at 6, deadline 12.
+        assert_eq!(due.len(), 5);
+        let due_short = due_within(&jobs, 10.0);
+        assert_eq!(due_short.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_horizon_panics() {
+        let _ = materialize_jobs(&tasks(), &WorstCase, -1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # stadvs-analysis — schedulability, trace auditing, and clairvoyant bounds
+//!
+//! The off-line referee of the `stadvs` reproduction:
+//!
+//! * [`edf_schedulable`] / [`dbf`] — EDF schedulability at full speed
+//!   (utilization bound for implicit deadlines, demand-bound function and
+//!   QPA for constrained deadlines),
+//! * [`materialize_jobs`] — the exact, deterministic job list a simulation
+//!   will execute (the clairvoyant view),
+//! * [`yds_schedule`] / [`optimal_static_speed`] — the Yao–Demers–Shenker
+//!   optimal offline voltage schedule and the oracle static speed, the
+//!   lower bounds every on-line governor is measured against,
+//! * [`validate_outcome`] — the hard-real-time audit of a simulation run
+//!   (deadlines, work conservation, speed availability, timeline tiling),
+//! * [`Summary`] and friends — replication statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jobs;
+mod response;
+mod schedulability;
+mod static_speed;
+mod stats;
+mod validate;
+mod yds;
+
+pub use jobs::{due_within, materialize_jobs, JobInstance};
+pub use response::{response_profile, TaskResponse};
+pub use schedulability::{busy_period, dbf, edf_schedulable, SchedulabilityTest};
+pub use static_speed::minimum_static_speed;
+pub use stats::{geometric_mean, normalize, Summary};
+pub use validate::{recompute_energy, validate_outcome, Issue, ValidationReport};
+pub use yds::{optimal_static_speed, yds_schedule, SpeedBlock, SpeedSchedule, WorkKind};

@@ -1,0 +1,137 @@
+//! Response-time statistics of a simulation outcome.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stadvs_sim::{SimOutcome, TaskId, TaskSet};
+
+/// Observed response-time statistics of one task over one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResponse {
+    /// The task.
+    pub task: TaskId,
+    /// Completed jobs observed.
+    pub jobs: usize,
+    /// Best (smallest) response time, in seconds.
+    pub best: f64,
+    /// Mean response time, in seconds.
+    pub mean: f64,
+    /// Worst observed response time, in seconds.
+    pub worst: f64,
+    /// The task's relative deadline, for margin computations.
+    pub deadline: f64,
+}
+
+impl TaskResponse {
+    /// Worst-case margin `1 − worst/deadline` (negative means a miss).
+    pub fn worst_margin(&self) -> f64 {
+        1.0 - self.worst / self.deadline
+    }
+}
+
+impl fmt::Display for TaskResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs, response {:.3}/{:.3}/{:.3} ms of {:.3} ms ({:.0} % margin)",
+            self.task,
+            self.jobs,
+            self.best * 1e3,
+            self.mean * 1e3,
+            self.worst * 1e3,
+            self.deadline * 1e3,
+            self.worst_margin() * 100.0
+        )
+    }
+}
+
+/// Per-task response-time statistics of `outcome`.
+///
+/// DVS deliberately trades response-time margin for energy — jobs finish
+/// close to (but never past) their deadlines. This profile quantifies the
+/// trade: under `no-dvs` the worst margins are large; under an aggressive
+/// governor they approach zero while staying non-negative.
+///
+/// Tasks with no completed job in the outcome are omitted.
+pub fn response_profile(outcome: &SimOutcome, tasks: &TaskSet) -> Vec<TaskResponse> {
+    tasks
+        .iter()
+        .filter_map(|(id, task)| {
+            let times: Vec<f64> = outcome
+                .jobs
+                .iter()
+                .filter(|r| r.id.task == id)
+                .filter_map(|r| r.response_time())
+                .collect();
+            if times.is_empty() {
+                return None;
+            }
+            Some(TaskResponse {
+                task: id,
+                jobs: times.len(),
+                best: times.iter().copied().fold(f64::INFINITY, f64::min),
+                mean: times.iter().sum::<f64>() / times.len() as f64,
+                worst: times.iter().copied().fold(0.0, f64::max),
+                deadline: task.deadline(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_power::{Processor, Speed};
+    use stadvs_sim::{
+        ActiveJob, ConstantRatio, Governor, SchedulerView, SimConfig, Simulator, Task,
+    };
+
+    struct Fixed(f64);
+    impl Governor for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+            Speed::new(self.0).unwrap()
+        }
+    }
+
+    fn run(speed: f64) -> (SimOutcome, TaskSet) {
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(1.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let sim = Simulator::new(
+            tasks.clone(),
+            Processor::ideal_continuous(),
+            SimConfig::new(32.0).unwrap(),
+        )
+        .unwrap();
+        (sim.run(&mut Fixed(speed), &ConstantRatio::new(1.0)).unwrap(), tasks)
+    }
+
+    #[test]
+    fn slower_speeds_shrink_margins() {
+        let (fast, tasks) = run(1.0);
+        let (slow, _) = run(0.375); // exactly U
+        let fast_profile = response_profile(&fast, &tasks);
+        let slow_profile = response_profile(&slow, &tasks);
+        assert_eq!(fast_profile.len(), 2);
+        for (f, s) in fast_profile.iter().zip(&slow_profile) {
+            assert!(f.worst < s.worst, "slowing must lengthen responses");
+            assert!(s.worst_margin() >= -1e-9, "still no misses at speed U");
+            assert!(f.best <= f.mean && f.mean <= f.worst);
+        }
+    }
+
+    #[test]
+    fn display_and_counts() {
+        let (out, tasks) = run(1.0);
+        let profile = response_profile(&out, &tasks);
+        // 8 jobs of T0, 4 of T1 over 32 s.
+        assert_eq!(profile[0].jobs, 8);
+        assert_eq!(profile[1].jobs, 4);
+        assert!(profile[0].to_string().contains("margin"));
+    }
+}

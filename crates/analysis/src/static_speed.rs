@@ -1,0 +1,180 @@
+//! Minimum feasible static speed from worst-case analysis.
+
+use stadvs_sim::{TaskSet, TIME_EPS};
+
+use crate::schedulability::{busy_period, dbf};
+
+/// The minimum constant speed at which preemptive EDF meets every deadline
+/// of `tasks` **in the worst case** — the design-time counterpart of the
+/// clairvoyant [`optimal_static_speed`](crate::optimal_static_speed).
+///
+/// For implicit deadlines this is exactly the utilization `U`; for
+/// constrained deadlines it is the supremum of the demand intensity
+/// `dbf(t) / t` over **all** `t > 0`. The supremum is found by an iterated
+/// horizon: candidate violations of `dbf(t) ≤ s·t` can only occur for
+/// `t < Σ (T_i − D_i)·u_i / (s − U)` (from `dbf(t) ≤ t·U + Σ(T_i−D_i)u_i`),
+/// so the peak over deadlines inside a window is re-evaluated with the
+/// window grown to that bound until it covers it. Checking only the
+/// full-speed busy period is **not** enough — at reduced speed the binding
+/// deadline can lie beyond it (a bug this crate's randomized
+/// simulation-cross-check caught). When the intensity never separates from
+/// `U` (the bound diverges), the density `Σ C_i/D_i` is returned — always
+/// sufficient since `dbf(t) ≤ density·t`.
+///
+/// Returns a value in `(0, ∞)`; values above 1 mean the set is infeasible
+/// on this processor even at full speed.
+///
+/// ```
+/// use stadvs_sim::{Task, TaskSet};
+/// use stadvs_analysis::minimum_static_speed;
+///
+/// # fn main() -> Result<(), stadvs_sim::SimError> {
+/// // Implicit deadlines: the answer is the utilization.
+/// let ts = TaskSet::new(vec![Task::new(1.0, 4.0)?, Task::new(1.0, 8.0)?])?;
+/// assert!((minimum_static_speed(&ts) - 0.375).abs() < 1e-9);
+///
+/// // A constrained deadline forces a higher speed than U.
+/// let tight = TaskSet::new(vec![Task::with_deadline(1.0, 8.0, 2.0)?])?;
+/// assert!((minimum_static_speed(&tight) - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_static_speed(tasks: &TaskSet) -> f64 {
+    let utilization = tasks.utilization();
+    let implicit = tasks
+        .iter()
+        .all(|(_, t)| (t.deadline() - t.period()).abs() <= TIME_EPS);
+    if implicit {
+        return utilization;
+    }
+
+    let density = tasks.density();
+    let slack_term: f64 = tasks
+        .iter()
+        .map(|(_, t)| (t.period() - t.deadline()) * t.utilization())
+        .sum();
+    let mut horizon = busy_period(tasks)
+        .max(tasks.iter().map(|(_, t)| t.deadline()).fold(0.0, f64::max))
+        .max(tasks.max_period());
+    let give_up = 1.0e6 * tasks.max_period();
+
+    for _ in 0..64 {
+        let speed = peak_intensity(tasks, horizon).max(utilization);
+        if speed + 1.0e-12 >= density {
+            // The density is an unconditional upper bound on the needed
+            // speed (`dbf(t) ≤ density·t`), so the supremum is reached.
+            return density;
+        }
+        if speed <= utilization + 1.0e-12 {
+            // Intensity never separated from the asymptote inside the
+            // window and the violation bound below diverges; fall back to
+            // the always-sufficient density.
+            return density;
+        }
+        // Any t with dbf(t) > speed·t satisfies t < slack_term/(speed − U).
+        let needed = slack_term / (speed - utilization);
+        if horizon + TIME_EPS >= needed {
+            return speed;
+        }
+        if needed > give_up {
+            return density;
+        }
+        horizon = needed;
+    }
+    density
+}
+
+/// Peak of `dbf(d)/d` over the deadlines within `[0, horizon]`.
+fn peak_intensity(tasks: &TaskSet, horizon: f64) -> f64 {
+    let mut peak: f64 = 0.0;
+    for (_, task) in tasks.iter() {
+        let mut k = 0.0;
+        loop {
+            let d = k * task.period() + task.deadline();
+            if d > horizon + TIME_EPS {
+                break;
+            }
+            peak = peak.max(dbf(tasks, d) / d);
+            k += 1.0;
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_sim::Task;
+
+    fn set(rows: &[(f64, f64, f64)]) -> TaskSet {
+        TaskSet::new(
+            rows.iter()
+                .map(|&(c, t, d)| Task::with_deadline(c, t, d).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn implicit_deadlines_give_utilization() {
+        let ts = set(&[(2.0, 4.0, 4.0), (1.0, 8.0, 8.0)]);
+        assert!((minimum_static_speed(&ts) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_deadlines_raise_the_speed() {
+        // dbf(2) = 1 → intensity 0.5 although U = 0.125.
+        let ts = set(&[(1.0, 8.0, 2.0)]);
+        let s = minimum_static_speed(&ts);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!(s > ts.utilization());
+    }
+
+    #[test]
+    fn speed_is_tight_against_simulation() {
+        use stadvs_power::{Processor, Speed};
+        use stadvs_sim::{
+            ActiveJob, Governor, MissPolicy, SchedulerView, SimConfig, Simulator, WorstCase,
+        };
+        struct Fixed(Speed);
+        impl Governor for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+                self.0
+            }
+        }
+        let ts = set(&[(1.0, 4.0, 3.0), (1.0, 6.0, 5.0), (0.5, 12.0, 2.0)]);
+        let s = minimum_static_speed(&ts);
+        assert!(s <= 1.0, "set must be feasible at full speed");
+        let sim = |speed: f64, policy| {
+            let sim = Simulator::new(
+                ts.clone(),
+                Processor::ideal_continuous(),
+                SimConfig::new(48.0).unwrap().with_miss_policy(policy),
+            )
+            .unwrap();
+            sim.run(&mut Fixed(Speed::new(speed).unwrap()), &WorstCase)
+        };
+        // At the computed speed (plus float headroom): feasible.
+        assert!(sim(s + 1e-9, MissPolicy::Fail).is_ok());
+        // At 99 % of it: a deadline must break.
+        let short = sim(s * 0.99, MissPolicy::Record).unwrap();
+        assert!(short.miss_count() > 0, "speed bound is not tight");
+    }
+
+    #[test]
+    fn peak_intensity_is_exact() {
+        // dbf(2) = 1.8 → the binding intensity is exactly 0.9.
+        let ts = set(&[(1.8, 4.0, 2.0), (0.2, 8.0, 8.0)]);
+        assert!((minimum_static_speed(&ts) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_sets_report_above_one() {
+        // dbf(2) = 2.3 → no speed ≤ 1 can schedule this.
+        let ts = set(&[(1.8, 4.0, 2.0), (0.5, 4.0, 2.0)]);
+        assert!(minimum_static_speed(&ts) > 1.0);
+    }
+}

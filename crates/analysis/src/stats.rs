@@ -1,0 +1,139 @@
+//! Small statistics helpers for experiment replication.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for `n < 2`).
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes the values produced by `iter`.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of<I: IntoIterator<Item = f64>>(iter: I) -> Option<Summary> {
+        let values: Vec<f64> = iter.into_iter().collect();
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Half-width of the ~95 % confidence interval of the mean
+    /// (`1.96 · σ / √n`; normal approximation).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, min {:.4}, max {:.4})",
+            self.mean,
+            self.ci95(),
+            self.n,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Divides each value by `baseline`, the standard "normalized energy"
+/// transformation (baseline = the no-DVS energy).
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero, negative, or not finite.
+pub fn normalize(values: &[f64], baseline: f64) -> Vec<f64> {
+    assert!(
+        baseline.is_finite() && baseline > 0.0,
+        "baseline {baseline} must be finite and positive"
+    );
+    values.iter().map(|v| v / baseline).collect()
+}
+
+/// Geometric mean (for averaging normalized ratios across workloads).
+///
+/// Returns `None` for an empty sample or any non-positive value.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95() > 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert!(Summary::of(std::iter::empty()).is_none());
+        let s = Summary::of([3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn normalize_divides() {
+        assert_eq!(normalize(&[2.0, 4.0], 4.0), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn normalize_rejects_zero_baseline() {
+        let _ = normalize(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+    }
+}

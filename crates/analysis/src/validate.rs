@@ -1,0 +1,436 @@
+//! Post-hoc validation of simulation outcomes — the hard-real-time audit.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stadvs_power::Processor;
+use stadvs_sim::{JobId, SegmentKind, SimOutcome, TaskSet};
+
+const TOL: f64 = 1.0e-6;
+
+/// One problem found while auditing an outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Issue {
+    /// A job completed after its deadline (or never completed although due).
+    DeadlineMiss {
+        /// The offending job.
+        job: JobId,
+        /// Completion time (horizon if never completed).
+        completed: f64,
+        /// The job's absolute deadline.
+        deadline: f64,
+    },
+    /// Trace work for a completed job differs from its actual demand.
+    WorkMismatch {
+        /// The offending job.
+        job: JobId,
+        /// Work found in the trace.
+        traced: f64,
+        /// The job's recorded actual demand.
+        actual: f64,
+    },
+    /// An execution segment ran at a speed the platform does not offer.
+    UnavailableSpeed {
+        /// The segment's start time.
+        at: f64,
+        /// The offending speed ratio.
+        speed: f64,
+    },
+    /// A job executed before its release or after its deadline.
+    ExecutionOutsideWindow {
+        /// The offending job.
+        job: JobId,
+        /// Start of the offending segment.
+        at: f64,
+    },
+    /// Trace segments do not tile the horizon (gap or overlap).
+    BrokenTimeline {
+        /// Where the discontinuity was found.
+        at: f64,
+    },
+    /// The number of released jobs does not match the periodic pattern.
+    WrongJobCount {
+        /// Expected number of jobs.
+        expected: usize,
+        /// Number of job records present.
+        found: usize,
+    },
+    /// The energy bill recomputed from the trace disagrees with the
+    /// simulator's accounting.
+    EnergyMismatch {
+        /// Energy component that disagrees ("active", "idle",
+        /// "transition", or "switches").
+        component: String,
+        /// Value recomputed from the trace.
+        recomputed: f64,
+        /// Value the simulator reported.
+        reported: f64,
+    },
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::DeadlineMiss {
+                job,
+                completed,
+                deadline,
+            } => write!(f, "job {job} missed deadline {deadline} (done {completed})"),
+            Issue::WorkMismatch { job, traced, actual } => {
+                write!(f, "job {job} traced work {traced} != actual {actual}")
+            }
+            Issue::UnavailableSpeed { at, speed } => {
+                write!(f, "segment at {at} runs at unavailable speed {speed}")
+            }
+            Issue::ExecutionOutsideWindow { job, at } => {
+                write!(f, "job {job} executed outside [release, deadline] at {at}")
+            }
+            Issue::BrokenTimeline { at } => write!(f, "trace discontinuity at {at}"),
+            Issue::WrongJobCount { expected, found } => {
+                write!(f, "expected {expected} job records, found {found}")
+            }
+            Issue::EnergyMismatch {
+                component,
+                recomputed,
+                reported,
+            } => write!(
+                f,
+                "{component} energy recomputed from trace ({recomputed}) != reported ({reported})"
+            ),
+        }
+    }
+}
+
+/// The result of auditing one [`SimOutcome`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All problems found (empty for a clean run).
+    pub issues: Vec<Issue>,
+    /// Number of job records audited.
+    pub jobs_checked: usize,
+}
+
+impl ValidationReport {
+    /// Whether the outcome passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of deadline misses among the issues.
+    pub fn miss_count(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| matches!(i, Issue::DeadlineMiss { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean ({} jobs audited)", self.jobs_checked)
+        } else {
+            writeln!(f, "{} issue(s) over {} jobs:", self.issues.len(), self.jobs_checked)?;
+            for i in &self.issues {
+                writeln!(f, "  - {i}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Audits a simulation outcome against the task set and platform:
+///
+/// 1. every due job met its deadline;
+/// 2. the number of job records matches the periodic release pattern;
+/// 3. with a trace: segments tile `[0, horizon]` with no gaps/overlaps,
+///    every execution segment runs at an available speed, inside the job's
+///    `[release, deadline]` window (for jobs that met their deadline), and
+///    each completed job's traced work equals its recorded actual demand
+///    (work conservation).
+///
+/// This is the independent referee for the "hard real-time" claim: governors
+/// are audited from the outside, not trusted.
+pub fn validate_outcome(
+    outcome: &SimOutcome,
+    tasks: &TaskSet,
+    processor: &Processor,
+) -> ValidationReport {
+    let mut report = ValidationReport {
+        issues: Vec::new(),
+        jobs_checked: outcome.jobs.len(),
+    };
+    let horizon = outcome.horizon;
+
+    // 1. Deadline audit.
+    for r in &outcome.jobs {
+        if r.missed(horizon) {
+            report.issues.push(Issue::DeadlineMiss {
+                job: r.id,
+                completed: r.completion.unwrap_or(horizon),
+                deadline: r.deadline,
+            });
+        }
+    }
+
+    // 2. Release-pattern audit.
+    let expected: usize = tasks
+        .iter()
+        .map(|(_, t)| {
+            if t.phase() >= horizon {
+                0
+            } else {
+                ((horizon - t.phase() - 1e-12) / t.period()).floor() as usize + 1
+            }
+        })
+        .sum();
+    if expected != outcome.jobs.len() {
+        report.issues.push(Issue::WrongJobCount {
+            expected,
+            found: outcome.jobs.len(),
+        });
+    }
+
+    // 3. Trace audit.
+    if let Some(trace) = outcome.trace.as_ref() {
+        let mut cursor = 0.0;
+        for seg in trace.segments() {
+            if (seg.start - cursor).abs() > TOL {
+                report.issues.push(Issue::BrokenTimeline { at: seg.start });
+            }
+            cursor = seg.end;
+            if let SegmentKind::Execute { job } = seg.kind {
+                let granted = processor.quantize_up(seg.speed);
+                if (granted.ratio() - seg.speed.ratio()).abs() > 1e-12 {
+                    report.issues.push(Issue::UnavailableSpeed {
+                        at: seg.start,
+                        speed: seg.speed.ratio(),
+                    });
+                }
+                if let Some(rec) = outcome.jobs.iter().find(|r| r.id == job) {
+                    let inside = seg.start >= rec.release - TOL
+                        && (seg.end <= rec.deadline + TOL || rec.missed(horizon));
+                    if !inside {
+                        report.issues.push(Issue::ExecutionOutsideWindow {
+                            job,
+                            at: seg.start,
+                        });
+                    }
+                }
+            }
+        }
+        if (cursor - horizon).abs() > TOL {
+            report.issues.push(Issue::BrokenTimeline { at: cursor });
+        }
+        for r in outcome.jobs.iter().filter(|r| r.completion.is_some()) {
+            let traced = trace.work_executed_for(r.id);
+            if (traced - r.actual).abs() > TOL.max(r.actual * 1e-6) {
+                report.issues.push(Issue::WorkMismatch {
+                    job: r.id,
+                    traced,
+                    actual: r.actual,
+                });
+            }
+        }
+
+        // 4. Independent energy recomputation from the trace.
+        let (recomputed, switches) = recompute_energy(trace, processor);
+        let checks = [
+            ("active", recomputed.active, outcome.energy.active),
+            ("idle", recomputed.idle, outcome.energy.idle),
+            ("transition", recomputed.transition, outcome.energy.transition),
+            ("switches", switches as f64, outcome.switches as f64),
+        ];
+        for (component, got, reported) in checks {
+            let tol = TOL.max(reported.abs() * 1e-6);
+            if (got - reported).abs() > tol {
+                report.issues.push(Issue::EnergyMismatch {
+                    component: component.to_string(),
+                    recomputed: got,
+                    reported,
+                });
+            }
+        }
+    }
+
+    report
+}
+
+/// Recomputes the energy bill of a trace from first principles: active and
+/// idle energy by integrating the power model over the segments, transition
+/// energy and switch count by diffing the speeds of adjacent segments
+/// (starting from the platform's initial full speed). Returns the breakdown
+/// and the switch count.
+pub fn recompute_energy(
+    trace: &stadvs_sim::Trace,
+    processor: &Processor,
+) -> (stadvs_power::EnergyBreakdown, u64) {
+    use stadvs_power::Speed;
+    let power = processor.power_model();
+    let overhead = processor.overhead();
+    let mut breakdown = stadvs_power::EnergyBreakdown::default();
+    let mut switches = 0u64;
+    let mut current = Speed::FULL;
+    for seg in trace.segments() {
+        if seg.speed != current {
+            breakdown.transition += overhead.energy(current, seg.speed);
+            switches += 1;
+            current = seg.speed;
+        }
+        match seg.kind {
+            SegmentKind::Execute { .. } => {
+                breakdown.active += power.active_energy(seg.speed, seg.duration());
+            }
+            SegmentKind::Idle => {
+                breakdown.idle += power.idle_energy(seg.duration());
+            }
+            SegmentKind::Transition => {}
+        }
+    }
+    (breakdown, switches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_power::Speed;
+    use stadvs_sim::{
+        ActiveJob, ConstantRatio, Governor, SchedulerView, SimConfig, Simulator, Task,
+    };
+
+    struct FullSpeed;
+    impl Governor for FullSpeed {
+        fn name(&self) -> &str {
+            "full"
+        }
+        fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+            Speed::FULL
+        }
+    }
+
+    struct TooSlow;
+    impl Governor for TooSlow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+            Speed::new(0.2).unwrap()
+        }
+    }
+
+    fn setup() -> (TaskSet, Processor) {
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(2.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        (tasks, Processor::ideal_continuous())
+    }
+
+    #[test]
+    fn clean_run_validates() {
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(
+            tasks.clone(),
+            cpu.clone(),
+            SimConfig::new(32.0).unwrap().with_trace(true),
+        )
+        .unwrap();
+        let out = sim.run(&mut FullSpeed, &ConstantRatio::new(0.6)).unwrap();
+        let report = validate_outcome(&out, &tasks, &cpu);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.jobs_checked, 12);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn misses_are_reported() {
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(
+            tasks.clone(),
+            cpu.clone(),
+            SimConfig::new(32.0).unwrap().with_trace(true),
+        )
+        .unwrap();
+        let out = sim.run(&mut TooSlow, &ConstantRatio::new(1.0)).unwrap();
+        let report = validate_outcome(&out, &tasks, &cpu);
+        assert!(!report.is_clean());
+        assert!(report.miss_count() > 0);
+        assert_eq!(report.miss_count(), out.miss_count());
+    }
+
+    #[test]
+    fn tampered_job_count_is_detected() {
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(tasks.clone(), cpu.clone(), SimConfig::new(32.0).unwrap())
+            .unwrap();
+        let mut out = sim.run(&mut FullSpeed, &ConstantRatio::new(0.6)).unwrap();
+        out.jobs.pop();
+        let report = validate_outcome(&out, &tasks, &cpu);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::WrongJobCount { .. })));
+    }
+
+    #[test]
+    fn tampered_actual_breaks_work_conservation() {
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(
+            tasks.clone(),
+            cpu.clone(),
+            SimConfig::new(32.0).unwrap().with_trace(true),
+        )
+        .unwrap();
+        let mut out = sim.run(&mut FullSpeed, &ConstantRatio::new(0.6)).unwrap();
+        out.jobs[0].actual *= 2.0;
+        let report = validate_outcome(&out, &tasks, &cpu);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::WorkMismatch { .. })));
+    }
+
+    #[test]
+    fn discrete_platform_speed_audit() {
+        // Run a continuous-speed trace against a discrete platform: the
+        // 0.6-speed segments are not operating points of a 2-level platform.
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(
+            tasks.clone(),
+            cpu,
+            SimConfig::new(16.0).unwrap().with_trace(true),
+        )
+        .unwrap();
+        struct Fixed;
+        impl Governor for Fixed {
+            fn name(&self) -> &str {
+                "fixed-0.6"
+            }
+            fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+                Speed::new(0.6).unwrap()
+            }
+        }
+        let out = sim.run(&mut Fixed, &ConstantRatio::new(1.0)).unwrap();
+        let two_level = stadvs_power::Processor::uniform_discrete(2).unwrap();
+        let report = validate_outcome(&out, &tasks, &two_level);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::UnavailableSpeed { .. })));
+    }
+
+    #[test]
+    fn issue_display_nonempty() {
+        let issues = [
+            Issue::BrokenTimeline { at: 1.0 },
+            Issue::WrongJobCount {
+                expected: 3,
+                found: 2,
+            },
+        ];
+        for i in issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

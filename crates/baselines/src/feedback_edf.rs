@@ -1,0 +1,205 @@
+//! Feedback EDF with task splitting (after Zhu & Mueller).
+
+use std::collections::HashMap;
+
+use stadvs_power::{Processor, Speed};
+use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, SchedulerView, TaskSet};
+
+/// Feedback-DVS EDF: predict each task's next actual demand with a PID
+/// controller over past prediction errors, split every job into a
+/// *predicted* part run slow and a *worst-case tail* reserved at full
+/// speed, and correct the prediction after each completion.
+///
+/// Budgeting is canonical (each job owns `C/U` of wall time, all before its
+/// deadline), so the split is deadline-safe by construction: the slow part
+/// takes `allowance − (rem − predicted)` and the unpredicted tail always
+/// fits at full speed. What feedback adds — and what the slack-analysis
+/// paper criticizes — is the *bet*: when demands are truly erratic the
+/// prediction carries no information, the tail executes at full speed, and
+/// the convex power curve makes the slow/fast split cost more than a flat
+/// speed would have.
+#[derive(Debug, Clone)]
+pub struct FeedbackEdf {
+    scale: f64,
+    prediction: Vec<f64>,
+    integral: Vec<f64>,
+    previous_error: Vec<f64>,
+    granted: HashMap<JobId, f64>,
+    /// Duration of the slow part planned by the latest `select_speed`; the
+    /// simulator is asked to re-dispatch there (the B-part switch point).
+    pending_review: Option<f64>,
+}
+
+/// PID gains (the conventional dominant-proportional tuning).
+const KP: f64 = 0.9;
+const KI: f64 = 0.05;
+const KD: f64 = 0.1;
+
+impl FeedbackEdf {
+    /// Creates the governor.
+    pub fn new() -> FeedbackEdf {
+        FeedbackEdf {
+            scale: 1.0,
+            prediction: Vec::new(),
+            integral: Vec::new(),
+            previous_error: Vec::new(),
+            granted: HashMap::new(),
+            pending_review: None,
+        }
+    }
+
+    /// The current demand prediction for `task` (work units), for tests
+    /// and diagnostics.
+    pub fn prediction_of(&self, task: stadvs_sim::TaskId) -> Option<f64> {
+        self.prediction.get(task.0).copied()
+    }
+}
+
+impl Default for FeedbackEdf {
+    fn default() -> FeedbackEdf {
+        FeedbackEdf::new()
+    }
+}
+
+impl Governor for FeedbackEdf {
+    fn name(&self) -> &str {
+        "feedback-edf"
+    }
+
+    fn on_start(&mut self, tasks: &TaskSet, _processor: &Processor) {
+        // Canonical stretch: inverse minimum feasible static speed (see
+        // the same note on [`Dra`](crate::Dra) — plain 1/U is only correct
+        // for implicit deadlines).
+        self.scale =
+            1.0 / stadvs_analysis::minimum_static_speed(tasks).clamp(1.0e-6, 1.0);
+        // Start from a mid-range guess; the controller converges within a
+        // few jobs either way.
+        self.prediction = tasks.iter().map(|(_, t)| 0.5 * t.wcet()).collect();
+        self.integral = vec![0.0; tasks.len()];
+        self.previous_error = vec![0.0; tasks.len()];
+        self.granted.clear();
+    }
+
+    fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
+        let now = view.now();
+        self.pending_review = None;
+        let entry = self
+            .granted
+            .entry(job.id)
+            .or_insert(job.wcet * self.scale);
+        let allowance = (*entry - job.wall_used()).min(job.deadline - now);
+        let rem = job.remaining_budget();
+        if allowance <= rem {
+            return Speed::FULL;
+        }
+        let predicted_rem =
+            (self.prediction[job.id.task.0] - job.executed()).clamp(0.0, rem);
+        if predicted_rem <= 0.0 {
+            // The bet failed (job ran past its prediction): full-speed tail.
+            return Speed::FULL;
+        }
+        // Slow part sized so the worst-case tail still fits at full speed.
+        let slow_window = allowance - (rem - predicted_rem);
+        let speed = if slow_window > 0.0 {
+            Speed::clamped(predicted_rem / slow_window, view.processor().min_speed())
+        } else {
+            Speed::FULL
+        };
+        let granted = view.processor().quantize_up(speed);
+        // Ask the simulator to re-dispatch at the planned A/B boundary so
+        // the full-speed tail actually engages if the prediction was short.
+        self.pending_review = Some(predicted_rem / granted.ratio());
+        granted
+    }
+
+    fn review_after(&mut self, _view: &SchedulerView<'_>, _job: &ActiveJob) -> Option<f64> {
+        self.pending_review.take()
+    }
+
+    fn on_completion(&mut self, _view: &SchedulerView<'_>, record: &JobRecord) {
+        self.granted.remove(&record.id);
+        let i = record.id.task.0;
+        let error = record.actual - self.prediction[i];
+        self.integral[i] = (self.integral[i] + error).clamp(-record.wcet, record.wcet);
+        let derivative = error - self.previous_error[i];
+        self.previous_error[i] = error;
+        self.prediction[i] = (self.prediction[i]
+            + KP * error
+            + KI * self.integral[i]
+            + KD * derivative)
+            .clamp(1.0e-9, record.wcet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_sim::{ConstantRatio, MissPolicy, SimConfig, Simulator, Task, TaskId};
+
+    fn sim(rows: &[(f64, f64)], horizon: f64) -> Simulator {
+        let tasks = TaskSet::new(
+            rows.iter()
+                .map(|&(c, t)| Task::new(c, t).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(horizon)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn never_misses_for_any_demand_ratio() {
+        for ratio in [0.05, 0.3, 0.7, 1.0] {
+            let out = sim(&[(1.0, 4.0), (2.0, 8.0)], 96.0)
+                .run(&mut FeedbackEdf::new(), &ConstantRatio::new(ratio))
+                .unwrap();
+            assert!(out.all_deadlines_met(), "miss at ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn prediction_converges_on_stationary_demand() {
+        let s = sim(&[(1.0, 4.0)], 64.0);
+        let mut governor = FeedbackEdf::new();
+        let out = s.run(&mut governor, &ConstantRatio::new(0.3)).unwrap();
+        assert!(out.all_deadlines_met());
+        let p = governor.prediction_of(TaskId(0)).unwrap();
+        assert!(
+            (p - 0.3).abs() < 0.05,
+            "prediction {p} should converge to the actual 0.3"
+        );
+    }
+
+    #[test]
+    fn beats_static_when_demand_is_predictable() {
+        let s = sim(&[(1.0, 4.0), (2.0, 8.0)], 96.0);
+        let feedback = s
+            .run(&mut FeedbackEdf::new(), &ConstantRatio::new(0.3))
+            .unwrap();
+        let static_edf = s
+            .run(&mut crate::StaticEdf::new(), &ConstantRatio::new(0.3))
+            .unwrap();
+        assert!(
+            feedback.total_energy() < static_edf.total_energy(),
+            "feedback {} vs static {}",
+            feedback.total_energy(),
+            static_edf.total_energy()
+        );
+    }
+
+    #[test]
+    fn full_worst_case_stays_within_canonical_budget() {
+        // Every job at WCET: predictions converge upward, and the canonical
+        // allowance keeps everything feasible (U = 1 here).
+        let out = sim(&[(2.0, 4.0), (4.0, 8.0)], 64.0)
+            .run(&mut FeedbackEdf::new(), &ConstantRatio::new(1.0))
+            .unwrap();
+        assert!(out.all_deadlines_met());
+    }
+}

@@ -1,0 +1,202 @@
+//! Look-ahead EDF (Pillai & Shin, SOSP 2001).
+
+use stadvs_power::{Processor, Speed};
+use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet, TIME_EPS};
+
+/// Look-ahead EDF: defer as much work as possible past the earliest current
+/// deadline `d_n`, assuming the deferred work can run at full speed later,
+/// and run just fast enough to finish the *non-deferrable* remainder by
+/// `d_n`.
+///
+/// The published `defer()` computation, evaluated at every scheduling point:
+///
+/// ```text
+/// U ← Σ C_i / T_i;  s ← 0
+/// for τ_i in tasks, latest current deadline first:
+///     U ← U − C_i / T_i
+///     x ← max(0, c_left_i − (1 − U)·(d_i − d_n))
+///     if d_i > d_n:  U ← U + (c_left_i − x) / (d_i − d_n)
+///     s ← s + x
+/// speed ← s / (d_n − now)
+/// ```
+///
+/// `c_left_i` is the remaining worst-case budget of `τ_i`'s current job (0
+/// after it completes) and `d_i` the deadline of `τ_i`'s **current** period
+/// — crucially, a completed task keeps its current deadline until the next
+/// release. That convention is what reserves `(1 − U)·(d_i − d_n)` of
+/// capacity for the completed task's *future* jobs; replacing it with the
+/// next job's deadline makes the deferral blind to arrivals inside the
+/// window and breaks feasibility at full utilization.
+///
+/// laEDF is the most aggressive of the Pillai–Shin pair: it runs *slower
+/// than the reclaimed utilization* early on, betting that early completions
+/// will create the slack it deferred into — and races to catch up when the
+/// bet fails, which costs it energy on near-worst-case workloads.
+///
+/// **Assumes implicit deadlines** (`D_i = T_i`), like the published
+/// algorithm: the `(1 − U)` reservation argument does not extend to
+/// constrained deadlines. Use the slack-analysis governor there.
+#[derive(Debug, Clone, Default)]
+pub struct LaEdf {
+    /// Deadline of each task's current period (kept after completion until
+    /// the next release).
+    current_deadline: Vec<f64>,
+    /// Scratch rows of `(deadline, c_left, utilization)`.
+    rows: Vec<(f64, f64, f64)>,
+}
+
+impl LaEdf {
+    /// Creates the governor.
+    pub fn new() -> LaEdf {
+        LaEdf::default()
+    }
+
+    fn defer(&mut self, view: &SchedulerView<'_>) -> f64 {
+        let now = view.now();
+        self.rows.clear();
+        for (id, task) in view.tasks().iter() {
+            let active = view.ready_jobs().iter().find(|j| j.id.task == id);
+            let row = match active {
+                Some(job) => (job.deadline, job.remaining_budget(), task.utilization()),
+                None => (self.current_deadline[id.0], 0.0, task.utilization()),
+            };
+            self.rows.push(row);
+        }
+        let d_n = self
+            .rows
+            .iter()
+            .map(|r| r.0)
+            .fold(f64::INFINITY, f64::min);
+        if !d_n.is_finite() || d_n - now <= TIME_EPS {
+            return 1.0;
+        }
+
+        // Latest current deadline first.
+        self.rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut u: f64 = self.rows.iter().map(|r| r.2).sum();
+        let mut s = 0.0;
+        for &(d_i, c_left, u_i) in &self.rows {
+            u -= u_i;
+            let window = (d_i - d_n).max(0.0);
+            let x = (c_left - (1.0 - u) * window).max(0.0).min(c_left);
+            if window > 0.0 {
+                u += (c_left - x) / window;
+            }
+            s += x;
+        }
+        s / (d_n - now)
+    }
+}
+
+impl Governor for LaEdf {
+    fn name(&self) -> &str {
+        "la-edf"
+    }
+
+    fn on_start(&mut self, tasks: &TaskSet, _processor: &Processor) {
+        self.current_deadline = tasks
+            .iter()
+            .map(|(_, t)| t.phase() + t.deadline())
+            .collect();
+    }
+
+    fn on_release(&mut self, _view: &SchedulerView<'_>, job: &ActiveJob) {
+        self.current_deadline[job.id.task.0] = job.deadline;
+    }
+
+    fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
+        let requested = self.defer(view);
+        Speed::clamped(requested, view.processor().min_speed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_sim::{ConstantRatio, MissPolicy, SimConfig, Simulator, Task};
+
+    fn sim(wcets: &[(f64, f64)]) -> Simulator {
+        let tasks = TaskSet::new(
+            wcets
+                .iter()
+                .map(|&(c, t)| Task::new(c, t).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(96.0)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn worst_case_workload_never_misses() {
+        for rows in [
+            vec![(1.0, 4.0), (2.0, 8.0)],
+            vec![(2.0, 4.0), (2.0, 8.0), (2.0, 8.0)], // U = 1.0
+            vec![(1.0, 3.0), (1.0, 6.0), (2.0, 12.0)],
+            vec![(2.0, 4.0), (4.0, 8.0)], // U = 1.0, two tasks
+        ] {
+            let out = sim(&rows)
+                .run(&mut LaEdf::new(), &stadvs_sim::WorstCase)
+                .unwrap();
+            assert!(out.all_deadlines_met(), "missed on {rows:?}");
+        }
+    }
+
+    #[test]
+    fn light_actuals_never_miss_and_save_energy() {
+        let s = sim(&[(1.0, 4.0), (2.0, 8.0), (2.0, 10.0)]);
+        let base = s
+            .run(&mut crate::NoDvs::new(), &ConstantRatio::new(0.4))
+            .unwrap();
+        let la = s.run(&mut LaEdf::new(), &ConstantRatio::new(0.4)).unwrap();
+        assert!(la.all_deadlines_met());
+        assert!(la.total_energy() < 0.5 * base.total_energy());
+    }
+
+    #[test]
+    fn la_beats_static_on_light_workloads() {
+        let s = sim(&[(1.0, 4.0), (2.0, 8.0), (2.0, 10.0)]);
+        let st = s
+            .run(&mut crate::StaticEdf::new(), &ConstantRatio::new(0.3))
+            .unwrap();
+        let la = s.run(&mut LaEdf::new(), &ConstantRatio::new(0.3)).unwrap();
+        assert!(
+            la.total_energy() < st.total_energy(),
+            "la {} vs static {}",
+            la.total_energy(),
+            st.total_energy()
+        );
+    }
+
+    #[test]
+    fn random_workloads_never_miss() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..5);
+            let mut rows = Vec::new();
+            let mut budget: f64 = 1.0;
+            for _ in 0..n {
+                if budget <= 0.06 {
+                    break;
+                }
+                let period = rng.gen_range(2.0..20.0_f64);
+                let u = rng.gen_range(0.05..budget.min(0.6));
+                budget -= u;
+                rows.push((u * period, period));
+            }
+            let ratio = rng.gen_range(0.1..1.0);
+            let out = sim(&rows)
+                .run(&mut LaEdf::new(), &ConstantRatio::new(ratio))
+                .unwrap();
+            assert!(out.all_deadlines_met(), "trial {trial} rows {rows:?}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The no-DVS baseline.
+
+use stadvs_power::Speed;
+use stadvs_sim::{ActiveJob, Governor, SchedulerView};
+
+/// Always runs at full speed — the energy baseline every DVS algorithm is
+/// normalized against ("normalized energy = 1.0" in every figure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoDvs;
+
+impl NoDvs {
+    /// Creates the baseline.
+    pub fn new() -> NoDvs {
+        NoDvs
+    }
+}
+
+impl Governor for NoDvs {
+    fn name(&self) -> &str {
+        "no-dvs"
+    }
+
+    fn select_speed(&mut self, _view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
+        Speed::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_power::Processor;
+    use stadvs_sim::{ConstantRatio, MissPolicy, SimConfig, Simulator, Task, TaskSet};
+
+    #[test]
+    fn never_misses_and_never_switches() {
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(3.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(64.0)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap();
+        let out = sim.run(&mut NoDvs::new(), &ConstantRatio::new(0.8)).unwrap();
+        assert!(out.all_deadlines_met());
+        assert_eq!(out.switches, 0);
+        assert_eq!(out.governor, "no-dvs");
+    }
+}

@@ -1,0 +1,96 @@
+//! The clairvoyant static oracle (a bound, not an on-line algorithm).
+
+use stadvs_power::Speed;
+use stadvs_sim::{ActiveJob, Governor, SchedulerView};
+
+/// Runs everything at one precomputed constant speed — by construction the
+/// *clairvoyant static optimum* when that speed is
+/// [`optimal_static_speed`](https://docs.rs/stadvs-analysis) of the realized
+/// workload.
+///
+/// This is **not** an on-line algorithm: the speed is derived from the
+/// actual demands of the whole run before it starts. It appears in the
+/// tables as the static lower bound separating "what a constant speed could
+/// ever achieve" from the YDS variable-speed optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleStatic {
+    speed: Speed,
+}
+
+impl OracleStatic {
+    /// Creates the oracle with a precomputed speed.
+    pub fn new(speed: Speed) -> OracleStatic {
+        OracleStatic { speed }
+    }
+
+    /// The oracle's constant speed.
+    pub fn speed(&self) -> Speed {
+        self.speed
+    }
+}
+
+impl Governor for OracleStatic {
+    fn name(&self) -> &str {
+        "oracle-static"
+    }
+
+    fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
+        view.processor().quantize_up(self.speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_analysis::{materialize_jobs, optimal_static_speed, WorkKind};
+    use stadvs_power::Processor;
+    use stadvs_sim::{ConstantRatio, MissPolicy, SimConfig, Simulator, Task, TaskSet};
+
+    #[test]
+    fn oracle_speed_from_analysis_meets_all_deadlines() {
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(2.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let exec = ConstantRatio::new(0.5);
+        let jobs = materialize_jobs(&tasks, &exec, 64.0);
+        let s = optimal_static_speed(&jobs, WorkKind::Actual);
+        assert!(s > 0.0 && s <= 1.0);
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(64.0)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap();
+        let mut oracle = OracleStatic::new(Speed::new(s).unwrap());
+        let out = sim.run(&mut oracle, &exec).unwrap();
+        assert!(out.all_deadlines_met());
+        assert_eq!(oracle.speed().ratio(), s);
+    }
+
+    #[test]
+    fn slightly_slower_than_oracle_misses() {
+        // Confirms the oracle speed is *tight*: 95 % of it fails.
+        let tasks = TaskSet::new(vec![
+            Task::new(2.0, 4.0).unwrap(),
+            Task::new(4.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let exec = ConstantRatio::new(1.0);
+        let jobs = materialize_jobs(&tasks, &exec, 32.0);
+        let s = optimal_static_speed(&jobs, WorkKind::Actual);
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(32.0)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap();
+        let mut slow = OracleStatic::new(Speed::new(s * 0.95).unwrap());
+        assert!(sim.run(&mut slow, &exec).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The standard baseline suite, boxed for heterogeneous comparison runs.
+
+use stadvs_sim::Governor;
+
+use crate::{CcEdf, Dra, FeedbackEdf, LaEdf, LppsEdf, NoDvs, StaticEdf};
+
+/// All on-line baseline governors in their conventional comparison order
+/// (weakest energy saver first). Fresh instances — each run should use its
+/// own state.
+pub fn baseline_suite() -> Vec<Box<dyn Governor>> {
+    vec![
+        Box::new(NoDvs::new()),
+        Box::new(StaticEdf::new()),
+        Box::new(LppsEdf::new()),
+        Box::new(CcEdf::new()),
+        Box::new(Dra::new()),
+        Box::new(Dra::with_one_task_extension()),
+        Box::new(FeedbackEdf::new()),
+        Box::new(LaEdf::new()),
+    ]
+}
+
+/// Constructs a fresh baseline governor by its stable name, or `None` for
+/// an unknown name.
+pub fn baseline_by_name(name: &str) -> Option<Box<dyn Governor>> {
+    match name {
+        "no-dvs" => Some(Box::new(NoDvs::new())),
+        "static-edf" => Some(Box::new(StaticEdf::new())),
+        "lpps-edf" => Some(Box::new(LppsEdf::new())),
+        "cc-edf" => Some(Box::new(CcEdf::new())),
+        "dra" => Some(Box::new(Dra::new())),
+        "dra-ote" => Some(Box::new(Dra::with_one_task_extension())),
+        "feedback-edf" => Some(Box::new(FeedbackEdf::new())),
+        "la-edf" => Some(Box::new(LaEdf::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique_and_resolvable() {
+        let suite = baseline_suite();
+        let names: Vec<String> = suite.iter().map(|g| g.name().to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in &names {
+            let g = baseline_by_name(n).expect("resolvable");
+            assert_eq!(g.name(), n);
+        }
+        assert!(baseline_by_name("unknown").is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Static (off-line optimal) EDF speed scaling.
+
+use stadvs_power::{Processor, Speed};
+use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet};
+
+/// Runs every job at the minimum feasible constant speed — the off-line
+/// optimal *static* scaling for EDF (Pillai & Shin's "statically scaled
+/// EDF"). For implicit deadlines that speed is exactly the worst-case
+/// utilization `U`; for constrained deadlines it is the peak of the demand
+/// bound function's intensity, `max_t dbf(t)/t` (plain `U` would miss
+/// deadlines there).
+///
+/// For convex power no constant speed below this can be feasible in the
+/// worst case. All *dynamic* algorithms improve on it by exploiting early
+/// completions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StaticEdf {
+    speed: f64,
+}
+
+impl StaticEdf {
+    /// Creates the governor.
+    pub fn new() -> StaticEdf {
+        StaticEdf { speed: 1.0 }
+    }
+}
+
+impl Governor for StaticEdf {
+    fn name(&self) -> &str {
+        "static-edf"
+    }
+
+    fn on_start(&mut self, tasks: &TaskSet, _processor: &Processor) {
+        self.speed = stadvs_analysis::minimum_static_speed(tasks).min(1.0);
+    }
+
+    fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
+        Speed::clamped(self.speed, view.processor().min_speed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_power::Processor;
+    use stadvs_sim::{MissPolicy, SimConfig, Simulator, Task, TaskSet, WorstCase};
+
+    fn run(utilization_half: bool) -> stadvs_sim::SimOutcome {
+        let tasks = if utilization_half {
+            TaskSet::new(vec![
+                Task::new(1.0, 4.0).unwrap(),
+                Task::new(2.0, 8.0).unwrap(),
+            ])
+            .unwrap()
+        } else {
+            TaskSet::new(vec![
+                Task::new(2.0, 4.0).unwrap(),
+                Task::new(4.0, 8.0).unwrap(),
+            ])
+            .unwrap()
+        };
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous(),
+            SimConfig::new(64.0)
+                .unwrap()
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .unwrap();
+        sim.run(&mut StaticEdf::new(), &WorstCase).unwrap()
+    }
+
+    #[test]
+    fn worst_case_at_speed_u_is_tight_but_feasible() {
+        let out = run(true); // U = 0.5
+        assert!(out.all_deadlines_met());
+        // Runs at 0.5 the whole busy time: busy = work / 0.5 = 32/0.5 = 64.
+        assert!((out.busy_time - 64.0).abs() < 1e-6);
+        // Energy = 64 s * 0.125 W = 8 J (vs 32 J at full speed).
+        assert!((out.total_energy() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_utilization_degenerates_to_full_speed() {
+        let out = run(false); // U = 1.0
+        assert!(out.all_deadlines_met());
+        assert!((out.busy_time - 64.0).abs() < 1e-6);
+        assert!((out.total_energy() - 64.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion benchmarks: off-line analysis algorithms — QPA
+//! schedulability, job materialization, the YDS optimal schedule, and the
+//! clairvoyant static-optimal speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stadvs_analysis::{
+    edf_schedulable, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind,
+};
+use stadvs_sim::{Task, TaskSet};
+use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
+
+fn constrained_set(n: usize, seed: u64) -> TaskSet {
+    // Constrained deadlines force the full QPA walk (implicit deadlines
+    // short-circuit to the utilization test).
+    let base = TaskSetSpec::new(n, 0.85)
+        .expect("valid spec")
+        .with_seed(seed)
+        .generate()
+        .expect("generates");
+    TaskSet::new(
+        base.iter()
+            .map(|(_, t)| {
+                Task::with_deadline(t.wcet(), t.period(), t.wcet().max(0.8 * t.period()))
+                    .expect("valid constrained task")
+            })
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+fn bench_qpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpa_schedulability");
+    for n in [4usize, 8, 16, 32] {
+        let set = constrained_set(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| edf_schedulable(set));
+        });
+    }
+    group.finish();
+}
+
+fn bench_yds(c: &mut Criterion) {
+    let spec = TaskSetSpec::new(8, 0.7).expect("valid spec").with_seed(3);
+    let tasks = spec.generate().expect("generates");
+    let exec = ExecutionModel::new(DemandPattern::Uniform { min: 0.5, max: 1.0 })
+        .expect("valid pattern")
+        .with_seed(3);
+    let mut group = c.benchmark_group("yds_optimal_schedule");
+    group.sample_size(10);
+    for horizon in [0.5_f64, 1.0, 2.0] {
+        let jobs = materialize_jobs(&tasks, &exec, horizon);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}jobs", jobs.len())),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| yds_schedule(jobs, WorkKind::Actual).peak_speed());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_oracle_speed(c: &mut Criterion) {
+    let tasks = TaskSetSpec::new(8, 0.7)
+        .expect("valid spec")
+        .with_seed(5)
+        .generate()
+        .expect("generates");
+    let exec = ExecutionModel::uniform_bcet(0.5).expect("valid").with_seed(5);
+    let jobs = materialize_jobs(&tasks, &exec, 2.0);
+    c.bench_function("oracle_static_speed_2s", |b| {
+        b.iter(|| optimal_static_speed(&jobs, WorkKind::Actual));
+    });
+    c.bench_function("materialize_jobs_2s", |b| {
+        b.iter(|| materialize_jobs(&tasks, &exec, 2.0).len());
+    });
+}
+
+criterion_group!(benches, bench_qpa, bench_yds, bench_oracle_speed);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks: core data structures and workload generators —
+//! slack-ledger operations, UUniFast, and execution-demand sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stadvs_core::SlackLedger;
+use stadvs_sim::{ExecutionSource, Task, TaskId};
+use stadvs_workload::{uunifast, DemandPattern, ExecutionModel};
+
+fn bench_ledger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_ledger");
+    for size in [16usize, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("donate_take_cycle", size),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut ledger = SlackLedger::new();
+                    for i in 0..size {
+                        // Pseudo-random-ish tags without an RNG in the hot loop.
+                        let tag = ((i * 2_654_435_761) % 1_000) as f64;
+                        ledger.donate(tag, 0.001);
+                    }
+                    let mut taken = 0.0;
+                    for d in [250.0, 500.0, 750.0, 1_000.0] {
+                        taken += ledger.take_up_to(d);
+                    }
+                    taken
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_uunifast(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("uunifast");
+    for n in [8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| uunifast(n, 0.8, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_demand_sampling(c: &mut Criterion) {
+    let task = Task::new(1.0e-3, 10.0e-3).expect("valid task");
+    let patterns = [
+        ("uniform", DemandPattern::Uniform { min: 0.2, max: 1.0 }),
+        (
+            "normal",
+            DemandPattern::Normal {
+                mean: 0.5,
+                std_dev: 0.2,
+                floor: 0.05,
+            },
+        ),
+        (
+            "bursty",
+            DemandPattern::Bursty {
+                low: 0.2,
+                high: 0.9,
+                burst_jobs: 20,
+                duty: 0.4,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("demand_sampling");
+    for (name, pattern) in patterns {
+        let model = ExecutionModel::new(pattern).expect("valid").with_seed(9);
+        group.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                model.actual_work(TaskId(0), &task, i)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ledger, bench_uunifast, bench_demand_sampling);
+criterion_main!(benches);

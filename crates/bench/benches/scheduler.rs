@@ -1,0 +1,71 @@
+//! Criterion benchmarks: simulator throughput and per-governor scheduling
+//! overhead (`bench_micro` in the experiment index).
+//!
+//! The paper family reports the run-time complexity of the slack analysis;
+//! here we measure it directly: wall-clock cost of simulating one second of
+//! a standard 8-task workload under each governor. Differences between
+//! governors isolate the cost of their `select_speed` logic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stadvs_experiments::{make_governor, WorkloadCase, STANDARD_LINEUP};
+use stadvs_power::Processor;
+use stadvs_sim::{SimConfig, Simulator};
+use stadvs_workload::DemandPattern;
+
+fn bench_governors(c: &mut Criterion) {
+    let case = WorkloadCase::synthetic(
+        8,
+        0.7,
+        DemandPattern::Uniform { min: 0.5, max: 1.0 },
+        42,
+    );
+    let sim = Simulator::new(
+        case.tasks.clone(),
+        Processor::ideal_continuous(),
+        SimConfig::new(1.0).expect("valid horizon"),
+    )
+    .expect("feasible");
+
+    let mut group = c.benchmark_group("simulate_1s_8tasks");
+    for name in STANDARD_LINEUP {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| {
+                let mut governor = make_governor(name).expect("lineup resolves");
+                let out = sim.run(governor.as_mut(), &case.exec).expect("runs");
+                assert_eq!(out.miss_count(), 0);
+                out.total_energy()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stedf_scaling_by_tasks");
+    for n in [4usize, 8, 16, 32] {
+        let case = WorkloadCase::synthetic(
+            n,
+            0.7,
+            DemandPattern::Uniform { min: 0.5, max: 1.0 },
+            7,
+        );
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            Processor::ideal_continuous(),
+            SimConfig::new(0.5).expect("valid horizon"),
+        )
+        .expect("feasible");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut governor = make_governor("st-edf").expect("resolves");
+                sim.run(governor.as_mut(), &case.exec)
+                    .expect("runs")
+                    .total_energy()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_governors, bench_task_count_scaling);
+criterion_main!(benches);

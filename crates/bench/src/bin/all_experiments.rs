@@ -1,0 +1,13 @@
+//! Regenerates every figure and table of the evaluation in report order,
+//! writing `results/<id>.{md,csv}` — the source of EXPERIMENTS.md.
+
+use stadvs_experiments::experiments::all;
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let start = std::time::Instant::now();
+    for experiment in all() {
+        let _ = stadvs_bench::regenerate(experiment.id, &opts);
+    }
+    eprintln!("all experiments regenerated in {:.1} s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `tab6_pace` experiment (see DESIGN.md §4).
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let _ = stadvs_bench::regenerate("tab6_pace", &opts);
+}

@@ -1,0 +1,103 @@
+//! # stadvs-bench — benchmark harness and figure/table regeneration
+//!
+//! * `src/bin/<experiment id>.rs` — one binary per reproduced figure/table;
+//!   each prints the markdown table and writes `results/<id>.{md,csv}`.
+//!   Pass `--quick` (or set `STADVS_QUICK=1`) for a fast smoke run.
+//! * `src/bin/all_experiments.rs` — regenerates everything (the source of
+//!   `EXPERIMENTS.md` measurements).
+//! * `benches/` — Criterion microbenchmarks: simulator throughput per
+//!   governor, schedulability analysis (QPA), the YDS optimal schedule,
+//!   slack-ledger operations, and workload generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stadvs_experiments::experiments::{by_id, RunOptions};
+use stadvs_experiments::{write_csv, write_markdown, Table};
+
+/// Resolves run options from the process arguments/environment: `--quick`
+/// or `STADVS_QUICK=1` selects the reduced preset.
+pub fn options_from_env() -> RunOptions {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("STADVS_QUICK").map_or(false, |v| v == "1");
+    if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::standard()
+    }
+}
+
+/// Runs the registered experiment `id`, prints its markdown table, and
+/// writes `results/<id>.md` and `results/<id>.csv`.
+///
+/// # Panics
+///
+/// Panics if `id` is not registered or the result files cannot be written
+/// (binaries crash loudly on harness errors).
+pub fn regenerate(id: &str, opts: &RunOptions) -> Table {
+    let experiment = by_id(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    eprintln!("running {id} ({})...", experiment.title);
+    let table = (experiment.run)(opts);
+    println!("{table}");
+    write_markdown(&table, format!("results/{id}.md")).expect("write results markdown");
+    write_csv(&table, format!("results/{id}.csv")).expect("write results csv");
+    if let Some(script) = gnuplot_script(&table, id) {
+        std::fs::write(format!("results/{id}.gnuplot"), script).expect("write gnuplot script");
+    }
+    table
+}
+
+/// A gnuplot script rendering the table as line series over its numeric
+/// key column (`gnuplot results/<id>.gnuplot` → `results/<id>.svg`).
+/// Returns `None` for tables with non-numeric keys (bar-style tables).
+pub fn gnuplot_script(table: &Table, id: &str) -> Option<String> {
+    if table.rows.is_empty() || table.rows.iter().any(|(k, _)| k.parse::<f64>().is_err()) {
+        return None;
+    }
+    let mut script = String::new();
+    script.push_str(&format!(
+        "set terminal svg size 900,560 dynamic background rgb 'white'\n\
+         set output '{id}.svg'\n\
+         set title \"{}\" noenhanced\n\
+         set xlabel \"{}\" noenhanced\n\
+         set ylabel \"normalized energy\"\n\
+         set key outside right\n\
+         set grid\n\
+         set datafile separator ','\n",
+        table.title.replace('"', "'"),
+        table.key_label
+    ));
+    script.push_str("plot ");
+    let series: Vec<String> = table
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            format!(
+                "'{id}.csv' using 1:{} skip 1 with linespoints title \"{name}\" noenhanced",
+                i + 2
+            )
+        })
+        .collect();
+    script.push_str(&series.join(", \\\n     "));
+    script.push('\n');
+    Some(script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnuplot_only_for_numeric_keys() {
+        let mut numeric = Table::new("t", "U", vec!["a".to_string()]);
+        numeric.push_row("0.5", vec![1.0]);
+        let script = gnuplot_script(&numeric, "demo").expect("numeric keys plot");
+        assert!(script.contains("'demo.csv' using 1:2"));
+        assert!(script.contains("set output 'demo.svg'"));
+
+        let mut labelled = Table::new("t", "pattern", vec!["a".to_string()]);
+        labelled.push_row("bursty", vec![1.0]);
+        assert!(gnuplot_script(&labelled, "demo").is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! `stadvs` — the command-line interface of the slack-time-analysis DVS
+//! reproduction.
+//!
+//! ```text
+//! stadvs experiments list                  list the figure/table registry
+//! stadvs experiments all --quick           regenerate everything (smoke scale)
+//! stadvs experiments fig1_util             regenerate one experiment
+//! stadvs compare --tasks 8 --util 0.7 --bcet 0.3 --bounds
+//! stadvs compare --refset avionics --processor xscale
+//! stadvs analyze 1e-3:10e-3 5e-3:40e-3     schedulability & speed bounds
+//! stadvs refsets                           the reference embedded task sets
+//! stadvs trace --governor st-edf --out trace.csv
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+stadvs — slack-time-analysis DVS for EDF hard real-time systems
+
+USAGE:
+  stadvs experiments [list | all | <id>...] [--quick] [--out DIR]
+  stadvs compare  [--tasks N] [--util U] [--bcet R] [--seeds K]
+                  [--horizon S] [--processor P] [--governors a,b,c]
+                  [--refset cnc|ins|avionics] [--bounds]
+  stadvs analyze  <wcet:period[:deadline]>...
+  stadvs refsets
+  stadvs trace    [--governor NAME] [--tasks N | --refset NAME] [--util U]
+                  [--bcet R] [--seed K] [--horizon S] [--processor P]
+                  [--out FILE] [--chart]
+
+PROCESSORS: ideal (default), xscale, strongarm, crusoe, levels:<n>
+GOVERNORS:  no-dvs, static-edf, lpps-edf, cc-edf, dra, dra-ote,
+            feedback-edf, la-edf, st-edf, st-edf-oa, st-edf-cs,
+            st-edf-pace, st-edf[r], st-edf[a], st-edf[d]
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(raw);
+    let command = args.positional().first().map(String::as_str);
+    let result = match command {
+        Some("experiments") => commands::experiments(&args),
+        Some("compare") => commands::compare(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some("refsets") => commands::refsets(&args),
+        Some("trace") => commands::trace(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = result {
+        eprintln!("error: {error}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Configuration of the slack-time-analysis governor.
+
+use serde::{Deserialize, Serialize};
+
+/// Which slack sources and platform-awareness features
+/// [`SlackEdf`](crate::SlackEdf) uses — the ablation surface of the
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackEdfConfig {
+    /// Enable deadline-tagged reclaiming of early-completion slack.
+    pub reclaiming: bool,
+    /// Enable stretching an alone job to the next task arrival.
+    pub arrival_stretch: bool,
+    /// Enable look-ahead processor-demand slack analysis.
+    pub demand_analysis: bool,
+    /// Look-ahead horizon of the demand analysis, in maximum periods.
+    pub horizon_periods: f64,
+    /// Account for speed-switch overhead: price per-task switch margins
+    /// into the claims currency and skip switches whose projected energy
+    /// saving does not cover the transition energy (the pessimistic
+    /// judgment rule).
+    pub overhead_aware: bool,
+    /// Never request speeds below the platform's leakage-aware *critical
+    /// speed* (the speed minimizing energy per unit of work). Running
+    /// slower on a leaky processor takes longer and leaks more than the
+    /// voltage drop saves; flooring is always deadline-safe.
+    pub critical_speed_floor: bool,
+    /// Intra-job PACE steps (0 = constant speed per dispatch). With `n`
+    /// steps the job starts below its constant-speed plan and accelerates
+    /// through `n` chunks whose worst case consumes exactly the same
+    /// allowance; jobs that complete early skip the fast tail. Ignored in
+    /// overhead-aware mode (extra switches would break the margin bound).
+    pub pace_steps: u32,
+}
+
+impl SlackEdfConfig {
+    /// The full algorithm as evaluated in the figures: canonical claims +
+    /// ledger banking + demand analysis + arrival stretching.
+    ///
+    /// All three sources are needed, and they compose soundly because they
+    /// share the claims currency. Banking is what makes *earliness*
+    /// durable: without a ledger record, freed time is visible to the
+    /// demand analysis only transiently (the worst-case tail bound rightly
+    /// refuses to promise it sustainably), whereas a deadline-tagged entry
+    /// is a claim the analysis protects until it is spent or expires. The
+    /// demand analysis adds the slack no record can express (release
+    /// phasing, alignment gaps, slack stranded behind late tags), and the
+    /// arrival stretch exploits solitude. Measured on uniform 0.2–1.0
+    /// demand at `U = 0.7`, the combination strictly dominates every
+    /// single-source variant.
+    pub fn full() -> SlackEdfConfig {
+        SlackEdfConfig {
+            reclaiming: true,
+            arrival_stretch: true,
+            demand_analysis: true,
+            horizon_periods: 0.25,
+            overhead_aware: false,
+            critical_speed_floor: false,
+            pace_steps: 0,
+        }
+    }
+
+    /// Full algorithm with overhead awareness (for non-zero transition
+    /// latency platforms).
+    pub fn overhead_aware() -> SlackEdfConfig {
+        SlackEdfConfig {
+            overhead_aware: true,
+            ..SlackEdfConfig::full()
+        }
+    }
+
+    /// Only the reclaiming source (ablation).
+    pub fn reclaiming_only() -> SlackEdfConfig {
+        SlackEdfConfig {
+            reclaiming: true,
+            arrival_stretch: false,
+            demand_analysis: false,
+            horizon_periods: 0.25,
+            overhead_aware: false,
+            critical_speed_floor: false,
+            pace_steps: 0,
+        }
+    }
+
+    /// Only the demand-analysis source (ablation).
+    pub fn demand_only() -> SlackEdfConfig {
+        SlackEdfConfig {
+            reclaiming: false,
+            arrival_stretch: false,
+            demand_analysis: true,
+            horizon_periods: 0.25,
+            overhead_aware: false,
+            critical_speed_floor: false,
+            pace_steps: 0,
+        }
+    }
+
+    /// Full algorithm with PACE-style intra-job acceleration (the paper's
+    /// "more aggressive slack reclaiming" future-work direction).
+    pub fn pacing(steps: u32) -> SlackEdfConfig {
+        SlackEdfConfig {
+            pace_steps: steps,
+            ..SlackEdfConfig::full()
+        }
+    }
+
+    /// Full algorithm with the leakage-aware critical-speed floor (for
+    /// platforms with non-negligible static power).
+    pub fn critical_speed() -> SlackEdfConfig {
+        SlackEdfConfig {
+            critical_speed_floor: true,
+            ..SlackEdfConfig::full()
+        }
+    }
+
+    /// Only the arrival-stretch source (ablation).
+    pub fn arrival_only() -> SlackEdfConfig {
+        SlackEdfConfig {
+            reclaiming: false,
+            arrival_stretch: true,
+            demand_analysis: false,
+            horizon_periods: 0.25,
+            overhead_aware: false,
+            critical_speed_floor: false,
+            pace_steps: 0,
+        }
+    }
+
+    /// A short stable suffix describing the enabled sources (used in
+    /// governor names for ablation tables).
+    pub fn variant_name(&self) -> String {
+        if self.reclaiming && self.arrival_stretch && self.demand_analysis {
+            return match (self.overhead_aware, self.critical_speed_floor, self.pace_steps) {
+                (true, _, _) => "st-edf-oa".to_string(),
+                (false, true, _) => "st-edf-cs".to_string(),
+                (false, false, 0) => "st-edf".to_string(),
+                (false, false, _) => "st-edf-pace".to_string(),
+            };
+        }
+        let mut parts = Vec::new();
+        if self.reclaiming {
+            parts.push("r");
+        }
+        if self.arrival_stretch {
+            parts.push("a");
+        }
+        if self.demand_analysis {
+            parts.push("d");
+        }
+        if parts.is_empty() {
+            parts.push("none");
+        }
+        format!("st-edf[{}]", parts.join("+"))
+    }
+}
+
+impl Default for SlackEdfConfig {
+    fn default() -> SlackEdfConfig {
+        SlackEdfConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_and_names() {
+        assert_eq!(SlackEdfConfig::full().variant_name(), "st-edf");
+        assert_eq!(SlackEdfConfig::overhead_aware().variant_name(), "st-edf-oa");
+        assert_eq!(
+            SlackEdfConfig::reclaiming_only().variant_name(),
+            "st-edf[r]"
+        );
+        assert_eq!(SlackEdfConfig::demand_only().variant_name(), "st-edf[d]");
+        assert_eq!(SlackEdfConfig::arrival_only().variant_name(), "st-edf[a]");
+        let none = SlackEdfConfig {
+            reclaiming: false,
+            arrival_stretch: false,
+            demand_analysis: false,
+            horizon_periods: 0.25,
+            overhead_aware: false,
+            critical_speed_floor: false,
+            pace_steps: 0,
+        };
+        assert_eq!(none.variant_name(), "st-edf[none]");
+        assert_eq!(SlackEdfConfig::default(), SlackEdfConfig::full());
+        assert_eq!(SlackEdfConfig::critical_speed().variant_name(), "st-edf-cs");
+        assert_eq!(SlackEdfConfig::pacing(8).variant_name(), "st-edf-pace");
+    }
+}

@@ -1,0 +1,287 @@
+//! Intra-job accelerating speed schedules (PACE-style) with online
+//! demand-distribution profiling.
+//!
+//! A job granted wall-clock allowance `A` for worst-case work `W` can run
+//! at the constant speed `W/A` — but if its actual demand is usually below
+//! `W`, most of that speed is wasted caution. The PACE observation
+//! (Lorch & Smith): run the *early* work slower and the *late* work faster;
+//! jobs that finish early never execute the expensive fast tail, so the
+//! expected energy drops while the worst case still fits in `A`.
+//!
+//! Split the remaining work into `n` equal chunks `w = W/n`; let `P_k` be
+//! the probability the job still runs in chunk `k`. Minimizing expected
+//! energy `Σ P_k · w · s_k²` (cubic power ⇒ energy per work `s²`) under the
+//! worst-case constraint `Σ w/s_k = A` gives, by Lagrange multipliers,
+//!
+//! ```text
+//! s_k = (Σ_j w · P_j^{1/3}) / (A · P_k^{1/3})   —  s_k ∝ P_k^{−1/3}.
+//! ```
+//!
+//! The schedule is *deadline-neutral*: its worst case consumes exactly the
+//! same allowance as the constant speed, so it composes with every slack
+//! source unchanged.
+//!
+//! Where does `P_k` come from? A fixed assumption (e.g. uniform demand)
+//! loses badly when wrong — under always-worst-case demand it pays the
+//! convexity cost of its speed asymmetry for nothing. [`SurvivalEstimator`]
+//! instead profiles each task's demand distribution *online* (the GRACE-OS
+//! idea) and conditions on the job's current progress; with degenerate
+//! demand the estimated survival is flat and the plan collapses to the
+//! constant speed automatically. The paper lists "more aggressive slack
+//! reclaiming strategies" as future work; this module is that extension,
+//! implemented via the simulator's power-management-point support.
+
+use stadvs_sim::WORK_EPS;
+
+/// One step of an intra-job speed plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaceStep {
+    /// Normalized speed of this step (may exceed 1 before clamping —
+    /// callers clamp and re-plan at each dispatch).
+    pub speed: f64,
+    /// Work executed in this step (full-speed seconds).
+    pub work: f64,
+}
+
+/// The energy-optimal step plan for `remaining` worst-case work in
+/// `allowance` wall time, given per-chunk survival probabilities
+/// `survival[k] = P(job still runs in chunk k)`.
+///
+/// Survival values are clamped into `[1e-3, 1]`; an empty slice yields an
+/// empty plan. The plan's worst case consumes exactly `allowance`.
+pub fn plan(remaining: f64, allowance: f64, survival: &[f64]) -> Vec<PaceStep> {
+    if survival.is_empty() || remaining <= WORK_EPS || allowance <= 0.0 {
+        return Vec::new();
+    }
+    let n = survival.len() as f64;
+    let w = remaining / n;
+    let roots: Vec<f64> = survival
+        .iter()
+        .map(|p| p.clamp(1.0e-3, 1.0).cbrt())
+        .collect();
+    let norm: f64 = roots.iter().map(|r| w * r).sum();
+    roots
+        .iter()
+        .map(|r| PaceStep {
+            speed: norm / (allowance * r),
+            work: w,
+        })
+        .collect()
+}
+
+/// The first step of [`plan`] — the only one that actually runs before the
+/// governor re-plans. Returns `None` when there is nothing to plan
+/// (`remaining ≈ 0`, no slowdown possible, or no chunks).
+pub fn first_step(remaining: f64, allowance: f64, survival: &[f64]) -> Option<PaceStep> {
+    if allowance <= remaining {
+        return None;
+    }
+    plan(remaining, allowance, survival).into_iter().next()
+}
+
+/// Uniform-demand survival probabilities, `P_k = 1 − (k−1)/n` — the
+/// textbook PACE assumption, kept for tests and comparison.
+pub fn uniform_survival(steps: u32) -> Vec<f64> {
+    (0..steps).map(|k| 1.0 - k as f64 / steps as f64).collect()
+}
+
+/// Online per-task profile of the demand distribution: a sliding window of
+/// observed `actual/wcet` ratios, queried for conditional survival.
+///
+/// `survival(f)` estimates `P(demand > f · wcet)` with add-one smoothing
+/// (unknown distributions start at 1.0 — the conservative constant-speed
+/// plan). [`SurvivalEstimator::chunk_survival`] conditions on the current
+/// progress, since a running job's demand is known to exceed what it has
+/// already executed.
+#[derive(Debug, Clone)]
+pub struct SurvivalEstimator {
+    samples: Vec<f64>,
+    capacity: usize,
+    cursor: usize,
+}
+
+impl SurvivalEstimator {
+    /// Creates an estimator keeping the last `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> SurvivalEstimator {
+        assert!(capacity > 0, "estimator needs capacity for at least one sample");
+        SurvivalEstimator {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+        }
+    }
+
+    /// Records a completed job's `actual/wcet` ratio (clamped to `[0, 1]`).
+    pub fn record(&mut self, ratio: f64) {
+        let ratio = ratio.clamp(0.0, 1.0);
+        if self.samples.len() < self.capacity {
+            self.samples.push(ratio);
+        } else {
+            self.samples[self.cursor] = ratio;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Smoothed estimate of `P(demand > fraction · wcet)`.
+    pub fn survival(&self, fraction: f64) -> f64 {
+        let above = self.samples.iter().filter(|&&r| r > fraction).count();
+        (above + 1) as f64 / (self.samples.len() + 1) as f64
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-chunk conditional survival for a job that has already executed
+    /// `executed` of its `wcet`, about to run `steps` chunks covering the
+    /// remaining work: `P_k = S(executed + k·w) / S(executed)`.
+    pub fn chunk_survival(&self, executed: f64, wcet: f64, steps: u32) -> Vec<f64> {
+        if steps == 0 || wcet <= 0.0 {
+            return Vec::new();
+        }
+        let remaining = (wcet - executed).max(0.0);
+        let w = remaining / steps as f64;
+        let base = self.survival(executed / wcet).max(1.0e-9);
+        (0..steps)
+            .map(|k| {
+                let fraction = (executed + k as f64 * w) / wcet;
+                (self.survival(fraction) / base).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_meets_the_worst_case_exactly() {
+        for steps in [1u32, 2, 4, 8, 32] {
+            let p = plan(2.0, 5.0, &uniform_survival(steps));
+            assert_eq!(p.len(), steps as usize);
+            let wall: f64 = p.iter().map(|s| s.work / s.speed).sum();
+            assert!(
+                (wall - 5.0).abs() < 1e-9,
+                "{steps} steps: worst-case wall {wall} != allowance 5"
+            );
+            for pair in p.windows(2) {
+                assert!(pair[0].speed <= pair[1].speed + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_survival_collapses_to_constant_speed() {
+        let p = plan(2.0, 5.0, &[1.0, 1.0, 1.0, 1.0]);
+        for step in &p {
+            assert!((step.speed - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_step_is_slower_than_constant_under_decaying_survival() {
+        let constant = 2.0 / 5.0;
+        for steps in [2u32, 4, 16] {
+            let s = first_step(2.0, 5.0, &uniform_survival(steps)).expect("plannable");
+            assert!(
+                s.speed < constant,
+                "{steps} steps: first speed {} !< {constant}",
+                s.speed
+            );
+        }
+    }
+
+    #[test]
+    fn expected_energy_beats_constant_for_matching_distribution() {
+        let (w_total, allowance, steps) = (2.0_f64, 5.0_f64, 16u32);
+        let survival = uniform_survival(steps);
+        let p = plan(w_total, allowance, &survival);
+        let n = steps as f64;
+        let expected = |speeds: &[f64]| -> f64 {
+            speeds
+                .iter()
+                .zip(&survival)
+                .map(|(s, pk)| pk * (w_total / n) * s * s)
+                .sum()
+        };
+        let paced: Vec<f64> = p.iter().map(|s| s.speed).collect();
+        let constant = vec![w_total / allowance; steps as usize];
+        assert!(expected(&paced) < expected(&constant));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(first_step(0.0, 1.0, &[1.0]).is_none());
+        assert!(first_step(1.0, 0.5, &[1.0]).is_none());
+        assert!(first_step(1.0, 2.0, &[]).is_none());
+        assert!(plan(1.0, -1.0, &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn estimator_learns_the_distribution() {
+        let mut est = SurvivalEstimator::new(100);
+        // No samples: conservative 1.0 everywhere.
+        assert_eq!(est.survival(0.5), 1.0);
+        assert!(est.is_empty());
+        // Uniform demand on [0, 1]: survival(f) ≈ 1 − f.
+        for i in 0..100 {
+            est.record((i as f64 + 0.5) / 100.0);
+        }
+        assert_eq!(est.len(), 100);
+        assert!((est.survival(0.5) - 0.5).abs() < 0.05);
+        assert!((est.survival(0.9) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn worst_case_demand_yields_flat_conditional_survival() {
+        let mut est = SurvivalEstimator::new(50);
+        for _ in 0..50 {
+            est.record(1.0);
+        }
+        let pk = est.chunk_survival(0.0, 1.0, 8);
+        for p in &pk {
+            assert!(*p > 0.95, "survival {p} should stay near 1 at worst case");
+        }
+        // The plan therefore collapses to (nearly) constant speed.
+        let steps = plan(1.0, 2.0, &pk);
+        let spread = steps.last().expect("nonempty").speed - steps[0].speed;
+        assert!(spread < 0.02, "speed spread {spread} should be negligible");
+    }
+
+    #[test]
+    fn conditional_survival_accounts_for_progress() {
+        let mut est = SurvivalEstimator::new(100);
+        for i in 0..100 {
+            est.record((i as f64 + 0.5) / 100.0);
+        }
+        // Having executed half the wcet, the chance of surviving to 75 %
+        // is about 0.5 (uniform demand), not 0.25.
+        let pk = est.chunk_survival(0.5, 1.0, 2);
+        assert!((pk[0] - 1.0).abs() < 1e-9);
+        assert!((pk[1] - 0.5).abs() < 0.1, "conditional survival {}", pk[1]);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_behaviour() {
+        let mut est = SurvivalEstimator::new(10);
+        for _ in 0..10 {
+            est.record(0.1);
+        }
+        for _ in 0..10 {
+            est.record(1.0);
+        }
+        // The window now only holds worst-case samples.
+        assert!(est.survival(0.5) > 0.9);
+    }
+}

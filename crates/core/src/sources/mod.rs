@@ -1,0 +1,35 @@
+//! The three slack sources composed by the slack-time analysis.
+//!
+//! Each source answers, with its own safety argument, "how much wall-clock
+//! allowance may the dispatched EDF job consume without endangering any
+//! deadline, assuming every current and future job takes its full WCET?"
+//! All three speak one accounting currency — **canonical claims**, the
+//! occupancy each job holds in the EDF schedule stretched to speed `U` —
+//! which is what lets them compose *additively*:
+//!
+//! * [`ReclaimedPool`] — the canonical base: a claim of `C/U` per job,
+//!   plus deadline-tagged banked earliness of completed jobs,
+//! * [`DemandAnalysis`] — the unclaimed remainder: minimum checkpoint
+//!   slack `(D − t) − claims(t, D)` over the look-ahead window, with a
+//!   rigorous beyond-horizon tail bound,
+//! * [`arrival_allowance`] — the arrival stretch: an *alone* job may use
+//!   the whole window to the earlier of its deadline and the next task
+//!   arrival, because it worst-case-completes before anything else exists.
+//!
+//! A historical design note: an earlier draft let a *work-based* demand
+//! analysis (raw WCET demand, not claims) compete with the canonical
+//! allowance via `max(...)`. That composition is **unsound** — the two
+//! schemes assume different invariants, and a two-task counterexample at
+//! `U = 0.75` (one job overdraws its canonical allotment on demand-slack,
+//! the next relies on the canonical allotment being intact) misses a
+//! deadline. Measuring demand in claim units removes the conflict and, as
+//! a bonus, distributes static slack fairly instead of letting the first
+//! job hog it.
+
+mod arrival;
+mod demand;
+mod reclaimed;
+
+pub use arrival::arrival_allowance;
+pub use demand::{DemandAnalysis, DemandSlack};
+pub use reclaimed::ReclaimedPool;

@@ -1,0 +1,52 @@
+//! Writing result tables to disk.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::table::Table;
+
+/// Writes `table` as CSV to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the write.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, table.to_csv())
+}
+
+/// Writes `table` as markdown to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the write.
+pub fn write_markdown(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, table.to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_both_formats() {
+        let mut t = Table::new("t", "k", vec!["a".to_string()]);
+        t.push_row("x", vec![1.5]);
+        let dir = std::env::temp_dir().join("stadvs-csv-test");
+        let csv_path = dir.join("nested/t.csv");
+        let md_path = dir.join("nested/t.md");
+        write_csv(&t, &csv_path).unwrap();
+        write_markdown(&t, &md_path).unwrap();
+        assert!(fs::read_to_string(&csv_path).unwrap().contains("x,1.5"));
+        assert!(fs::read_to_string(&md_path).unwrap().contains("### t"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,95 @@
+//! `fig4_levels` — normalized energy vs number of discrete frequency
+//! levels.
+//!
+//! Real DVS processors offer a handful of operating points; every requested
+//! speed is quantized *up*. This experiment sweeps a synthetic n-level
+//! processor (uniform speeds, affine voltage, CMOS power) from 2 to 32
+//! levels plus the continuous asymptote. Expected shape: a few levels
+//! already capture most of the benefit; the curves approach the continuous
+//! value from above as levels increase.
+
+use stadvs_power::Processor;
+use stadvs_workload::DemandPattern;
+
+use crate::experiments::RunOptions;
+use crate::runner::{Comparison, WorkloadCase};
+use crate::table::Table;
+
+/// Tasks per synthetic set.
+pub const N_TASKS: usize = 8;
+/// Worst-case utilization of every set.
+pub const UTILIZATION: f64 = 0.7;
+/// Execution-demand pattern.
+pub const PATTERN: DemandPattern = DemandPattern::Uniform { min: 0.5, max: 1.0 };
+/// Level-count sweep points (`None` = continuous).
+pub const LEVELS: [Option<usize>; 8] = [
+    Some(2),
+    Some(3),
+    Some(4),
+    Some(6),
+    Some(8),
+    Some(16),
+    Some(32),
+    None,
+];
+/// Governors compared (a focused subset keeps the figure readable).
+pub const LINEUP: [&str; 5] = ["no-dvs", "static-edf", "cc-edf", "dra", "st-edf"];
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Table {
+    let mut table = Table::new(
+        "fig4_levels — normalized energy vs discrete frequency levels (U = 0.7, BCET/WCET = 0.5)",
+        "levels",
+        LINEUP.iter().map(|s| s.to_string()).collect(),
+    );
+    let mut misses = 0;
+    for (li, levels) in LEVELS.iter().enumerate() {
+        let processor = match levels {
+            Some(n) => {
+                // Match the continuous reference's power curve: a CMOS
+                // model with affine voltage, normalized to 1 W at full
+                // speed.
+                Processor::uniform_discrete(*n).expect("level count is positive")
+            }
+            None => Processor::ideal_continuous(),
+        };
+        let comparison = Comparison::new(processor, opts.horizon).with_governors(LINEUP);
+        let cases: Vec<WorkloadCase> = (0..opts.replications)
+            .map(|rep| {
+                WorkloadCase::synthetic(N_TASKS, UTILIZATION, PATTERN, (li * 1_000 + rep) as u64)
+            })
+            .collect();
+        let agg = comparison.run_cases(&cases);
+        misses += agg.iter().map(|a| a.total_misses).sum::<usize>();
+        let key = match levels {
+            Some(n) => n.to_string(),
+            None => "continuous".to_string(),
+        };
+        table.push_row(key, agg.iter().map(|a| a.mean_normalized).collect());
+    }
+    table.note(format!(
+        "{} replications per point, horizon {} s; discrete points use CMOS power with affine \
+         voltage (0.8–1.8 V), the continuous reference the ideal cubic model; total deadline \
+         misses: {}",
+        opts.replications, opts.horizon, misses
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_levels_help_and_converge() {
+        let table = run(&RunOptions::quick());
+        let st = table.column("st-edf").unwrap();
+        let two = st[0];
+        let thirty_two = st[LEVELS.len() - 2];
+        assert!(
+            thirty_two < two,
+            "32 levels ({thirty_two}) should beat 2 levels ({two})"
+        );
+        assert!(table.notes[0].contains("misses: 0"));
+    }
+}

@@ -1,0 +1,106 @@
+//! `fig7_leakage` — static (leakage) power and the critical speed.
+//!
+//! The paper's future-work direction (and its successors' main topic):
+//! with non-negligible leakage, "as slow as possible" stops being optimal —
+//! below the *critical speed* a job takes longer and leaks more than the
+//! voltage drop saves. The sweep raises static power from 0 to 30 % of the
+//! full-speed dynamic power. Expected shape: plain `st-edf` keeps slowing
+//! into the inefficient region and its advantage erodes; the
+//! critical-speed-floored `st-edf-cs` tracks the best achievable curve.
+
+use stadvs_power::{PowerKind, PowerModel, Processor};
+use stadvs_workload::DemandPattern;
+
+use crate::experiments::RunOptions;
+use crate::runner::{Comparison, WorkloadCase};
+use crate::table::Table;
+
+/// Tasks per synthetic set.
+pub const N_TASKS: usize = 8;
+/// Worst-case utilization of every set.
+pub const UTILIZATION: f64 = 0.7;
+/// Execution-demand pattern (light demands make over-slowing tempting).
+pub const PATTERN: DemandPattern = DemandPattern::Uniform { min: 0.2, max: 1.0 };
+/// On-power (leakage) sweep, as a fraction of full-speed dynamic power.
+pub const LEAKAGE: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
+/// Governors compared.
+pub const LINEUP: [&str; 4] = ["no-dvs", "static-edf", "st-edf", "st-edf-cs"];
+
+/// The ideal continuous platform with the given on-power (leakage drawn
+/// while executing; idle is a free deep-sleep state — the setting where
+/// over-slowing genuinely wastes energy).
+pub fn platform(on_power: f64) -> Processor {
+    let model = PowerModel::new(
+        PowerKind::Sleepable {
+            coefficient: 1.0,
+            exponent: 3.0,
+            on_power,
+        },
+        0.0,
+        0.0,
+    )
+    .expect("valid on-power");
+    Processor::ideal_continuous().with_power_model(model)
+}
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Table {
+    let mut table = Table::new(
+        "fig7_leakage — normalized energy vs static power (8 tasks, U = 0.7, BCET/WCET = 0.2)",
+        "P_static/P_max",
+        LINEUP.iter().map(|s| s.to_string()).collect(),
+    );
+    let mut misses = 0;
+    for (li, &leak) in LEAKAGE.iter().enumerate() {
+        let processor = platform(leak);
+        let comparison = Comparison::new(processor, opts.horizon).with_governors(LINEUP);
+        let cases: Vec<WorkloadCase> = (0..opts.replications)
+            .map(|rep| {
+                WorkloadCase::synthetic(N_TASKS, UTILIZATION, PATTERN, (li * 1_000 + rep) as u64)
+            })
+            .collect();
+        let agg = comparison.run_cases(&cases);
+        misses += agg.iter().map(|a| a.total_misses).sum::<usize>();
+        table.push_row(
+            format!("{leak:.2}"),
+            agg.iter().map(|a| a.mean_normalized).collect(),
+        );
+    }
+    let critical = platform(LEAKAGE[LEAKAGE.len() - 1])
+        .power_model()
+        .critical_speed();
+    table.note(format!(
+        "{} replications per point, horizon {} s; leakage is drawn only while executing \
+         (idle = deep sleep), so over-slowing genuinely wastes energy; critical speed at \
+         the highest leakage: {:.2}; total deadline misses: {}",
+        opts.replications,
+        opts.horizon,
+        critical.ratio(),
+        misses
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_floor_wins_under_heavy_leakage() {
+        let table = run(&RunOptions::quick());
+        assert_eq!(table.rows.len(), LEAKAGE.len());
+        let plain = table.column("st-edf").unwrap();
+        let floored = table.column("st-edf-cs").unwrap();
+        // With zero leakage the floor is inactive: identical results.
+        assert!((plain[0] - floored[0]).abs() < 1e-9);
+        // At the heaviest leakage, flooring must not lose, and should win.
+        let last = LEAKAGE.len() - 1;
+        assert!(
+            floored[last] <= plain[last] + 1e-9,
+            "floored {} vs plain {}",
+            floored[last],
+            plain[last]
+        );
+        assert!(table.notes[0].contains("misses: 0"));
+    }
+}

@@ -1,0 +1,88 @@
+//! `tab2_bound` — distance to the YDS clairvoyant lower bound.
+//!
+//! For each utilization, the percentage by which each governor's energy
+//! exceeds the YDS optimal offline schedule of the *realized* workload —
+//! the tightest possible reference. Expected shape: gaps grow with
+//! utilization for every on-line scheme; `st-edf` keeps the smallest gap
+//! among them; even the clairvoyant *static* oracle trails YDS because a
+//! constant speed cannot follow the demand profile.
+
+use stadvs_power::Processor;
+use stadvs_workload::DemandPattern;
+
+use crate::experiments::RunOptions;
+use crate::runner::{Comparison, WorkloadCase, ORACLE, YDS_BOUND};
+use crate::table::Table;
+
+/// Tasks per synthetic set.
+pub const N_TASKS: usize = 8;
+/// Execution-demand pattern.
+pub const PATTERN: DemandPattern = DemandPattern::Uniform { min: 0.5, max: 1.0 };
+/// Utilization points.
+pub const UTILIZATIONS: [f64; 3] = [0.5, 0.7, 0.9];
+/// On-line (and oracle) competitors whose gap is reported.
+pub const LINEUP: [&str; 6] = ["static-edf", "cc-edf", "dra", "la-edf", "st-edf", ORACLE];
+
+/// Runs the experiment. Values are percentages above the YDS bound.
+pub fn run(opts: &RunOptions) -> Table {
+    // YDS is O(n²·log n) per critical interval: keep the horizon modest.
+    let horizon = opts.horizon.min(2.0);
+    let mut table = Table::new(
+        "tab2_bound — energy above the YDS clairvoyant optimum, in percent (8 tasks, BCET/WCET = 0.5)",
+        "U",
+        LINEUP.iter().map(|s| s.to_string()).collect(),
+    );
+    let mut lineup_with_bound: Vec<&str> = LINEUP.to_vec();
+    lineup_with_bound.push(YDS_BOUND);
+
+    for (ui, &u) in UTILIZATIONS.iter().enumerate() {
+        let comparison = Comparison::new(Processor::ideal_continuous(), horizon)
+            .with_governors(lineup_with_bound.iter().copied());
+        let cases: Vec<WorkloadCase> = (0..opts.replications)
+            .map(|rep| {
+                WorkloadCase::synthetic(N_TASKS, u, PATTERN, (ui * 1_000 + rep) as u64)
+            })
+            .collect();
+        let raw = comparison.run_cases_raw(&cases);
+        // Per-case gap, then mean: gap = (E_gov − E_yds) / E_yds · 100.
+        let bound_idx = lineup_with_bound.len() - 1;
+        let gaps: Vec<f64> = (0..LINEUP.len())
+            .map(|gi| {
+                raw.iter()
+                    .map(|case| {
+                        let yds = case[bound_idx].energy;
+                        (case[gi].energy - yds) / yds * 100.0
+                    })
+                    .sum::<f64>()
+                    / raw.len() as f64
+            })
+            .collect();
+        table.push_row(format!("{u:.1}"), gaps);
+    }
+    table.note(format!(
+        "{} replications per point, horizon {horizon} s (YDS is superquadratic), ideal continuous \
+         processor; YDS energy computed on jobs due within the horizon",
+        opts.replications
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gap_is_nonnegative_and_stedf_beats_static() {
+        let table = run(&RunOptions::quick());
+        for (_, values) in &table.rows {
+            for v in values {
+                assert!(*v > -1e-6, "negative gap {v}: YDS is not a lower bound?");
+            }
+        }
+        let st = table.column("st-edf").unwrap();
+        let stat = table.column("static-edf").unwrap();
+        for (s, t) in st.iter().zip(&stat) {
+            assert!(s <= t, "st-edf gap {s}% should not exceed static {t}%");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! `tab7_constrained` — constrained deadlines (`D < T`).
+//!
+//! Shrinking relative deadlines raises the minimum feasible static speed
+//! from `U` to the demand-bound intensity peak and shrinks every slack
+//! window. Expected shape: all energies rise as deadlines tighten;
+//! `static-edf` (rebased on the dbf peak) degrades fastest; the
+//! slack-analysis governor keeps a lead because its claims currency — the
+//! canonical stretch solved from the dbf — remains exact. ccEDF and laEDF
+//! are excluded: their published feasibility arguments assume implicit
+//! deadlines.
+
+use stadvs_power::Processor;
+use stadvs_sim::{Task, TaskSet};
+use stadvs_workload::DemandPattern;
+
+use crate::experiments::RunOptions;
+use crate::runner::{Comparison, WorkloadCase};
+use crate::table::Table;
+
+/// Tasks per synthetic set.
+pub const N_TASKS: usize = 6;
+/// Worst-case utilization before deadline shrinking.
+pub const UTILIZATION: f64 = 0.5;
+/// Execution-demand pattern.
+pub const PATTERN: DemandPattern = DemandPattern::Uniform { min: 0.3, max: 1.0 };
+/// Deadline-to-period fractions swept (1.0 = implicit).
+pub const FRACTIONS: [f64; 5] = [1.0, 0.9, 0.8, 0.7, 0.6];
+/// Governors whose guarantees extend to constrained deadlines.
+pub const LINEUP: [&str; 6] = [
+    "no-dvs",
+    "static-edf",
+    "lpps-edf",
+    "dra",
+    "feedback-edf",
+    "st-edf",
+];
+
+fn constrain(tasks: &TaskSet, fraction: f64) -> TaskSet {
+    TaskSet::new(
+        tasks
+            .iter()
+            .map(|(_, t)| {
+                let deadline = (fraction * t.period()).max(t.wcet());
+                Task::with_deadline(t.wcet(), t.period(), deadline)
+                    .expect("fraction keeps wcet <= deadline <= period")
+            })
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Table {
+    let comparison =
+        Comparison::new(Processor::ideal_continuous(), opts.horizon).with_governors(LINEUP);
+    let mut table = Table::new(
+        "tab7_constrained — normalized energy vs deadline/period fraction (6 tasks, U = 0.5)",
+        "D/T",
+        LINEUP.iter().map(|s| s.to_string()).collect(),
+    );
+    let mut misses = 0;
+    for (fi, &fraction) in FRACTIONS.iter().enumerate() {
+        let cases: Vec<WorkloadCase> = (0..opts.replications)
+            .map(|rep| {
+                let base = WorkloadCase::synthetic(
+                    N_TASKS,
+                    UTILIZATION,
+                    PATTERN,
+                    (fi * 1_000 + rep) as u64,
+                );
+                WorkloadCase {
+                    tasks: constrain(&base.tasks, fraction),
+                    exec: base.exec,
+                }
+            })
+            .collect();
+        let agg = comparison.run_cases(&cases);
+        misses += agg.iter().map(|a| a.total_misses).sum::<usize>();
+        table.push_row(
+            format!("{fraction:.1}"),
+            agg.iter().map(|a| a.mean_normalized).collect(),
+        );
+    }
+    table.note(format!(
+        "{} replications per point, horizon {} s, ideal continuous processor; ccEDF/laEDF \
+         excluded (implicit-deadline algorithms); total deadline misses: {}",
+        opts.replications, opts.horizon, misses
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tightening_deadlines_costs_energy_and_stays_safe() {
+        let table = run(&RunOptions::quick());
+        assert_eq!(table.rows.len(), FRACTIONS.len());
+        let st = table.column("st-edf").unwrap();
+        // Implicit deadlines are the cheapest row.
+        assert!(
+            st[0] <= *st.last().unwrap() + 1e-9,
+            "tighter deadlines should not be cheaper: {st:?}"
+        );
+        // st-edf beats the rebased static optimum at every fraction.
+        let static_col = table.column("static-edf").unwrap();
+        for (s, t) in st.iter().zip(&static_col) {
+            assert!(s <= t, "st-edf {s} should beat static {t}");
+        }
+        assert!(table.notes[0].contains("misses: 0"));
+    }
+}

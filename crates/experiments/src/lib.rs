@@ -1,0 +1,36 @@
+//! # stadvs-experiments — the evaluation harness
+//!
+//! Regenerates every figure and table of the reproduced evaluation (see
+//! `DESIGN.md` §4 for the experiment index):
+//!
+//! * [`WorkloadCase`] / [`Comparison`] — run many governors on identical,
+//!   seeded workloads (in parallel across cases) and aggregate normalized
+//!   energy, switch counts, and deadline misses,
+//! * [`experiments`] — one module per figure/table, each returning a
+//!   [`Table`]; [`experiments::all`] is the registry the bench binaries
+//!   iterate,
+//! * [`Table`] — markdown/CSV rendering, [`write_csv`] / [`write_markdown`]
+//!   for artifacts.
+//!
+//! ```no_run
+//! use stadvs_experiments::experiments::{by_id, RunOptions};
+//!
+//! let experiment = by_id("fig1_util").expect("registered");
+//! let table = (experiment.run)(&RunOptions::quick());
+//! println!("{table}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+pub mod experiments;
+mod runner;
+mod table;
+
+pub use csv::{write_csv, write_markdown};
+pub use runner::{
+    make_governor, AggregatedOutcome, Comparison, GovernorOutcome, WorkloadCase, ORACLE,
+    STANDARD_LINEUP, YDS_BOUND,
+};
+pub use table::Table;

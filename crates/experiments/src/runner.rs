@@ -1,0 +1,385 @@
+//! The comparison machinery: run many governors on identical workloads.
+
+use stadvs_analysis::{due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind};
+use stadvs_baselines::{baseline_by_name, OracleStatic};
+use stadvs_core::{SlackEdf, SlackEdfConfig};
+use stadvs_power::{Processor, Speed};
+use stadvs_sim::{Governor, SimConfig, Simulator, TaskSet};
+use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
+
+/// One reproducible workload: a task set plus its execution-demand model.
+#[derive(Debug, Clone)]
+pub struct WorkloadCase {
+    /// The task set.
+    pub tasks: TaskSet,
+    /// The deterministic execution-demand model.
+    pub exec: ExecutionModel,
+}
+
+impl WorkloadCase {
+    /// A synthetic case from the literature-default generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec or pattern parameters are out of range (callers
+    /// pass experiment constants).
+    pub fn synthetic(n_tasks: usize, utilization: f64, pattern: DemandPattern, seed: u64) -> WorkloadCase {
+        let tasks = TaskSetSpec::new(n_tasks, utilization)
+            .expect("experiment parameters are valid")
+            .with_seed(seed)
+            .generate()
+            .expect("generation succeeds for valid parameters");
+        let exec = ExecutionModel::new(pattern)
+            .expect("experiment pattern is valid")
+            .with_seed(seed ^ 0x5EED_5EED_5EED_5EED);
+        WorkloadCase { tasks, exec }
+    }
+
+    /// A case over a fixed task set.
+    pub fn fixed(tasks: TaskSet, pattern: DemandPattern, seed: u64) -> WorkloadCase {
+        let exec = ExecutionModel::new(pattern)
+            .expect("experiment pattern is valid")
+            .with_seed(seed);
+        WorkloadCase { tasks, exec }
+    }
+}
+
+/// Per-governor result on one workload case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorOutcome {
+    /// Governor (or pseudo-governor) name.
+    pub name: String,
+    /// Absolute energy, in joules.
+    pub energy: f64,
+    /// Energy normalized to `no-dvs` on the same workload.
+    pub normalized: f64,
+    /// Speed switches performed.
+    pub switches: u64,
+    /// Completed jobs.
+    pub jobs: usize,
+    /// Deadline misses (must be zero for every hard-real-time governor).
+    pub misses: usize,
+}
+
+/// The standard governor lineup of the evaluation, in comparison order.
+pub const STANDARD_LINEUP: &[&str] = &[
+    "no-dvs",
+    "static-edf",
+    "lpps-edf",
+    "cc-edf",
+    "dra",
+    "dra-ote",
+    "feedback-edf",
+    "la-edf",
+    "st-edf",
+];
+
+/// Pseudo-governors resolved analytically rather than by simulation.
+pub const ORACLE: &str = "oracle-static";
+/// The clairvoyant YDS lower bound (not a governor at all).
+pub const YDS_BOUND: &str = "yds-bound";
+
+/// Builds a fresh governor by name: the baseline registry names, `st-edf`
+/// and its variants (`st-edf-oa`, `st-edf[r]`, `st-edf[a]`, `st-edf[d]`).
+///
+/// Returns `None` for unknown names and for the analytic pseudo-governors
+/// ([`ORACLE`], [`YDS_BOUND`]), which [`Comparison::run_case`] resolves
+/// itself.
+pub fn make_governor(name: &str) -> Option<Box<dyn Governor>> {
+    match name {
+        "st-edf" => Some(Box::new(SlackEdf::new())),
+        "st-edf-oa" => Some(Box::new(SlackEdf::with_config(
+            SlackEdfConfig::overhead_aware(),
+        ))),
+        "st-edf[r]" => Some(Box::new(SlackEdf::with_config(
+            SlackEdfConfig::reclaiming_only(),
+        ))),
+        "st-edf[a]" => Some(Box::new(SlackEdf::with_config(
+            SlackEdfConfig::arrival_only(),
+        ))),
+        "st-edf[d]" => Some(Box::new(SlackEdf::with_config(
+            SlackEdfConfig::demand_only(),
+        ))),
+        "st-edf-cs" => Some(Box::new(SlackEdf::with_config(
+            SlackEdfConfig::critical_speed(),
+        ))),
+        "st-edf-pace" => Some(Box::new(SlackEdf::with_config(SlackEdfConfig::pacing(8)))),
+        other => baseline_by_name(other),
+    }
+}
+
+/// A configured comparison: platform, horizon, and governor lineup.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    processor: Processor,
+    horizon: f64,
+    governors: Vec<String>,
+}
+
+impl Comparison {
+    /// Creates a comparison with the [`STANDARD_LINEUP`].
+    pub fn new(processor: Processor, horizon: f64) -> Comparison {
+        Comparison {
+            processor,
+            horizon,
+            governors: STANDARD_LINEUP.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Replaces the governor lineup (names resolved by [`make_governor`],
+    /// plus [`ORACLE`] and [`YDS_BOUND`]).
+    pub fn with_governors<I, S>(mut self, names: I) -> Comparison
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.governors = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The governor lineup.
+    pub fn governors(&self) -> &[String] {
+        &self.governors
+    }
+
+    /// The simulated horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Runs every governor on `case` and returns outcomes in lineup order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lineup name is unknown, if the task set is infeasible,
+    /// or if a simulation errors (experiment inputs are constructed
+    /// feasible; an error here is a bug worth crashing on).
+    pub fn run_case(&self, case: &WorkloadCase) -> Vec<GovernorOutcome> {
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            self.processor.clone(),
+            SimConfig::new(self.horizon).expect("horizon is valid"),
+        )
+        .expect("experiment task sets are feasible");
+
+        // The normalization baseline is always simulated, even if not in
+        // the lineup.
+        let baseline_energy = {
+            let mut no_dvs = make_governor("no-dvs").expect("no-dvs exists");
+            sim.run(no_dvs.as_mut(), &case.exec)
+                .expect("no-dvs simulation succeeds")
+                .total_energy()
+        };
+
+        // Clairvoyant data, computed lazily only if requested.
+        let needs_oracle = self
+            .governors
+            .iter()
+            .any(|g| g == ORACLE || g == YDS_BOUND);
+        let due_jobs = needs_oracle.then(|| {
+            let jobs = materialize_jobs(&case.tasks, &case.exec, self.horizon);
+            due_within(&jobs, self.horizon)
+        });
+
+        self.governors
+            .iter()
+            .map(|name| {
+                if name == YDS_BOUND {
+                    let jobs = due_jobs.as_ref().expect("materialized above");
+                    let sched = yds_schedule(jobs, WorkKind::Actual);
+                    let energy = sched.energy(self.processor.power_model());
+                    return GovernorOutcome {
+                        name: name.clone(),
+                        energy,
+                        normalized: energy / baseline_energy,
+                        switches: sched.blocks.len() as u64,
+                        jobs: jobs.len(),
+                        misses: 0,
+                    };
+                }
+                let outcome = if name == ORACLE {
+                    let jobs = due_jobs.as_ref().expect("materialized above");
+                    let speed = optimal_static_speed(jobs, WorkKind::Actual)
+                        .clamp(self.processor.min_speed().ratio(), 1.0);
+                    let mut oracle =
+                        OracleStatic::new(Speed::new(speed).expect("speed in range"));
+                    sim.run(&mut oracle, &case.exec)
+                        .expect("oracle simulation succeeds")
+                } else {
+                    let mut governor =
+                        make_governor(name).unwrap_or_else(|| panic!("unknown governor {name}"));
+                    sim.run(governor.as_mut(), &case.exec)
+                        .expect("governor simulation succeeds")
+                };
+                GovernorOutcome {
+                    name: name.clone(),
+                    energy: outcome.total_energy(),
+                    normalized: outcome.total_energy() / baseline_energy,
+                    switches: outcome.switches,
+                    jobs: outcome.completed_jobs(),
+                    misses: outcome.miss_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs all `cases` (in parallel across worker threads) and aggregates
+    /// per-governor means of normalized energy plus totals.
+    pub fn run_cases(&self, cases: &[WorkloadCase]) -> Vec<AggregatedOutcome> {
+        let results = self.run_cases_raw(cases);
+        aggregate(&self.governors, &results)
+    }
+
+    /// Runs all `cases` in parallel and returns the raw per-case outcomes.
+    pub fn run_cases_raw(&self, cases: &[WorkloadCase]) -> Vec<Vec<GovernorOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(cases.len().max(1));
+        if threads <= 1 || cases.len() <= 1 {
+            return cases.iter().map(|c| self.run_case(c)).collect();
+        }
+        let mut results: Vec<Option<Vec<GovernorOutcome>>> = vec![None; cases.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results_mutex = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cases.len() {
+                        break;
+                    }
+                    let outcome = self.run_case(&cases[i]);
+                    results_mutex.lock().expect("no poisoned workers")[i] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every case was processed"))
+            .collect()
+    }
+}
+
+/// Aggregated per-governor statistics over many cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedOutcome {
+    /// Governor name.
+    pub name: String,
+    /// Mean normalized energy across cases.
+    pub mean_normalized: f64,
+    /// Sample standard deviation of normalized energy.
+    pub std_normalized: f64,
+    /// Speed switches per completed job, averaged across cases.
+    pub switches_per_job: f64,
+    /// Total deadline misses across all cases (must be zero).
+    pub total_misses: usize,
+    /// Number of cases aggregated.
+    pub cases: usize,
+}
+
+fn aggregate(governors: &[String], results: &[Vec<GovernorOutcome>]) -> Vec<AggregatedOutcome> {
+    governors
+        .iter()
+        .enumerate()
+        .map(|(gi, name)| {
+            let normalized: Vec<f64> = results.iter().map(|r| r[gi].normalized).collect();
+            let n = normalized.len().max(1) as f64;
+            let mean = normalized.iter().sum::<f64>() / n;
+            let var = if normalized.len() > 1 {
+                normalized.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / (normalized.len() - 1) as f64
+            } else {
+                0.0
+            };
+            let spj: f64 = results
+                .iter()
+                .map(|r| r[gi].switches as f64 / r[gi].jobs.max(1) as f64)
+                .sum::<f64>()
+                / n;
+            AggregatedOutcome {
+                name: name.clone(),
+                mean_normalized: mean,
+                std_normalized: var.sqrt(),
+                switches_per_job: spj,
+                total_misses: results.iter().map(|r| r[gi].misses).sum(),
+                cases: results.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cases(n: usize) -> Vec<WorkloadCase> {
+        (0..n as u64)
+            .map(|seed| {
+                WorkloadCase::synthetic(
+                    4,
+                    0.6,
+                    DemandPattern::Uniform { min: 0.4, max: 1.0 },
+                    seed,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lineup_resolves() {
+        for name in STANDARD_LINEUP {
+            assert!(make_governor(name).is_some(), "{name}");
+        }
+        assert!(make_governor("st-edf[r]").is_some());
+        assert!(make_governor("st-edf-oa").is_some());
+        assert!(make_governor("bogus").is_none());
+        assert!(make_governor(ORACLE).is_none()); // resolved by run_case
+    }
+
+    #[test]
+    fn comparison_orders_governors_sensibly() {
+        let cmp = Comparison::new(Processor::ideal_continuous(), 2.0).with_governors([
+            "no-dvs",
+            "static-edf",
+            "st-edf",
+            YDS_BOUND,
+        ]);
+        let agg = cmp.run_cases(&quick_cases(3));
+        assert_eq!(agg.len(), 4);
+        let by_name = |n: &str| {
+            agg.iter()
+                .find(|a| a.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert!((by_name("no-dvs").mean_normalized - 1.0).abs() < 1e-9);
+        assert!(by_name("static-edf").mean_normalized < 1.0);
+        assert!(by_name("st-edf").mean_normalized < by_name("static-edf").mean_normalized);
+        assert!(by_name(YDS_BOUND).mean_normalized <= by_name("st-edf").mean_normalized + 1e-9);
+        for a in &agg {
+            assert_eq!(a.total_misses, 0, "{} missed", a.name);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let cmp = Comparison::new(Processor::ideal_continuous(), 1.0)
+            .with_governors(["no-dvs", "st-edf"]);
+        let cases = quick_cases(4);
+        let serial: Vec<Vec<GovernorOutcome>> =
+            cases.iter().map(|c| cmp.run_case(c)).collect();
+        let parallel = cmp.run_cases_raw(&cases);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn oracle_is_at_most_any_online_governor_on_average() {
+        let cmp = Comparison::new(Processor::ideal_continuous(), 2.0)
+            .with_governors(["st-edf", ORACLE, YDS_BOUND]);
+        let agg = cmp.run_cases(&quick_cases(3));
+        let yds = agg.iter().find(|a| a.name == YDS_BOUND).unwrap();
+        let oracle = agg.iter().find(|a| a.name == ORACLE).unwrap();
+        assert!(yds.mean_normalized <= oracle.mean_normalized + 1e-9);
+        assert_eq!(oracle.total_misses, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Result tables (markdown and CSV rendering).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One result table: a labelled grid of numbers, rendered as markdown for
+/// the terminal/EXPERIMENTS.md and as CSV for plotting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `fig1_util — normalized energy vs utilization`).
+    pub title: String,
+    /// Label of the row-key column (e.g. `U`, `BCET/WCET`).
+    pub key_label: String,
+    /// Column headers (e.g. governor names).
+    pub columns: Vec<String>,
+    /// Rows: `(key, one value per column)`; `NaN` renders as `-`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        key_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            key_label: key_label.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, key: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((key.into(), values));
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.key_label));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            out.push_str(&format!("| {key} |"));
+            for v in values {
+                if v.is_nan() {
+                    out.push_str(" - |");
+                } else {
+                    out.push_str(&format!(" {v:.4} |"));
+                }
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (key column first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.key_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            out.push_str(key);
+            for v in values {
+                out.push(',');
+                if v.is_nan() {
+                    out.push_str("");
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The value at `(row_key, column)` if present.
+    pub fn value(&self, row_key: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|(k, _)| k == row_key)?;
+        row.1.get(col).copied()
+    }
+
+    /// The column values in row order, if the column exists.
+    pub fn column(&self, column: &str) -> Option<Vec<f64>> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        Some(self.rows.iter().map(|(_, v)| v[col]).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test", "U", vec!["a".into(), "b".into()]);
+        t.push_row("0.5", vec![1.0, 0.5]);
+        t.push_row("0.9", vec![1.0, f64::NAN]);
+        t.note("normalized to a");
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### test"));
+        assert!(md.contains("| U | a | b |"));
+        assert!(md.contains("| 0.5 | 1.0000 | 0.5000 |"));
+        assert!(md.contains("| 0.9 | 1.0000 | - |"));
+        assert!(md.contains("> normalized to a"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("U,a,b\n"));
+        assert!(csv.contains("0.5,1,0.5"));
+        assert!(csv.contains("0.9,1,\n"));
+    }
+
+    #[test]
+    fn lookup() {
+        let t = sample();
+        assert_eq!(t.value("0.5", "b"), Some(0.5));
+        assert_eq!(t.value("0.5", "missing"), None);
+        assert_eq!(t.value("1.0", "a"), None);
+        assert_eq!(t.column("a"), Some(vec![1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = sample();
+        t.push_row("x", vec![1.0]);
+    }
+}

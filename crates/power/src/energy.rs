@@ -1,0 +1,159 @@
+//! Energy accounting over a simulated schedule.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerModel, Speed, TransitionOverhead};
+
+/// Energy totals of one simulation run, by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent executing jobs, in joules.
+    pub active: f64,
+    /// Energy spent idling, in joules.
+    pub idle: f64,
+    /// Energy spent in speed transitions, in joules.
+    pub transition: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.active + self.idle + self.transition
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6} J (active {:.6}, idle {:.6}, transition {:.6})",
+            self.total(),
+            self.active,
+            self.idle,
+            self.transition
+        )
+    }
+}
+
+/// Integrates the energy of a schedule as it is produced.
+///
+/// The simulator drives this accumulator with execution segments, idle
+/// segments, and speed-switch events; the accumulator applies the
+/// [`PowerModel`] and [`TransitionOverhead`] to produce an
+/// [`EnergyBreakdown`].
+///
+/// ```
+/// use stadvs_power::{EnergyAccumulator, PowerModel, Speed, TransitionOverhead};
+///
+/// # fn main() -> Result<(), stadvs_power::PowerError> {
+/// let mut acc = EnergyAccumulator::new(PowerModel::normalized_cubic(), TransitionOverhead::free());
+/// acc.add_execution(Speed::FULL, 1.0);          // 1 s at full speed: 1 J
+/// acc.add_execution(Speed::new(0.5)?, 2.0);     // 2 s at half speed: 0.25 J
+/// acc.add_idle(5.0);                            // free in this model
+/// let e = acc.breakdown();
+/// assert!((e.total() - 1.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyAccumulator {
+    power: PowerModel,
+    overhead: TransitionOverhead,
+    breakdown: EnergyBreakdown,
+    switches: u64,
+}
+
+impl EnergyAccumulator {
+    /// Creates an accumulator for the given models.
+    pub fn new(power: PowerModel, overhead: TransitionOverhead) -> EnergyAccumulator {
+        EnergyAccumulator {
+            power,
+            overhead,
+            breakdown: EnergyBreakdown::default(),
+            switches: 0,
+        }
+    }
+
+    /// Adds an execution segment of `duration` seconds at `speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `duration` is negative.
+    pub fn add_execution(&mut self, speed: Speed, duration: f64) {
+        debug_assert!(duration >= -1e-12, "negative execution duration {duration}");
+        self.breakdown.active += self.power.active_energy(speed, duration.max(0.0));
+    }
+
+    /// Adds an idle segment of `duration` seconds.
+    pub fn add_idle(&mut self, duration: f64) {
+        debug_assert!(duration >= -1e-12, "negative idle duration {duration}");
+        self.breakdown.idle += self.power.idle_energy(duration.max(0.0));
+    }
+
+    /// Records a speed switch from `from` to `to`, charging its energy.
+    /// (The *latency* of the switch is modelled by the simulator as a
+    /// segment during which no work executes.)
+    pub fn add_transition(&mut self, from: Speed, to: Speed) {
+        self.breakdown.transition += self.overhead.energy(from, to);
+        self.switches += 1;
+    }
+
+    /// The totals so far.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.breakdown
+    }
+
+    /// The number of speed switches recorded.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// The power model in use.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitionEnergy;
+
+    #[test]
+    fn breakdown_components_accumulate() {
+        let power = PowerModel::normalized_cubic_with_idle(0.1).unwrap();
+        let overhead =
+            TransitionOverhead::new(1.0e-4, TransitionEnergy::Constant(1.0e-3)).unwrap();
+        let mut acc = EnergyAccumulator::new(power, overhead);
+        acc.add_execution(Speed::FULL, 2.0);
+        acc.add_idle(10.0);
+        acc.add_transition(Speed::FULL, Speed::new(0.5).unwrap());
+        acc.add_transition(Speed::new(0.5).unwrap(), Speed::FULL);
+        let b = acc.breakdown();
+        assert!((b.active - 2.0).abs() < 1e-12);
+        assert!((b.idle - 1.0).abs() < 1e-12);
+        assert!((b.transition - 2.0e-3).abs() < 1e-12);
+        assert_eq!(acc.switch_count(), 2);
+        assert!((b.total() - (2.0 + 1.0 + 2.0e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = EnergyBreakdown::default();
+        assert!(b.to_string().contains('J'));
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn tiny_negative_durations_are_clamped() {
+        // Floating-point event math can produce -1e-16 segments; they must
+        // not poison the totals.
+        let mut acc =
+            EnergyAccumulator::new(PowerModel::normalized_cubic(), TransitionOverhead::free());
+        acc.add_execution(Speed::FULL, -1.0e-15);
+        acc.add_idle(-1.0e-15);
+        assert!(acc.breakdown().total() >= 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for processor/power model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing power-model components from invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A speed ratio outside `(0, 1]` (or non-finite) was supplied.
+    InvalidSpeed(f64),
+    /// A voltage that is non-finite or non-positive was supplied.
+    InvalidVoltage(f64),
+    /// A frequency model needs at least one operating point.
+    EmptyFrequencyTable,
+    /// Discrete operating points must have strictly increasing speeds.
+    UnsortedFrequencyTable {
+        /// Index of the offending operating point.
+        index: usize,
+    },
+    /// A discrete frequency table must include full speed (1.0) so that
+    /// worst-case schedulability at `f_max` is expressible.
+    MissingFullSpeed,
+    /// A physical parameter (capacitance, power, latency, …) was non-finite
+    /// or negative.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidSpeed(v) => {
+                write!(f, "speed ratio {v} is not in (0, 1]")
+            }
+            PowerError::InvalidVoltage(v) => {
+                write!(f, "voltage {v} is not finite and positive")
+            }
+            PowerError::EmptyFrequencyTable => {
+                write!(f, "frequency table must contain at least one operating point")
+            }
+            PowerError::UnsortedFrequencyTable { index } => {
+                write!(
+                    f,
+                    "operating point {index} does not have a strictly increasing speed"
+                )
+            }
+            PowerError::MissingFullSpeed => {
+                write!(f, "discrete frequency table must include full speed 1.0")
+            }
+            PowerError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let messages = [
+            PowerError::InvalidSpeed(1.5).to_string(),
+            PowerError::InvalidVoltage(-1.0).to_string(),
+            PowerError::EmptyFrequencyTable.to_string(),
+            PowerError::UnsortedFrequencyTable { index: 3 }.to_string(),
+            PowerError::MissingFullSpeed.to_string(),
+            PowerError::InvalidParameter {
+                name: "c_eff",
+                value: -2.0,
+            }
+            .to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+        }
+        assert!(PowerError::InvalidSpeed(1.5).to_string().contains("1.5"));
+        assert!(PowerError::UnsortedFrequencyTable { index: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PowerError>();
+    }
+}

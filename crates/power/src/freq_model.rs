@@ -1,0 +1,223 @@
+//! Continuous and discrete frequency models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, Speed};
+
+/// One discrete operating point of a real DVS processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Normalized speed (frequency / maximum frequency).
+    pub speed: Speed,
+    /// Physical clock frequency in hertz (informational; the simulation is
+    /// fully normalized).
+    pub frequency_hz: f64,
+    /// Supply voltage at this point, in volts.
+    pub voltage: f64,
+}
+
+/// The set of speeds a processor can actually run at.
+///
+/// Hard-real-time DVS requires *quantizing requested speeds up*: running
+/// faster than requested can only create more slack, never a deadline miss.
+/// [`FrequencyModel::quantize_up`] implements exactly that rule, mirroring
+/// the GRACE/laEDF convention the paper family uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrequencyModel {
+    /// Any speed in `[min_speed, 1]` is available.
+    Continuous {
+        /// The lowest sustainable speed (real regulators cannot reach 0).
+        min_speed: Speed,
+    },
+    /// Only the listed operating points are available (strictly increasing
+    /// speeds; the last one is full speed).
+    Discrete {
+        /// Available operating points, sorted by increasing speed.
+        points: Vec<OperatingPoint>,
+    },
+}
+
+impl FrequencyModel {
+    /// A continuous model with the given floor.
+    pub fn continuous(min_speed: Speed) -> FrequencyModel {
+        FrequencyModel::Continuous { min_speed }
+    }
+
+    /// A discrete model from raw operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is empty, speeds are not strictly
+    /// increasing, or the final point is not full speed (a hard-real-time
+    /// processor must be able to run at `f_max`, otherwise worst-case
+    /// feasibility is not expressible).
+    pub fn discrete(points: Vec<OperatingPoint>) -> Result<FrequencyModel, PowerError> {
+        if points.is_empty() {
+            return Err(PowerError::EmptyFrequencyTable);
+        }
+        let mut prev = 0.0;
+        for (index, p) in points.iter().enumerate() {
+            if p.speed.ratio() <= prev {
+                return Err(PowerError::UnsortedFrequencyTable { index });
+            }
+            prev = p.speed.ratio();
+        }
+        if points[points.len() - 1].speed != Speed::FULL {
+            return Err(PowerError::MissingFullSpeed);
+        }
+        Ok(FrequencyModel::Discrete { points })
+    }
+
+    /// A discrete model with `levels` speeds uniformly spaced in
+    /// `[1/levels, 1]`, voltages taken from `voltage(s)`.
+    ///
+    /// This is the synthetic "n-level processor" used in level-count
+    /// sensitivity studies (our `fig4_levels` experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `levels == 0`.
+    pub fn uniform_levels(
+        levels: usize,
+        f_max_hz: f64,
+        voltage: impl Fn(Speed) -> f64,
+    ) -> Result<FrequencyModel, PowerError> {
+        if levels == 0 {
+            return Err(PowerError::InvalidParameter {
+                name: "levels",
+                value: 0.0,
+            });
+        }
+        let mut points = Vec::with_capacity(levels);
+        for i in 1..=levels {
+            let speed = Speed::new(i as f64 / levels as f64).expect("ratio in (0,1]");
+            points.push(OperatingPoint {
+                speed,
+                frequency_hz: f_max_hz * speed.ratio(),
+                voltage: voltage(speed),
+            });
+        }
+        FrequencyModel::discrete(points)
+    }
+
+    /// The smallest available speed.
+    pub fn min_speed(&self) -> Speed {
+        match self {
+            FrequencyModel::Continuous { min_speed } => *min_speed,
+            FrequencyModel::Discrete { points } => points[0].speed,
+        }
+    }
+
+    /// The number of discrete levels, or `None` for a continuous model.
+    pub fn levels(&self) -> Option<usize> {
+        match self {
+            FrequencyModel::Continuous { .. } => None,
+            FrequencyModel::Discrete { points } => Some(points.len()),
+        }
+    }
+
+    /// The smallest *available* speed that is `>= requested` (clamped to the
+    /// model's range). Rounding up preserves hard deadlines.
+    ///
+    /// ```
+    /// use stadvs_power::{FrequencyModel, Speed};
+    ///
+    /// # fn main() -> Result<(), stadvs_power::PowerError> {
+    /// let model = FrequencyModel::uniform_levels(4, 1.0e9, |_| 1.0)?;
+    /// let q = model.quantize_up(Speed::new(0.3)?);
+    /// assert_eq!(q, Speed::new(0.5)?); // levels are 0.25, 0.5, 0.75, 1.0
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn quantize_up(&self, requested: Speed) -> Speed {
+        match self {
+            FrequencyModel::Continuous { min_speed } => requested.max(*min_speed),
+            FrequencyModel::Discrete { points } => points
+                .iter()
+                .map(|p| p.speed)
+                .find(|s| *s >= requested)
+                .unwrap_or(Speed::FULL),
+        }
+    }
+
+    /// Iterates over the discrete operating points (empty for continuous).
+    pub fn points(&self) -> &[OperatingPoint] {
+        match self {
+            FrequencyModel::Continuous { .. } => &[],
+            FrequencyModel::Discrete { points } => points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed(r: f64) -> Speed {
+        Speed::new(r).unwrap()
+    }
+
+    fn point(s: f64, v: f64) -> OperatingPoint {
+        OperatingPoint {
+            speed: speed(s),
+            frequency_hz: 1.0e9 * s,
+            voltage: v,
+        }
+    }
+
+    #[test]
+    fn continuous_quantize_clamps_to_floor() {
+        let m = FrequencyModel::continuous(speed(0.2));
+        assert_eq!(m.quantize_up(speed(0.05)), speed(0.2));
+        assert_eq!(m.quantize_up(speed(0.7)), speed(0.7));
+        assert_eq!(m.min_speed(), speed(0.2));
+        assert_eq!(m.levels(), None);
+        assert!(m.points().is_empty());
+    }
+
+    #[test]
+    fn discrete_quantize_rounds_up() {
+        let m = FrequencyModel::discrete(vec![point(0.25, 1.0), point(0.5, 1.2), point(1.0, 1.8)])
+            .unwrap();
+        assert_eq!(m.quantize_up(speed(0.1)), speed(0.25));
+        assert_eq!(m.quantize_up(speed(0.25)), speed(0.25));
+        assert_eq!(m.quantize_up(speed(0.26)), speed(0.5));
+        assert_eq!(m.quantize_up(speed(0.9)), Speed::FULL);
+        assert_eq!(m.levels(), Some(3));
+        assert_eq!(m.min_speed(), speed(0.25));
+    }
+
+    #[test]
+    fn discrete_requires_full_speed_and_order() {
+        assert!(matches!(
+            FrequencyModel::discrete(vec![]),
+            Err(PowerError::EmptyFrequencyTable)
+        ));
+        assert!(matches!(
+            FrequencyModel::discrete(vec![point(0.5, 1.0), point(0.25, 0.9), point(1.0, 1.8)]),
+            Err(PowerError::UnsortedFrequencyTable { index: 1 })
+        ));
+        assert!(matches!(
+            FrequencyModel::discrete(vec![point(0.5, 1.0)]),
+            Err(PowerError::MissingFullSpeed)
+        ));
+    }
+
+    #[test]
+    fn uniform_levels_spacing() {
+        let m = FrequencyModel::uniform_levels(5, 1.0e9, |s| 1.8 * s.ratio()).unwrap();
+        let speeds: Vec<f64> = m.points().iter().map(|p| p.speed.ratio()).collect();
+        assert_eq!(speeds, vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+        assert!((m.points()[2].voltage - 1.8 * 0.6).abs() < 1e-12);
+        assert!(FrequencyModel::uniform_levels(0, 1.0e9, |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn quantize_up_never_returns_lower_speed() {
+        let m = FrequencyModel::uniform_levels(7, 1.0e9, |_| 1.0).unwrap();
+        for i in 1..=100 {
+            let req = speed(i as f64 / 100.0);
+            assert!(m.quantize_up(req) >= req);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Speed-switch (voltage transition) overhead models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, Speed, VoltageMap};
+
+/// Energy charged per speed switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransitionEnergy {
+    /// Speed switches are free in energy.
+    None,
+    /// A fixed energy per switch, in joules.
+    Constant(f64),
+    /// The capacitive voltage-swing model used by the DVS-overhead
+    /// literature: `E = η · C_DD · |V_from² − V_to²|`, where `C_DD` is the
+    /// voltage-regulator output capacitance and `η` an efficiency factor.
+    CapacitiveSwing {
+        /// Regulator efficiency factor (dimensionless, ~0.9).
+        eta: f64,
+        /// Regulator output capacitance, in farads.
+        c_dd: f64,
+        /// Voltage map used to translate speeds to voltages.
+        voltage: VoltageMap,
+    },
+}
+
+/// Wall-clock and energy cost of changing the processor speed.
+///
+/// During the transition latency no instructions execute (synchronous
+/// switching, the conservative assumption the paper family makes), so an
+/// overhead-aware governor must subtract transition time from its slack
+/// before committing to a switch.
+///
+/// ```
+/// use stadvs_power::{Speed, TransitionEnergy, TransitionOverhead};
+///
+/// # fn main() -> Result<(), stadvs_power::PowerError> {
+/// // A StrongARM-class regulator: 140 µs latency, fixed 1 µJ per switch.
+/// let overhead = TransitionOverhead::new(140.0e-6, TransitionEnergy::Constant(1.0e-6))?;
+/// assert_eq!(overhead.latency(), 140.0e-6);
+/// let from = Speed::FULL;
+/// let to = Speed::new(0.5)?;
+/// assert_eq!(overhead.energy(from, to), 1.0e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionOverhead {
+    latency: f64,
+    energy: TransitionEnergy,
+}
+
+impl TransitionOverhead {
+    /// Creates an overhead model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the latency or any energy
+    /// parameter is negative or non-finite.
+    pub fn new(latency: f64, energy: TransitionEnergy) -> Result<TransitionOverhead, PowerError> {
+        if !latency.is_finite() || latency < 0.0 {
+            return Err(PowerError::InvalidParameter {
+                name: "latency",
+                value: latency,
+            });
+        }
+        match &energy {
+            TransitionEnergy::None => {}
+            TransitionEnergy::Constant(joules) => {
+                if !joules.is_finite() || *joules < 0.0 {
+                    return Err(PowerError::InvalidParameter {
+                        name: "transition_energy",
+                        value: *joules,
+                    });
+                }
+            }
+            TransitionEnergy::CapacitiveSwing { eta, c_dd, .. } => {
+                if !eta.is_finite() || *eta < 0.0 {
+                    return Err(PowerError::InvalidParameter {
+                        name: "eta",
+                        value: *eta,
+                    });
+                }
+                if !c_dd.is_finite() || *c_dd < 0.0 {
+                    return Err(PowerError::InvalidParameter {
+                        name: "c_dd",
+                        value: *c_dd,
+                    });
+                }
+            }
+        }
+        Ok(TransitionOverhead { latency, energy })
+    }
+
+    /// The zero-cost overhead model (the default assumption of most on-line
+    /// DVS papers, including the target paper's main experiments).
+    pub fn free() -> TransitionOverhead {
+        TransitionOverhead {
+            latency: 0.0,
+            energy: TransitionEnergy::None,
+        }
+    }
+
+    /// Whether switches cost nothing in both time and energy.
+    pub fn is_free(&self) -> bool {
+        self.latency == 0.0 && matches!(self.energy, TransitionEnergy::None)
+    }
+
+    /// Wall-clock latency of one switch, in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Energy of switching from `from` to `to`, in joules.
+    pub fn energy(&self, from: Speed, to: Speed) -> f64 {
+        match &self.energy {
+            TransitionEnergy::None => 0.0,
+            TransitionEnergy::Constant(joules) => *joules,
+            TransitionEnergy::CapacitiveSwing { eta, c_dd, voltage } => {
+                let v_from = voltage.voltage_at(from);
+                let v_to = voltage.voltage_at(to);
+                eta * c_dd * (v_from * v_from - v_to * v_to).abs()
+            }
+        }
+    }
+}
+
+impl Default for TransitionOverhead {
+    fn default() -> TransitionOverhead {
+        TransitionOverhead::free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed(r: f64) -> Speed {
+        Speed::new(r).unwrap()
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let o = TransitionOverhead::free();
+        assert!(o.is_free());
+        assert_eq!(o.latency(), 0.0);
+        assert_eq!(o.energy(Speed::FULL, speed(0.25)), 0.0);
+        assert_eq!(TransitionOverhead::default(), o);
+    }
+
+    #[test]
+    fn constant_energy_ignores_speeds() {
+        let o = TransitionOverhead::new(1.0e-4, TransitionEnergy::Constant(2.0e-6)).unwrap();
+        assert!(!o.is_free());
+        assert_eq!(o.energy(Speed::FULL, speed(0.1)), 2.0e-6);
+        assert_eq!(o.energy(speed(0.1), speed(0.9)), 2.0e-6);
+    }
+
+    #[test]
+    fn capacitive_swing_matches_formula() {
+        let o = TransitionOverhead::new(
+            20.0e-6,
+            TransitionEnergy::CapacitiveSwing {
+                eta: 0.9,
+                c_dd: 5.0e-6,
+                voltage: VoltageMap::proportional(2.0).unwrap(),
+            },
+        )
+        .unwrap();
+        // V(1.0)=2, V(0.5)=1: E = 0.9 * 5e-6 * |4-1| = 13.5e-6.
+        let e = o.energy(Speed::FULL, speed(0.5));
+        assert!((e - 13.5e-6).abs() < 1e-12);
+        // Symmetric in direction.
+        assert!((o.energy(speed(0.5), Speed::FULL) - e).abs() < 1e-18);
+        // Same-speed "switch" costs nothing.
+        assert_eq!(o.energy(speed(0.5), speed(0.5)), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TransitionOverhead::new(-1.0, TransitionEnergy::None).is_err());
+        assert!(TransitionOverhead::new(0.0, TransitionEnergy::Constant(-1.0)).is_err());
+        assert!(TransitionOverhead::new(
+            0.0,
+            TransitionEnergy::CapacitiveSwing {
+                eta: -0.9,
+                c_dd: 1.0e-6,
+                voltage: VoltageMap::proportional(1.0).unwrap(),
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Power draw as a function of speed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, Speed, VoltageMap};
+
+/// The speed-dependent (active) component of the power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerKind {
+    /// CMOS dynamic power `P(s) = C_eff · V(s)² · f(s)` with
+    /// `f(s) = s · f_max`, which is the formula the paper family uses.
+    Cmos {
+        /// Effective switched capacitance, in farads.
+        c_eff: f64,
+        /// Maximum clock frequency, in hertz.
+        f_max_hz: f64,
+        /// Supply-voltage map.
+        voltage: VoltageMap,
+    },
+    /// Normalized polynomial power `P(s) = coefficient · s^exponent`.
+    /// With a proportional voltage map, CMOS power reduces to the cubic
+    /// `P(s) = P_max · s³`, which this variant expresses directly.
+    Polynomial {
+        /// Power at full speed, in watts.
+        coefficient: f64,
+        /// Exponent (3.0 for the first-order CMOS model).
+        exponent: f64,
+    },
+    /// Polynomial dynamic power plus an *on-power* drawn only while
+    /// executing: `P(s) = coefficient · s^exponent + on_power`. Models a
+    /// leaky processor with a deep sleep state — leakage flows while busy
+    /// but not while idle. This is the setting where the
+    /// [critical speed](PowerModel::critical_speed) matters: stretching a
+    /// job below it keeps the leaky core awake longer than the voltage
+    /// drop repays.
+    Sleepable {
+        /// Dynamic power at full speed, in watts.
+        coefficient: f64,
+        /// Exponent (3.0 for the first-order CMOS model).
+        exponent: f64,
+        /// Leakage/on power while executing, in watts.
+        on_power: f64,
+    },
+}
+
+/// A complete processor power model: active power plus idle and static
+/// components.
+///
+/// * **active power** — drawn while executing at speed `s`,
+/// * **idle power** — drawn while the processor has no job to run (clock
+///   gating reduces it below active power, but it is rarely zero),
+/// * **static power** — drawn unconditionally (leakage); added to both of
+///   the above.
+///
+/// ```
+/// use stadvs_power::{PowerModel, Speed};
+///
+/// # fn main() -> Result<(), stadvs_power::PowerError> {
+/// let model = PowerModel::normalized_cubic();
+/// assert!((model.active_power(Speed::FULL) - 1.0).abs() < 1e-12);
+/// assert!((model.active_power(Speed::new(0.5)?) - 0.125).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    kind: PowerKind,
+    idle_power: f64,
+    static_power: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if any physical parameter is
+    /// negative or non-finite.
+    pub fn new(kind: PowerKind, idle_power: f64, static_power: f64) -> Result<PowerModel, PowerError> {
+        check(
+            "idle_power",
+            idle_power,
+        )?;
+        check("static_power", static_power)?;
+        match &kind {
+            PowerKind::Cmos { c_eff, f_max_hz, .. } => {
+                check("c_eff", *c_eff)?;
+                check("f_max_hz", *f_max_hz)?;
+            }
+            PowerKind::Polynomial { coefficient, exponent } => {
+                check("coefficient", *coefficient)?;
+                check("exponent", *exponent)?;
+            }
+            PowerKind::Sleepable {
+                coefficient,
+                exponent,
+                on_power,
+            } => {
+                check("coefficient", *coefficient)?;
+                check("exponent", *exponent)?;
+                check("on_power", *on_power)?;
+            }
+        }
+        Ok(PowerModel {
+            kind,
+            idle_power,
+            static_power,
+        })
+    }
+
+    /// The idealized, fully normalized model used throughout the synthetic
+    /// experiments: `P(s) = s³`, zero idle and static power. With this model
+    /// "normalized energy" is directly comparable across algorithms.
+    pub fn normalized_cubic() -> PowerModel {
+        PowerModel {
+            kind: PowerKind::Polynomial {
+                coefficient: 1.0,
+                exponent: 3.0,
+            },
+            idle_power: 0.0,
+            static_power: 0.0,
+        }
+    }
+
+    /// A normalized cubic model with non-zero idle power (fraction of full
+    /// active power), used in idle-power sensitivity studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `idle_fraction` is
+    /// negative or non-finite.
+    pub fn normalized_cubic_with_idle(idle_fraction: f64) -> Result<PowerModel, PowerError> {
+        PowerModel::new(
+            PowerKind::Polynomial {
+                coefficient: 1.0,
+                exponent: 3.0,
+            },
+            idle_fraction,
+            0.0,
+        )
+    }
+
+    /// Power drawn while executing at `speed`, in watts (includes static
+    /// power).
+    pub fn active_power(&self, speed: Speed) -> f64 {
+        let dynamic = match &self.kind {
+            PowerKind::Cmos {
+                c_eff,
+                f_max_hz,
+                voltage,
+            } => {
+                let v = voltage.voltage_at(speed);
+                c_eff * v * v * f_max_hz * speed.ratio()
+            }
+            PowerKind::Polynomial {
+                coefficient,
+                exponent,
+            } => coefficient * speed.ratio().powf(*exponent),
+            PowerKind::Sleepable {
+                coefficient,
+                exponent,
+                on_power,
+            } => coefficient * speed.ratio().powf(*exponent) + on_power,
+        };
+        dynamic + self.static_power
+    }
+
+    /// Power drawn while idle, in watts (includes static power).
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power + self.static_power
+    }
+
+    /// Energy (joules) of executing for `duration` seconds at `speed`.
+    pub fn active_energy(&self, speed: Speed, duration: f64) -> f64 {
+        self.active_power(speed) * duration
+    }
+
+    /// Energy (joules) of idling for `duration` seconds.
+    pub fn idle_energy(&self, duration: f64) -> f64 {
+        self.idle_power() * duration
+    }
+
+    /// Energy (joules) per unit of *work* at `speed` — the quantity DVS
+    /// minimizes. Without static power this decreases monotonically as
+    /// speed drops; with leakage it turns back up below the
+    /// [critical speed](PowerModel::critical_speed).
+    pub fn energy_per_work(&self, speed: Speed) -> f64 {
+        self.active_power(speed) / speed.ratio()
+    }
+
+    /// The *critical speed*: the speed minimizing energy per unit of work.
+    ///
+    /// With non-zero static (leakage) power, running slower than this
+    /// wastes energy — the job takes longer and leaks more than the
+    /// voltage reduction saves. Leakage-aware governors floor their speed
+    /// requests here. Computed by golden-section search on the (unimodal)
+    /// energy-per-work curve; returns the platform minimum representable
+    /// speed when the curve is monotone (zero leakage).
+    pub fn critical_speed(&self) -> Speed {
+        const PHI: f64 = 0.618_033_988_749_894_8;
+        let mut lo = 1.0e-6;
+        let mut hi = 1.0;
+        let energy = |s: f64| self.energy_per_work(Speed::clamped(s, Speed::new(1.0e-9).expect("valid")));
+        for _ in 0..120 {
+            let a = hi - PHI * (hi - lo);
+            let b = lo + PHI * (hi - lo);
+            if energy(a) < energy(b) {
+                hi = b;
+            } else {
+                lo = a;
+            }
+        }
+        Speed::clamped(0.5 * (lo + hi), Speed::new(1.0e-6).expect("valid"))
+    }
+
+    /// The active-power kind.
+    pub fn kind(&self) -> &PowerKind {
+        &self.kind
+    }
+}
+
+fn check(name: &'static str, value: f64) -> Result<(), PowerError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(PowerError::InvalidParameter { name, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed(r: f64) -> Speed {
+        Speed::new(r).unwrap()
+    }
+
+    #[test]
+    fn cubic_power_is_cubic() {
+        let m = PowerModel::normalized_cubic();
+        assert!((m.active_power(speed(0.5)) - 0.125).abs() < 1e-12);
+        assert!((m.active_power(speed(0.1)) - 1e-3).abs() < 1e-12);
+        assert_eq!(m.idle_power(), 0.0);
+    }
+
+    #[test]
+    fn cmos_matches_formula() {
+        let m = PowerModel::new(
+            PowerKind::Cmos {
+                c_eff: 1.0e-9,
+                f_max_hz: 1.0e9,
+                voltage: VoltageMap::proportional(2.0).unwrap(),
+            },
+            0.0,
+            0.0,
+        )
+        .unwrap();
+        // P(1) = 1e-9 * 4 * 1e9 = 4 W; P(0.5) = 1e-9 * 1 * 0.5e9 = 0.5 W.
+        assert!((m.active_power(Speed::FULL) - 4.0).abs() < 1e-9);
+        assert!((m.active_power(speed(0.5)) - 0.5).abs() < 1e-9);
+        // Proportional voltage makes CMOS exactly cubic: P(0.5)/P(1) = 1/8.
+        assert!((m.active_power(speed(0.5)) / m.active_power(Speed::FULL) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_power_is_added_everywhere() {
+        let m = PowerModel::new(
+            PowerKind::Polynomial {
+                coefficient: 1.0,
+                exponent: 3.0,
+            },
+            0.05,
+            0.02,
+        )
+        .unwrap();
+        assert!((m.idle_power() - 0.07).abs() < 1e-12);
+        assert!((m.active_power(Speed::FULL) - 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_work_decreases_with_speed() {
+        let m = PowerModel::normalized_cubic();
+        assert!(m.energy_per_work(speed(0.5)) < m.energy_per_work(Speed::FULL));
+        assert!(m.energy_per_work(speed(0.25)) < m.energy_per_work(speed(0.5)));
+        // s^3 / s = s^2:
+        assert!((m.energy_per_work(speed(0.5)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(PowerModel::new(
+            PowerKind::Polynomial {
+                coefficient: -1.0,
+                exponent: 3.0
+            },
+            0.0,
+            0.0
+        )
+        .is_err());
+        assert!(PowerModel::normalized_cubic_with_idle(-0.1).is_err());
+        assert!(PowerModel::new(
+            PowerKind::Cmos {
+                c_eff: f64::NAN,
+                f_max_hz: 1.0,
+                voltage: VoltageMap::proportional(1.0).unwrap()
+            },
+            0.0,
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn critical_speed_matches_closed_form() {
+        // e(s) = s² + P_static/s minimizes at s* = (P_static/2)^(1/3).
+        for p_static in [0.01_f64, 0.05, 0.2] {
+            let m = PowerModel::new(
+                PowerKind::Polynomial {
+                    coefficient: 1.0,
+                    exponent: 3.0,
+                },
+                0.0,
+                p_static,
+            )
+            .unwrap();
+            let expected = (p_static / 2.0).powf(1.0 / 3.0);
+            let got = m.critical_speed().ratio();
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "P_static {p_static}: got {got}, expected {expected}"
+            );
+        }
+        // Zero leakage: the curve is monotone, critical speed collapses to
+        // (essentially) zero.
+        let ideal = PowerModel::normalized_cubic();
+        assert!(ideal.critical_speed().ratio() < 1e-3);
+    }
+
+    #[test]
+    fn energy_scales_with_duration() {
+        let m = PowerModel::normalized_cubic();
+        let e1 = m.active_energy(speed(0.7), 1.0);
+        let e2 = m.active_energy(speed(0.7), 2.5);
+        assert!((e2 / e1 - 2.5).abs() < 1e-12);
+        assert_eq!(m.idle_energy(10.0), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Supply-voltage-versus-speed maps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, Speed};
+
+/// The minimum supply voltage that sustains a given normalized speed.
+///
+/// CMOS circuit delay grows as the supply voltage approaches the threshold
+/// voltage, so sustaining a clock frequency requires a minimum `V_DD`. DVS
+/// papers use one of three shapes, all provided here:
+///
+/// * [`VoltageMap::Proportional`] — `V(s) = V_max · s` (the textbook
+///   first-order model, yielding the classic cubic power curve),
+/// * [`VoltageMap::Affine`] — `V(s) = V_min + (V_max − V_min) · s`
+///   (real processors cannot scale to 0 V),
+/// * [`VoltageMap::Table`] — piecewise-linear interpolation through measured
+///   `(speed, voltage)` pairs, as published for concrete chips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VoltageMap {
+    /// `V(s) = V_max · s`.
+    Proportional {
+        /// Supply voltage at full speed, in volts.
+        v_max: f64,
+    },
+    /// `V(s) = V_min + (V_max − V_min) · s`.
+    Affine {
+        /// Supply voltage as speed approaches zero, in volts.
+        v_min: f64,
+        /// Supply voltage at full speed, in volts.
+        v_max: f64,
+    },
+    /// Piecewise-linear interpolation through `(speed, voltage)` pairs sorted
+    /// by speed; speeds below the first entry use the first entry's voltage.
+    Table {
+        /// `(speed ratio, voltage)` pairs, strictly increasing in speed.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl VoltageMap {
+    /// Creates a proportional map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidVoltage`] if `v_max` is not positive and
+    /// finite.
+    pub fn proportional(v_max: f64) -> Result<VoltageMap, PowerError> {
+        check_voltage(v_max)?;
+        Ok(VoltageMap::Proportional { v_max })
+    }
+
+    /// Creates an affine map `V(s) = v_min + (v_max − v_min)·s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidVoltage`] if either voltage is invalid or
+    /// `v_min > v_max`.
+    pub fn affine(v_min: f64, v_max: f64) -> Result<VoltageMap, PowerError> {
+        check_voltage(v_min)?;
+        check_voltage(v_max)?;
+        if v_min > v_max {
+            return Err(PowerError::InvalidVoltage(v_min));
+        }
+        Ok(VoltageMap::Affine { v_min, v_max })
+    }
+
+    /// Creates a table map from `(speed, voltage)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is empty, speeds are not strictly
+    /// increasing within `(0, 1]`, or any voltage is invalid.
+    pub fn table(points: Vec<(f64, f64)>) -> Result<VoltageMap, PowerError> {
+        if points.is_empty() {
+            return Err(PowerError::EmptyFrequencyTable);
+        }
+        let mut prev = 0.0;
+        for (index, &(s, v)) in points.iter().enumerate() {
+            if !s.is_finite() || s <= prev || s > 1.0 {
+                return Err(PowerError::UnsortedFrequencyTable { index });
+            }
+            check_voltage(v)?;
+            prev = s;
+        }
+        Ok(VoltageMap::Table { points })
+    }
+
+    /// The supply voltage (volts) sustaining `speed`.
+    pub fn voltage_at(&self, speed: Speed) -> f64 {
+        let s = speed.ratio();
+        match self {
+            VoltageMap::Proportional { v_max } => v_max * s,
+            VoltageMap::Affine { v_min, v_max } => v_min + (v_max - v_min) * s,
+            VoltageMap::Table { points } => interpolate(points, s),
+        }
+    }
+
+    /// The supply voltage at full speed.
+    pub fn v_max(&self) -> f64 {
+        self.voltage_at(Speed::FULL)
+    }
+}
+
+fn check_voltage(v: f64) -> Result<(), PowerError> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(PowerError::InvalidVoltage(v));
+    }
+    Ok(())
+}
+
+fn interpolate(points: &[(f64, f64)], s: f64) -> f64 {
+    let first = points[0];
+    if s <= first.0 {
+        return first.1;
+    }
+    for window in points.windows(2) {
+        let (s0, v0) = window[0];
+        let (s1, v1) = window[1];
+        if s <= s1 {
+            let t = (s - s0) / (s1 - s0);
+            return v0 + (v1 - v0) * t;
+        }
+    }
+    points[points.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed(r: f64) -> Speed {
+        Speed::new(r).unwrap()
+    }
+
+    #[test]
+    fn proportional_scales_linearly() {
+        let map = VoltageMap::proportional(2.0).unwrap();
+        assert!((map.voltage_at(speed(0.5)) - 1.0).abs() < 1e-12);
+        assert!((map.v_max() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_has_floor() {
+        let map = VoltageMap::affine(0.8, 1.8).unwrap();
+        assert!((map.voltage_at(speed(1e-6)) - 0.8).abs() < 1e-5);
+        assert!((map.v_max() - 1.8).abs() < 1e-12);
+        assert!((map.voltage_at(speed(0.5)) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_rejects_inverted_range() {
+        assert!(VoltageMap::affine(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn table_interpolates_and_saturates_low() {
+        let map = VoltageMap::table(vec![(0.25, 1.0), (0.5, 1.2), (1.0, 1.8)]).unwrap();
+        // Below the lowest point: saturate at the lowest voltage.
+        assert!((map.voltage_at(speed(0.1)) - 1.0).abs() < 1e-12);
+        // Exactly on a point.
+        assert!((map.voltage_at(speed(0.5)) - 1.2).abs() < 1e-12);
+        // Between points: linear.
+        assert!((map.voltage_at(speed(0.75)) - 1.5).abs() < 1e-12);
+        assert!((map.voltage_at(Speed::FULL) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rejects_bad_input() {
+        assert!(VoltageMap::table(vec![]).is_err());
+        assert!(VoltageMap::table(vec![(0.5, 1.0), (0.5, 1.2)]).is_err());
+        assert!(VoltageMap::table(vec![(0.5, 1.2), (0.25, 1.0)]).is_err());
+        assert!(VoltageMap::table(vec![(0.5, -1.0)]).is_err());
+        assert!(VoltageMap::table(vec![(1.5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn voltage_is_monotone_in_speed() {
+        let maps = [
+            VoltageMap::proportional(1.8).unwrap(),
+            VoltageMap::affine(0.7, 1.8).unwrap(),
+            VoltageMap::table(vec![(0.2, 0.9), (0.6, 1.3), (1.0, 1.8)]).unwrap(),
+        ];
+        for map in &maps {
+            let mut last = 0.0;
+            for i in 1..=100 {
+                let v = map.voltage_at(speed(i as f64 / 100.0));
+                assert!(v >= last - 1e-12, "{map:?} not monotone at {i}");
+                last = v;
+            }
+        }
+    }
+}

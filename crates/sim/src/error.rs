@@ -1,0 +1,116 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::job::JobId;
+
+/// Errors produced by task-set construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A task violated `0 < wcet <= deadline <= period` (all finite).
+    InvalidTask {
+        /// Offending worst-case execution time.
+        wcet: f64,
+        /// Offending period.
+        period: f64,
+        /// Offending relative deadline.
+        deadline: f64,
+    },
+    /// A task set must contain at least one task.
+    EmptyTaskSet,
+    /// The task set is not feasible at full speed (worst-case density > 1),
+    /// so no speed assignment can guarantee deadlines.
+    Infeasible {
+        /// The worst-case density `Σ wcet_i / deadline_i`.
+        density: f64,
+    },
+    /// A configuration field is invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A job missed its deadline and the configured policy is
+    /// [`MissPolicy::Fail`](crate::MissPolicy::Fail).
+    DeadlineMiss {
+        /// The missing job.
+        job: JobId,
+        /// The job's absolute deadline.
+        deadline: f64,
+        /// When the job actually completed (or the simulation horizon, if
+        /// it never did).
+        completed: f64,
+    },
+    /// The simulation exceeded its event budget (runaway guard).
+    EventLimitExceeded {
+        /// The configured event limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTask {
+                wcet,
+                period,
+                deadline,
+            } => write!(
+                f,
+                "task violates 0 < wcet <= deadline <= period (wcet {wcet}, period {period}, deadline {deadline})"
+            ),
+            SimError::EmptyTaskSet => write!(f, "task set must contain at least one task"),
+            SimError::Infeasible { density } => write!(
+                f,
+                "task set has worst-case density {density} > 1 and cannot be scheduled at any speed"
+            ),
+            SimError::InvalidConfig { field, value } => {
+                write!(f, "configuration field `{field}` has invalid value {value}")
+            }
+            SimError::DeadlineMiss {
+                job,
+                deadline,
+                completed,
+            } => write!(
+                f,
+                "job {job} missed its deadline {deadline} (completed at {completed})"
+            ),
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::DeadlineMiss {
+            job: JobId {
+                task: TaskId(2),
+                index: 7,
+            },
+            deadline: 1.5,
+            completed: 1.6,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("T2"));
+        assert!(msg.contains("1.5"));
+        assert!(SimError::EmptyTaskSet.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Sources of actual (run-time) execution demand.
+
+use crate::task::{Task, TaskId};
+
+/// Supplies each job's *actual* execution demand (at full speed).
+///
+/// Implementations must be **deterministic**: the same `(task, job_index)`
+/// must always yield the same demand, so that a workload can be replayed for
+/// different governors and so that clairvoyant analyses (oracle bounds) see
+/// exactly the jobs the simulator ran. Randomized models achieve this by
+/// hashing a seed with the task id and job index (see `stadvs-workload`).
+///
+/// The returned demand is clamped by the simulator into `[0, wcet]` — a hard
+/// real-time workload never exceeds its worst case.
+pub trait ExecutionSource {
+    /// Actual demand (full-speed seconds) of job `job_index` of `task`.
+    fn actual_work(&self, task_id: TaskId, task: &Task, job_index: u64) -> f64;
+}
+
+/// Every job consumes exactly its worst case.
+///
+/// Under this source DVS can only exploit *static* slack (`U < 1`), which is
+/// the degenerate setting where static scaling is already optimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorstCase;
+
+impl ExecutionSource for WorstCase {
+    fn actual_work(&self, _task_id: TaskId, task: &Task, _job_index: u64) -> f64 {
+        task.wcet()
+    }
+}
+
+/// Every job consumes a fixed fraction of its worst case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantRatio {
+    ratio: f64,
+}
+
+impl ConstantRatio {
+    /// Creates a source where every job consumes `ratio · wcet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not within `[0, 1]`.
+    pub fn new(ratio: f64) -> ConstantRatio {
+        assert!(
+            ratio.is_finite() && (0.0..=1.0).contains(&ratio),
+            "execution ratio {ratio} must be in [0, 1]"
+        );
+        ConstantRatio { ratio }
+    }
+
+    /// The fixed fraction of WCET each job consumes.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+}
+
+impl ExecutionSource for ConstantRatio {
+    fn actual_work(&self, _task_id: TaskId, task: &Task, _job_index: u64) -> f64 {
+        task.wcet() * self.ratio
+    }
+}
+
+impl<E: ExecutionSource + ?Sized> ExecutionSource for &E {
+    fn actual_work(&self, task_id: TaskId, task: &Task, job_index: u64) -> f64 {
+        (**self).actual_work(task_id, task, job_index)
+    }
+}
+
+impl<E: ExecutionSource + ?Sized> ExecutionSource for Box<E> {
+    fn actual_work(&self, task_id: TaskId, task: &Task, job_index: u64) -> f64 {
+        (**self).actual_work(task_id, task, job_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    #[test]
+    fn worst_case_returns_wcet() {
+        let t = Task::new(2.0, 10.0).unwrap();
+        assert_eq!(WorstCase.actual_work(TaskId(0), &t, 0), 2.0);
+        assert_eq!(WorstCase.actual_work(TaskId(0), &t, 99), 2.0);
+    }
+
+    #[test]
+    fn constant_ratio_scales() {
+        let t = Task::new(2.0, 10.0).unwrap();
+        let src = ConstantRatio::new(0.25);
+        assert_eq!(src.actual_work(TaskId(0), &t, 5), 0.5);
+        assert_eq!(src.ratio(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn constant_ratio_rejects_out_of_range() {
+        let _ = ConstantRatio::new(1.5);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let t = Task::new(2.0, 10.0).unwrap();
+        let boxed: Box<dyn ExecutionSource> = Box::new(ConstantRatio::new(0.5));
+        assert_eq!(boxed.actual_work(TaskId(0), &t, 0), 1.0);
+        let by_ref = &WorstCase;
+        assert_eq!(by_ref.actual_work(TaskId(0), &t, 0), 2.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Job instances and their run-time state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// Identifier of one job: the releasing task and the job's 0-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId {
+    /// The releasing task.
+    pub task: TaskId,
+    /// 0-based job index within that task.
+    pub index: u64,
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.task, self.index)
+    }
+}
+
+/// A released, not-yet-completed job as the scheduler (and governors) see it.
+///
+/// Governors are **not clairvoyant**: the job's *actual* execution demand is
+/// private; only the worst-case budget, the work executed so far, and the
+/// wall-clock time consumed so far are visible. These are exactly the
+/// quantities the on-line DVS literature allows an algorithm to inspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveJob {
+    /// The job's identity.
+    pub id: JobId,
+    /// Release instant, in seconds.
+    pub release: f64,
+    /// Absolute deadline, in seconds.
+    pub deadline: f64,
+    /// Worst-case execution time at full speed (the job's work budget).
+    pub wcet: f64,
+    pub(crate) executed: f64,
+    pub(crate) wall_used: f64,
+    pub(crate) actual: f64,
+    pub(crate) preemptions: u32,
+}
+
+impl ActiveJob {
+    /// Creates a freshly released job (no work executed yet). `actual` is
+    /// clamped into `[0, wcet]`.
+    ///
+    /// Mostly used by the simulator; exposed so that governor crates can
+    /// unit-test their slack accounting against hand-built jobs.
+    pub fn new(id: JobId, release: f64, deadline: f64, wcet: f64, actual: f64) -> ActiveJob {
+        ActiveJob {
+            id,
+            release,
+            deadline,
+            wcet,
+            executed: 0.0,
+            wall_used: 0.0,
+            actual: actual.clamp(0.0, wcet),
+            preemptions: 0,
+        }
+    }
+
+    /// Work executed so far (full-speed-normalized units).
+    pub fn executed(&self) -> f64 {
+        self.executed
+    }
+
+    /// Remaining *worst-case* work: `wcet − executed`, floored at zero.
+    ///
+    /// This is the quantity a hard-real-time governor must budget for; the
+    /// actual remaining work is hidden.
+    pub fn remaining_budget(&self) -> f64 {
+        (self.wcet - self.executed).max(0.0)
+    }
+
+    /// Wall-clock time this job has occupied the processor so far
+    /// (execution segments only; preempted time does not count).
+    pub fn wall_used(&self) -> f64 {
+        self.wall_used
+    }
+
+    /// How many times this job has been preempted so far.
+    pub fn preemptions(&self) -> u32 {
+        self.preemptions
+    }
+
+    pub(crate) fn remaining_actual(&self) -> f64 {
+        (self.actual - self.executed).max(0.0)
+    }
+}
+
+/// The completed-job record kept in the simulation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's identity.
+    pub id: JobId,
+    /// Release instant.
+    pub release: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+    /// Worst-case execution time at full speed.
+    pub wcet: f64,
+    /// Actual execution demand at full speed.
+    pub actual: f64,
+    /// Completion instant, or `None` if the job was still incomplete when
+    /// the simulation horizon ended.
+    pub completion: Option<f64>,
+    /// Total wall-clock processor time the job consumed.
+    pub wall_time: f64,
+    /// Number of preemptions suffered.
+    pub preemptions: u32,
+}
+
+impl JobRecord {
+    /// Whether the job missed its deadline: it completed after the deadline,
+    /// or never completed although its deadline fell within the simulated
+    /// horizon. A `1 ns` tolerance absorbs floating-point event arithmetic.
+    pub fn missed(&self, horizon: f64) -> bool {
+        const TOL: f64 = 1.0e-9;
+        match self.completion {
+            Some(c) => c > self.deadline + TOL,
+            None => self.deadline <= horizon + TOL,
+        }
+    }
+
+    /// Response time (completion − release), if the job completed.
+    pub fn response_time(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.release)
+    }
+
+    /// Slack this job left unused: `wcet − actual`.
+    pub fn earliness(&self) -> f64 {
+        (self.wcet - self.actual).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> ActiveJob {
+        ActiveJob::new(
+            JobId {
+                task: TaskId(0),
+                index: 1,
+            },
+            0.0,
+            10.0,
+            2.0,
+            1.5,
+        )
+    }
+
+    #[test]
+    fn active_job_budgets() {
+        let mut j = job();
+        assert_eq!(j.remaining_budget(), 2.0);
+        assert_eq!(j.remaining_actual(), 1.5);
+        j.executed = 1.0;
+        j.wall_used = 2.0;
+        assert_eq!(j.remaining_budget(), 1.0);
+        assert_eq!(j.remaining_actual(), 0.5);
+        assert_eq!(j.wall_used(), 2.0);
+        j.executed = 2.5; // over-run clamps at zero
+        assert_eq!(j.remaining_budget(), 0.0);
+        assert_eq!(j.remaining_actual(), 0.0);
+    }
+
+    #[test]
+    fn actual_is_clamped_to_wcet() {
+        let j = ActiveJob::new(
+            JobId {
+                task: TaskId(0),
+                index: 0,
+            },
+            0.0,
+            1.0,
+            2.0,
+            5.0,
+        );
+        assert_eq!(j.actual, 2.0);
+        let j2 = ActiveJob::new(
+            JobId {
+                task: TaskId(0),
+                index: 0,
+            },
+            0.0,
+            1.0,
+            2.0,
+            -1.0,
+        );
+        assert_eq!(j2.actual, 0.0);
+    }
+
+    #[test]
+    fn record_miss_logic() {
+        let base = JobRecord {
+            id: JobId {
+                task: TaskId(0),
+                index: 0,
+            },
+            release: 0.0,
+            deadline: 10.0,
+            wcet: 2.0,
+            actual: 1.0,
+            completion: Some(9.0),
+            wall_time: 2.0,
+            preemptions: 0,
+        };
+        assert!(!base.missed(100.0));
+        let late = JobRecord {
+            completion: Some(10.1),
+            ..base.clone()
+        };
+        assert!(late.missed(100.0));
+        let unfinished = JobRecord {
+            completion: None,
+            ..base.clone()
+        };
+        assert!(unfinished.missed(100.0)); // deadline 10 within horizon 100
+        assert!(!unfinished.missed(5.0)); // horizon ended before the deadline
+        assert_eq!(base.response_time(), Some(9.0));
+        assert_eq!(unfinished.response_time(), None);
+        assert_eq!(base.earliness(), 1.0);
+    }
+
+    #[test]
+    fn job_id_display() {
+        let id = JobId {
+            task: TaskId(4),
+            index: 12,
+        };
+        assert_eq!(id.to_string(), "T4#12");
+    }
+}

@@ -1,0 +1,62 @@
+//! # stadvs-sim — event-driven preemptive EDF scheduler and DVS simulator
+//!
+//! The simulation substrate of the `stadvs` reproduction of the DATE 2002
+//! paper *"A Dynamic Voltage Scaling Algorithm for Dynamic-Priority Hard
+//! Real-Time Systems Using Slack Time Analysis"*.
+//!
+//! * [`Task`] / [`TaskSet`] — periodic hard real-time tasks (WCET, period,
+//!   constrained deadline, phase),
+//! * [`ExecutionSource`] — deterministic per-job *actual* execution demand,
+//! * [`Governor`] — the plug-in interface every DVS algorithm implements;
+//!   it sees a non-clairvoyant [`SchedulerView`] at each scheduling point,
+//! * [`Simulator`] — the preemptive EDF engine: releases, dispatches,
+//!   preempts, applies speed changes (with optional transition latency and
+//!   energy), integrates energy, and records [`JobRecord`]s and an optional
+//!   [`Trace`],
+//! * [`SimOutcome`] — energy breakdown, deadline audit, switch counts.
+//!
+//! ```
+//! use stadvs_power::{Processor, Speed};
+//! use stadvs_sim::{ActiveJob, ConstantRatio, Governor, SchedulerView,
+//!                  SimConfig, Simulator, Task, TaskSet};
+//!
+//! /// The classic static-EDF policy: run at the utilization.
+//! struct Static;
+//! impl Governor for Static {
+//!     fn name(&self) -> &str { "static" }
+//!     fn select_speed(&mut self, view: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+//!         Speed::clamped(view.utilization(), view.processor().min_speed())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), stadvs_sim::SimError> {
+//! let tasks = TaskSet::new(vec![Task::new(1.0e-3, 4.0e-3)?, Task::new(1.0e-3, 8.0e-3)?])?;
+//! let sim = Simulator::new(tasks, Processor::ideal_continuous(), SimConfig::new(1.0)?)?;
+//! let out = sim.run(&mut Static, &ConstantRatio::new(0.6))?;
+//! assert!(out.all_deadlines_met());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod governor;
+mod job;
+mod outcome;
+mod render;
+mod simulator;
+mod task;
+mod trace;
+
+pub use error::SimError;
+pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
+pub use governor::{Governor, SchedulerView};
+pub use job::{ActiveJob, JobId, JobRecord};
+pub use outcome::SimOutcome;
+pub use render::render_gantt;
+pub use simulator::{MissPolicy, SimConfig, Simulator, TIME_EPS, WORK_EPS};
+pub use task::{Task, TaskId, TaskSet};
+pub use trace::{Segment, SegmentKind, Trace};

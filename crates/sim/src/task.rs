@@ -1,0 +1,343 @@
+//! Periodic task model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Identifier of a task within a [`TaskSet`] (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A periodic hard real-time task.
+///
+/// All times are in seconds. `wcet` is the worst-case execution time **at
+/// full speed** (so it doubles as the job's worst-case *work*); `period` is
+/// the inter-release separation; `deadline` is relative to release and must
+/// satisfy `wcet <= deadline <= period` (implicit deadlines use
+/// `deadline == period`); `phase` is the first release instant.
+///
+/// ```
+/// use stadvs_sim::Task;
+///
+/// # fn main() -> Result<(), stadvs_sim::SimError> {
+/// let t = Task::new(2.0e-3, 10.0e-3)?; // 2 ms WCET every 10 ms
+/// assert_eq!(t.utilization(), 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    wcet: f64,
+    period: f64,
+    deadline: f64,
+    phase: f64,
+    name: Option<String>,
+}
+
+impl Task {
+    /// Creates an implicit-deadline task (`deadline == period`, zero phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTask`] if `wcet` or `period` is not finite
+    /// and positive, or `wcet > period`.
+    pub fn new(wcet: f64, period: f64) -> Result<Task, SimError> {
+        Task::with_deadline(wcet, period, period)
+    }
+
+    /// Creates a constrained-deadline task (`wcet <= deadline <= period`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTask`] on any violated constraint.
+    pub fn with_deadline(wcet: f64, period: f64, deadline: f64) -> Result<Task, SimError> {
+        let ok = wcet.is_finite()
+            && period.is_finite()
+            && deadline.is_finite()
+            && wcet > 0.0
+            && period > 0.0
+            && deadline >= wcet
+            && deadline <= period;
+        if !ok {
+            return Err(SimError::InvalidTask {
+                wcet,
+                period,
+                deadline,
+            });
+        }
+        Ok(Task {
+            wcet,
+            period,
+            deadline,
+            phase: 0.0,
+            name: None,
+        })
+    }
+
+    /// Sets the first release instant (default `0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTask`] if `phase` is negative or not
+    /// finite.
+    pub fn with_phase(mut self, phase: f64) -> Result<Task, SimError> {
+        if !phase.is_finite() || phase < 0.0 {
+            return Err(SimError::InvalidTask {
+                wcet: self.wcet,
+                period: self.period,
+                deadline: self.deadline,
+            });
+        }
+        self.phase = phase;
+        Ok(self)
+    }
+
+    /// Attaches a human-readable name (used in traces and reports).
+    pub fn named(mut self, name: impl Into<String>) -> Task {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Worst-case execution time at full speed, in seconds.
+    pub fn wcet(&self) -> f64 {
+        self.wcet
+    }
+
+    /// Period, in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline, in seconds.
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// First release instant, in seconds.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// The task's name, if one was set.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Worst-case utilization `wcet / period`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+
+    /// Worst-case density `wcet / deadline`.
+    pub fn density(&self) -> f64 {
+        self.wcet / self.deadline
+    }
+
+    /// Release instant of the `index`-th job (0-based).
+    pub fn release_of(&self, index: u64) -> f64 {
+        self.phase + index as f64 * self.period
+    }
+
+    /// Absolute deadline of the `index`-th job.
+    pub fn deadline_of(&self, index: u64) -> f64 {
+        self.release_of(index) + self.deadline
+    }
+}
+
+/// An immutable collection of periodic tasks scheduled together.
+///
+/// A task set is feasible under EDF at full speed iff its worst-case
+/// utilization is at most 1 (for implicit deadlines); [`TaskSet::new`]
+/// enforces only structural validity — schedulability tests live in
+/// `stadvs-analysis`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates a task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTaskSet`] if `tasks` is empty.
+    pub fn new(tasks: Vec<Task>) -> Result<TaskSet, SimError> {
+        if tasks.is_empty() {
+            return Err(SimError::EmptyTaskSet);
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// The tasks, indexable by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this task set.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over `(TaskId, &Task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Total worst-case utilization `Σ wcet_i / period_i`.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Total worst-case density `Σ wcet_i / deadline_i`.
+    pub fn density(&self) -> f64 {
+        self.tasks.iter().map(Task::density).sum()
+    }
+
+    /// The largest period.
+    pub fn max_period(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(Task::period)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The hyperperiod (least common multiple of periods), if all periods
+    /// are integer multiples of one microsecond. Returns `None` when
+    /// periods are not commensurable at that resolution or the LCM
+    /// overflows.
+    pub fn hyperperiod(&self) -> Option<f64> {
+        const RES: f64 = 1.0e6; // microsecond grid
+        let mut lcm: u128 = 1;
+        for t in &self.tasks {
+            let scaled = t.period() * RES;
+            let rounded = scaled.round();
+            if (scaled - rounded).abs() > 1e-6 || rounded <= 0.0 {
+                return None;
+            }
+            let p = rounded as u128;
+            lcm = lcm.checked_mul(p / gcd(lcm, p))?;
+            if lcm > (1u128 << 80) {
+                return None;
+            }
+        }
+        Some(lcm as f64 / RES)
+    }
+}
+
+impl FromIterator<Task> for TaskSet {
+    /// Collects tasks into a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty; use [`TaskSet::new`] for fallible
+    /// construction.
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> TaskSet {
+        TaskSet::new(iter.into_iter().collect()).expect("FromIterator requires at least one task")
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(wcet: f64, period: f64) -> Task {
+        Task::new(wcet, period).unwrap()
+    }
+
+    #[test]
+    fn task_validation() {
+        assert!(Task::new(1.0, 10.0).is_ok());
+        assert!(Task::new(0.0, 10.0).is_err());
+        assert!(Task::new(-1.0, 10.0).is_err());
+        assert!(Task::new(11.0, 10.0).is_err());
+        assert!(Task::new(1.0, f64::NAN).is_err());
+        assert!(Task::with_deadline(1.0, 10.0, 0.5).is_err()); // deadline < wcet
+        assert!(Task::with_deadline(1.0, 10.0, 12.0).is_err()); // deadline > period
+        assert!(Task::with_deadline(1.0, 10.0, 5.0).is_ok());
+        assert!(task(1.0, 10.0).with_phase(-1.0).is_err());
+    }
+
+    #[test]
+    fn job_release_and_deadline_arithmetic() {
+        let t = Task::with_deadline(1.0, 10.0, 8.0)
+            .unwrap()
+            .with_phase(2.0)
+            .unwrap();
+        assert_eq!(t.release_of(0), 2.0);
+        assert_eq!(t.release_of(3), 32.0);
+        assert_eq!(t.deadline_of(0), 10.0);
+        assert_eq!(t.deadline_of(3), 40.0);
+    }
+
+    #[test]
+    fn utilization_and_density() {
+        let t = Task::with_deadline(2.0, 10.0, 5.0).unwrap();
+        assert_eq!(t.utilization(), 0.2);
+        assert_eq!(t.density(), 0.4);
+        let ts = TaskSet::new(vec![task(1.0, 10.0), task(2.0, 5.0)]).unwrap();
+        assert!((ts.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.max_period(), 10.0);
+    }
+
+    #[test]
+    fn empty_task_set_rejected() {
+        assert!(matches!(TaskSet::new(vec![]), Err(SimError::EmptyTaskSet)));
+    }
+
+    #[test]
+    fn hyperperiod_of_commensurable_periods() {
+        let ts = TaskSet::new(vec![task(1.0e-3, 4.0e-3), task(1.0e-3, 6.0e-3)]).unwrap();
+        assert!((ts.hyperperiod().unwrap() - 12.0e-3).abs() < 1e-9);
+        let ts2 = TaskSet::new(vec![
+            task(1.0e-3, 5.0e-3),
+            task(1.0e-3, std::f64::consts::PI * 1.0e-3),
+        ])
+        .unwrap();
+        assert_eq!(ts2.hyperperiod(), None);
+    }
+
+    #[test]
+    fn names_and_iter() {
+        let ts: TaskSet = vec![task(1.0, 10.0).named("audio"), task(2.0, 20.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(ts.task(TaskId(0)).name(), Some("audio"));
+        assert_eq!(ts.task(TaskId(1)).name(), None);
+        let ids: Vec<usize> = ts.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(TaskId(3).to_string(), "T3");
+    }
+}

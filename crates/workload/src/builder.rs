@@ -1,0 +1,164 @@
+//! Convenience builder for hand-crafted task sets.
+
+use stadvs_sim::{Task, TaskSet};
+
+use crate::WorkloadError;
+
+/// Builds a [`TaskSet`] incrementally and optionally rescales it to a target
+/// worst-case utilization (the standard trick for sweeping utilization with
+/// a fixed task structure, as the reference-set experiments do).
+///
+/// ```
+/// use stadvs_workload::TaskSetBuilder;
+///
+/// # fn main() -> Result<(), stadvs_workload::WorkloadError> {
+/// let ts = TaskSetBuilder::new()
+///     .task(1.0e-3, 10.0e-3)?
+///     .task(2.0e-3, 40.0e-3)?
+///     .scaled_to_utilization(0.9)?
+///     .build()?;
+/// assert!((ts.utilization() - 0.9).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskSetBuilder {
+    tasks: Vec<Task>,
+}
+
+impl TaskSetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TaskSetBuilder {
+        TaskSetBuilder::default()
+    }
+
+    /// Adds an implicit-deadline task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Task`] for invalid `(wcet, period)`.
+    pub fn task(mut self, wcet: f64, period: f64) -> Result<TaskSetBuilder, WorkloadError> {
+        self.tasks.push(Task::new(wcet, period)?);
+        Ok(self)
+    }
+
+    /// Adds a named implicit-deadline task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Task`] for invalid `(wcet, period)`.
+    pub fn named_task(
+        mut self,
+        name: &str,
+        wcet: f64,
+        period: f64,
+    ) -> Result<TaskSetBuilder, WorkloadError> {
+        self.tasks.push(Task::new(wcet, period)?.named(name));
+        Ok(self)
+    }
+
+    /// Adds an already-constructed task.
+    pub fn push(mut self, task: Task) -> TaskSetBuilder {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Rescales every WCET so the set's total worst-case utilization equals
+    /// `target` (names, periods, and relative shares are preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `target` is not in
+    /// `(0, 1]` or the builder is empty, and [`WorkloadError::Task`] if a
+    /// scaled WCET exceeds its period (cannot happen for `target <= 1`).
+    pub fn scaled_to_utilization(mut self, target: f64) -> Result<TaskSetBuilder, WorkloadError> {
+        if !target.is_finite() || target <= 0.0 || target > 1.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "target_utilization",
+                value: target,
+            });
+        }
+        let current: f64 = self.tasks.iter().map(Task::utilization).sum();
+        if current <= 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "target_utilization",
+                value: target,
+            });
+        }
+        let scale = target / current;
+        let mut scaled = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let mut nt = Task::with_deadline(
+                (t.wcet() * scale).min(t.deadline()),
+                t.period(),
+                t.deadline(),
+            )?;
+            if let Some(name) = t.name() {
+                nt = nt.named(name);
+            }
+            scaled.push(nt);
+        }
+        self.tasks = scaled;
+        Ok(self)
+    }
+
+    /// Finalizes the set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Task`] if the builder is empty.
+    pub fn build(self) -> Result<TaskSet, WorkloadError> {
+        Ok(TaskSet::new(self.tasks)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_scales() {
+        let ts = TaskSetBuilder::new()
+            .named_task("a", 1.0, 10.0)
+            .unwrap()
+            .named_task("b", 1.0, 5.0)
+            .unwrap()
+            .scaled_to_utilization(0.6)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!((ts.utilization() - 0.6).abs() < 1e-12);
+        assert_eq!(ts.tasks()[0].name(), Some("a"));
+        // Relative shares preserved: u_b / u_a = 2 before and after.
+        let ua = ts.tasks()[0].utilization();
+        let ub = ts.tasks()[1].utilization();
+        assert!((ub / ua - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert!(TaskSetBuilder::new().build().is_err());
+        assert!(TaskSetBuilder::new().scaled_to_utilization(0.5).is_err());
+    }
+
+    #[test]
+    fn scaling_validation() {
+        let b = TaskSetBuilder::new().task(1.0, 10.0).unwrap();
+        assert!(b.clone().scaled_to_utilization(0.0).is_err());
+        assert!(b.clone().scaled_to_utilization(1.5).is_err());
+        assert!(b.scaled_to_utilization(1.0).is_ok());
+    }
+
+    #[test]
+    fn scaling_up_caps_at_deadline() {
+        // One task with wcet == period scaled to U = 1: wcet stays == period.
+        let ts = TaskSetBuilder::new()
+            .task(5.0, 10.0)
+            .unwrap()
+            .scaled_to_utilization(1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!((ts.tasks()[0].wcet() - 10.0).abs() < 1e-12);
+    }
+}

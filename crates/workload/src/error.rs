@@ -1,0 +1,65 @@
+//! Workload-generation error type.
+
+use std::error::Error;
+use std::fmt;
+
+use stadvs_sim::SimError;
+
+/// Errors produced while constructing workload generators or task sets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generator parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The underlying task model rejected a generated task.
+    Task(SimError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { name, value } => {
+                write!(f, "workload parameter `{name}` has invalid value {value}")
+            }
+            WorkloadError::Task(e) => write!(f, "generated task rejected: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Task(e) => Some(e),
+            WorkloadError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for WorkloadError {
+    fn from(e: SimError) -> WorkloadError {
+        WorkloadError::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::InvalidParameter {
+            name: "ratio",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("ratio"));
+        assert!(e.source().is_none());
+        let wrapped = WorkloadError::from(SimError::EmptyTaskSet);
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("rejected"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # stadvs-workload — task-set and execution-time workload generation
+//!
+//! Generates the workloads the DVS-EDF evaluation literature uses:
+//!
+//! * [`uunifast`] / [`uunifast_capped`] — unbiased utilization splitting,
+//! * [`PeriodGenerator`] — log-uniform / menu / harmonic period draws,
+//! * [`TaskSetSpec`] — a seeded, fully reproducible task-set recipe,
+//! * [`ExecutionModel`] + [`DemandPattern`] — deterministic per-job actual
+//!   demand (uniform BCET/WCET, clamped normal, bimodal, sinusoidal drift,
+//!   bursty phases),
+//! * [`RecordedDemand`] — replay of captured per-job demand traces,
+//! * [`mod@reference`] — the CNC, INS, and generic-avionics task sets,
+//! * [`TaskSetBuilder`] — hand-crafted sets with utilization rescaling.
+//!
+//! Everything is deterministic given its seed, so the same workload can be
+//! replayed under every governor and inspected by clairvoyant analyses.
+//!
+//! ```
+//! use stadvs_workload::{ExecutionModel, TaskSetSpec};
+//!
+//! # fn main() -> Result<(), stadvs_workload::WorkloadError> {
+//! let tasks = TaskSetSpec::new(8, 0.7)?.with_seed(1).generate()?;
+//! let demand = ExecutionModel::uniform_bcet(0.5)?.with_seed(1);
+//! assert_eq!(tasks.len(), 8);
+//! # let _ = demand;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod exec_model;
+mod periods;
+mod recorded;
+pub mod reference;
+mod spec;
+mod uunifast;
+
+pub use builder::TaskSetBuilder;
+pub use error::WorkloadError;
+pub use exec_model::{DemandPattern, ExecutionModel};
+pub use periods::PeriodGenerator;
+pub use recorded::RecordedDemand;
+pub use spec::TaskSetSpec;
+pub use uunifast::{uunifast, uunifast_capped};

@@ -1,0 +1,136 @@
+//! Task-period generators.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How task periods are drawn.
+///
+/// The DVS-EDF literature draws periods log-uniformly over two decades
+/// (e.g. 10 ms – 1 s) so that short- and long-period tasks are equally
+/// represented; discrete-choice and harmonic generators are provided for
+/// controlled studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeriodGenerator {
+    /// `log10(period)` uniform over `[log10(min), log10(max)]`.
+    LogUniform {
+        /// Smallest period, in seconds.
+        min: f64,
+        /// Largest period, in seconds.
+        max: f64,
+    },
+    /// Uniform choice (with replacement) from a fixed menu of periods.
+    Choice {
+        /// The period menu, in seconds.
+        menu: Vec<f64>,
+    },
+    /// Harmonic periods: `base · 2^k` with `k` uniform in `0..octaves`.
+    /// Harmonic sets have tiny hyperperiods, which makes exact
+    /// hyperperiod-aligned simulation cheap.
+    Harmonic {
+        /// Base (smallest) period, in seconds.
+        base: f64,
+        /// Number of octaves (distinct powers of two).
+        octaves: u32,
+    },
+}
+
+impl PeriodGenerator {
+    /// The conventional synthetic setting: log-uniform over 10 ms – 1 s.
+    pub fn literature_default() -> PeriodGenerator {
+        PeriodGenerator::LogUniform {
+            min: 10.0e-3,
+            max: 1.0,
+        }
+    }
+
+    /// Draws `n` periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator's parameters are degenerate (non-positive
+    /// periods, empty menu, `min > max`, or zero octaves).
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            PeriodGenerator::LogUniform { min, max } => {
+                assert!(
+                    *min > 0.0 && max >= min,
+                    "log-uniform range [{min}, {max}] is degenerate"
+                );
+                let (lo, hi) = (min.log10(), max.log10());
+                (0..n)
+                    .map(|_| 10.0_f64.powf(rng.gen_range(lo..=hi)))
+                    .collect()
+            }
+            PeriodGenerator::Choice { menu } => {
+                assert!(!menu.is_empty(), "period menu must not be empty");
+                assert!(menu.iter().all(|&p| p > 0.0), "periods must be positive");
+                (0..n).map(|_| menu[rng.gen_range(0..menu.len())]).collect()
+            }
+            PeriodGenerator::Harmonic { base, octaves } => {
+                assert!(*base > 0.0, "base period must be positive");
+                assert!(*octaves > 0, "need at least one octave");
+                (0..n)
+                    .map(|_| base * f64::from(1u32 << rng.gen_range(0..*octaves)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let g = PeriodGenerator::literature_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ps = g.generate(1000, &mut rng);
+        assert_eq!(ps.len(), 1000);
+        assert!(ps.iter().all(|&p| (10.0e-3..=1.0).contains(&p)));
+        // Both decades should actually be hit.
+        assert!(ps.iter().any(|&p| p < 0.1));
+        assert!(ps.iter().any(|&p| p > 0.1));
+    }
+
+    #[test]
+    fn choice_draws_from_menu() {
+        let menu = vec![4.0e-3, 8.0e-3, 16.0e-3];
+        let g = PeriodGenerator::Choice { menu: menu.clone() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ps = g.generate(100, &mut rng);
+        assert!(ps.iter().all(|p| menu.contains(p)));
+    }
+
+    #[test]
+    fn harmonic_periods_are_powers_of_two() {
+        let g = PeriodGenerator::Harmonic {
+            base: 1.0e-3,
+            octaves: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let ps = g.generate(100, &mut rng);
+        for p in ps {
+            let k = p / 1.0e-3;
+            assert!([1.0, 2.0, 4.0, 8.0].contains(&k), "unexpected multiple {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_range_panics() {
+        let g = PeriodGenerator::LogUniform { min: 1.0, max: 0.5 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = g.generate(1, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = PeriodGenerator::literature_default();
+        let a = g.generate(10, &mut StdRng::seed_from_u64(5));
+        let b = g.generate(10, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

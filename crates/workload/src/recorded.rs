@@ -1,0 +1,154 @@
+//! Replaying recorded per-job demands.
+
+use serde::{Deserialize, Serialize};
+use stadvs_sim::{ExecutionSource, SimOutcome, Task, TaskId};
+
+use crate::WorkloadError;
+
+/// An [`ExecutionSource`] that replays recorded per-task demand traces —
+/// e.g. measurements from an instrumented target, or the realized demands
+/// of a previous simulation ([`RecordedDemand::from_outcome`]). Jobs past
+/// the end of a trace wrap around (periodic replay).
+///
+/// Replay decouples workload *capture* from algorithm evaluation: the same
+/// measured demand sequence can be fed to every governor, to the
+/// clairvoyant analyses, and to future versions of this crate, bit for bit.
+///
+/// ```
+/// use stadvs_sim::{ExecutionSource, Task, TaskId};
+/// use stadvs_workload::RecordedDemand;
+///
+/// # fn main() -> Result<(), stadvs_workload::WorkloadError> {
+/// let trace = RecordedDemand::new(vec![vec![0.3e-3, 0.9e-3]])?;
+/// let task = Task::new(1.0e-3, 10.0e-3).expect("valid task");
+/// assert_eq!(trace.actual_work(TaskId(0), &task, 0), 0.3e-3);
+/// assert_eq!(trace.actual_work(TaskId(0), &task, 1), 0.9e-3);
+/// assert_eq!(trace.actual_work(TaskId(0), &task, 2), 0.3e-3); // wraps
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedDemand {
+    traces: Vec<Vec<f64>>,
+}
+
+impl RecordedDemand {
+    /// Creates a replay source from one demand trace per task (work units —
+    /// full-speed seconds), indexed by [`TaskId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if any trace is empty or
+    /// contains a negative or non-finite demand.
+    pub fn new(traces: Vec<Vec<f64>>) -> Result<RecordedDemand, WorkloadError> {
+        for trace in &traces {
+            if trace.is_empty() {
+                return Err(WorkloadError::InvalidParameter {
+                    name: "trace_len",
+                    value: 0.0,
+                });
+            }
+            if let Some(&bad) = trace.iter().find(|v| !v.is_finite() || **v < 0.0) {
+                return Err(WorkloadError::InvalidParameter {
+                    name: "demand",
+                    value: bad,
+                });
+            }
+        }
+        Ok(RecordedDemand { traces })
+    }
+
+    /// Captures the realized demands of a finished simulation, per task in
+    /// job-index order — replaying them reproduces the exact workload the
+    /// run saw (for cross-governor or cross-version comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if some task released no
+    /// job in the outcome (its trace would be empty).
+    pub fn from_outcome(outcome: &SimOutcome, n_tasks: usize) -> Result<RecordedDemand, WorkloadError> {
+        let mut traces: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n_tasks];
+        for record in &outcome.jobs {
+            if let Some(trace) = traces.get_mut(record.id.task.0) {
+                trace.push((record.id.index, record.actual));
+            }
+        }
+        let traces = traces
+            .into_iter()
+            .map(|mut t| {
+                t.sort_by_key(|&(i, _)| i);
+                t.into_iter().map(|(_, a)| a).collect::<Vec<f64>>()
+            })
+            .collect();
+        RecordedDemand::new(traces)
+    }
+
+    /// The recorded trace of `task`, if present.
+    pub fn trace_of(&self, task: TaskId) -> Option<&[f64]> {
+        self.traces.get(task.0).map(Vec::as_slice)
+    }
+}
+
+impl ExecutionSource for RecordedDemand {
+    fn actual_work(&self, task_id: TaskId, task: &Task, job_index: u64) -> f64 {
+        match self.traces.get(task_id.0) {
+            Some(trace) => trace[(job_index % trace.len() as u64) as usize],
+            None => task.wcet(), // unknown task: conservative worst case
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stadvs_power::Processor;
+    use stadvs_sim::{ConstantRatio, Governor, SimConfig, Simulator, TaskSet};
+
+    #[test]
+    fn validation() {
+        assert!(RecordedDemand::new(vec![vec![]]).is_err());
+        assert!(RecordedDemand::new(vec![vec![0.1, f64::NAN]]).is_err());
+        assert!(RecordedDemand::new(vec![vec![0.1, -0.2]]).is_err());
+        assert!(RecordedDemand::new(vec![vec![0.1]]).is_ok());
+    }
+
+    #[test]
+    fn unknown_task_falls_back_to_worst_case() {
+        let trace = RecordedDemand::new(vec![vec![0.5]]).unwrap();
+        let task = Task::new(2.0, 10.0).unwrap();
+        assert_eq!(trace.actual_work(TaskId(7), &task, 0), 2.0);
+        assert!(trace.trace_of(TaskId(7)).is_none());
+        assert_eq!(trace.trace_of(TaskId(0)), Some(&[0.5][..]));
+    }
+
+    #[test]
+    fn round_trip_through_a_simulation() {
+        use stadvs_power::Speed;
+        use stadvs_sim::{ActiveJob, SchedulerView};
+        struct Full;
+        impl Governor for Full {
+            fn name(&self) -> &str {
+                "full"
+            }
+            fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+                Speed::FULL
+            }
+        }
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(2.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let sim = Simulator::new(
+            tasks.clone(),
+            Processor::ideal_continuous(),
+            SimConfig::new(16.0).unwrap(),
+        )
+        .unwrap();
+        let original = sim.run(&mut Full, &ConstantRatio::new(0.7)).unwrap();
+        let replay_src = RecordedDemand::from_outcome(&original, tasks.len()).unwrap();
+        let replay = sim.run(&mut Full, &replay_src).unwrap();
+        assert_eq!(original.jobs, replay.jobs);
+        assert_eq!(original.total_energy(), replay.total_energy());
+    }
+}

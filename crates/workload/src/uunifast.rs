@@ -1,0 +1,143 @@
+//! The UUniFast utilization-splitting algorithm.
+
+use rand::Rng;
+
+/// Splits a total utilization into `n` per-task utilizations, uniformly
+/// distributed over the simplex (Bini & Buttazzo's UUniFast).
+///
+/// UUniFast is the standard generator of unbiased synthetic task sets in the
+/// real-time literature, including the DVS-EDF comparison studies this
+/// repository reproduces.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not finite and positive. Individual
+/// utilizations may exceed 1 when `total > 1`; callers simulating a single
+/// processor should keep `total <= 1`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let parts = stadvs_workload::uunifast(5, 0.8, &mut rng);
+/// assert_eq!(parts.len(), 5);
+/// let sum: f64 = parts.iter().sum();
+/// assert!((sum - 0.8).abs() < 1e-12);
+/// ```
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "cannot split utilization over zero tasks");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization {total} must be finite and positive"
+    );
+    let mut parts = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next: f64 = sum * rng.gen::<f64>().powf(exponent);
+        parts.push(sum - next);
+        sum = next;
+    }
+    parts.push(sum);
+    parts
+}
+
+/// Like [`uunifast`], but rejects (re-draws) any sample in which a single
+/// task's utilization exceeds `cap`. Useful to avoid degenerate sets where
+/// one task dominates the processor.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`uunifast`], if `cap * n < total`
+/// (which would make the rejection loop unsatisfiable), or if no admissible
+/// sample is found within 10 000 draws.
+pub fn uunifast_capped<R: Rng + ?Sized>(n: usize, total: f64, cap: f64, rng: &mut R) -> Vec<f64> {
+    assert!(
+        cap * n as f64 >= total,
+        "cap {cap} with {n} tasks cannot reach total {total}"
+    );
+    for _ in 0..10_000 {
+        let parts = uunifast(n, total, rng);
+        if parts.iter().all(|&u| u <= cap) {
+            return parts;
+        }
+    }
+    panic!("no admissible UUniFast sample within 10000 draws (n={n}, total={total}, cap={cap})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &total in &[0.1, 0.5, 0.9, 1.0] {
+            for &n in &[1usize, 2, 5, 20] {
+                let parts = uunifast(n, total, &mut rng);
+                assert_eq!(parts.len(), n);
+                let sum: f64 = parts.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n}, total={total}");
+                assert!(parts.iter().all(|&u| u >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = uunifast(8, 0.7, &mut StdRng::seed_from_u64(1));
+        let b = uunifast(8, 0.7, &mut StdRng::seed_from_u64(1));
+        let c = uunifast(8, 0.7, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn capped_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let parts = uunifast_capped(4, 0.9, 0.5, &mut rng);
+            assert!(parts.iter().all(|&u| u <= 0.5));
+            let sum: f64 = parts.iter().sum();
+            assert!((sum - 0.9).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reach total")]
+    fn capped_rejects_unsatisfiable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = uunifast_capped(2, 1.0, 0.4, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tasks")]
+    fn zero_tasks_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = uunifast(0, 0.5, &mut rng);
+    }
+
+    /// Statistical sanity: mean per-task utilization is total/n.
+    #[test]
+    fn mean_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 5;
+        let total = 0.8;
+        let trials = 2_000;
+        let mut sums = vec![0.0; n];
+        for _ in 0..trials {
+            for (s, u) in sums.iter_mut().zip(uunifast(n, total, &mut rng)) {
+                *s += u;
+            }
+        }
+        for s in sums {
+            let mean = s / trials as f64;
+            assert!(
+                (mean - total / n as f64).abs() < 0.02,
+                "per-slot mean {mean} deviates from {}",
+                total / n as f64
+            );
+        }
+    }
+}

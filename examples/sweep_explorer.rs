@@ -1,0 +1,74 @@
+//! Interactive parameter exploration: compare the whole governor lineup on
+//! synthetic workloads of your choosing.
+//!
+//! ```sh
+//! cargo run --release --example sweep_explorer -- [n_tasks] [utilization] [bcet_ratio] [seeds]
+//! cargo run --release --example sweep_explorer -- 12 0.85 0.3 10
+//! ```
+
+use stadvs::power::Processor;
+use stadvs::workload::DemandPattern;
+use stadvs_experiments::{Comparison, Table, WorkloadCase, ORACLE, STANDARD_LINEUP, YDS_BOUND};
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_tasks: usize = arg(1, 8);
+    let utilization: f64 = arg(2, 0.7);
+    let bcet_ratio: f64 = arg(3, 0.5);
+    let seeds: u64 = arg(4, 10);
+    eprintln!(
+        "comparing {} governors on {n_tasks} tasks, U = {utilization}, \
+         BCET/WCET = {bcet_ratio}, {seeds} random sets...",
+        STANDARD_LINEUP.len() + 2
+    );
+
+    let mut lineup: Vec<&str> = STANDARD_LINEUP.to_vec();
+    lineup.push(ORACLE);
+    lineup.push(YDS_BOUND);
+    let comparison =
+        Comparison::new(Processor::ideal_continuous(), 4.0).with_governors(lineup.iter().copied());
+
+    let cases: Vec<WorkloadCase> = (0..seeds)
+        .map(|seed| {
+            WorkloadCase::synthetic(
+                n_tasks,
+                utilization,
+                DemandPattern::Uniform {
+                    min: bcet_ratio,
+                    max: 1.0,
+                },
+                seed,
+            )
+        })
+        .collect();
+    let aggregated = comparison.run_cases(&cases);
+
+    let mut table = Table::new(
+        format!("sweep: {n_tasks} tasks, U = {utilization}, BCET/WCET = {bcet_ratio}"),
+        "governor",
+        vec![
+            "normalized energy".to_string(),
+            "± std".to_string(),
+            "switches/job".to_string(),
+            "misses".to_string(),
+        ],
+    );
+    for a in &aggregated {
+        table.push_row(
+            a.name.clone(),
+            vec![
+                a.mean_normalized,
+                a.std_normalized,
+                a.switches_per_job,
+                a.total_misses as f64,
+            ],
+        );
+    }
+    println!("{table}");
+}

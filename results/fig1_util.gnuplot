@@ -1,0 +1,17 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'fig1_util.svg'
+set title "fig1_util — normalized energy vs worst-case utilization (8 tasks, uniform demand 0.5–1.0 WCET)" noenhanced
+set xlabel "U" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'fig1_util.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'fig1_util.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'fig1_util.csv' using 1:4 skip 1 with linespoints title "lpps-edf" noenhanced, \
+     'fig1_util.csv' using 1:5 skip 1 with linespoints title "cc-edf" noenhanced, \
+     'fig1_util.csv' using 1:6 skip 1 with linespoints title "dra" noenhanced, \
+     'fig1_util.csv' using 1:7 skip 1 with linespoints title "dra-ote" noenhanced, \
+     'fig1_util.csv' using 1:8 skip 1 with linespoints title "feedback-edf" noenhanced, \
+     'fig1_util.csv' using 1:9 skip 1 with linespoints title "la-edf" noenhanced, \
+     'fig1_util.csv' using 1:10 skip 1 with linespoints title "st-edf" noenhanced

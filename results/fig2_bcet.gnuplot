@@ -1,0 +1,17 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'fig2_bcet.svg'
+set title "fig2_bcet — normalized energy vs BCET/WCET ratio (8 tasks, U = 0.7)" noenhanced
+set xlabel "BCET/WCET" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'fig2_bcet.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'fig2_bcet.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'fig2_bcet.csv' using 1:4 skip 1 with linespoints title "lpps-edf" noenhanced, \
+     'fig2_bcet.csv' using 1:5 skip 1 with linespoints title "cc-edf" noenhanced, \
+     'fig2_bcet.csv' using 1:6 skip 1 with linespoints title "dra" noenhanced, \
+     'fig2_bcet.csv' using 1:7 skip 1 with linespoints title "dra-ote" noenhanced, \
+     'fig2_bcet.csv' using 1:8 skip 1 with linespoints title "feedback-edf" noenhanced, \
+     'fig2_bcet.csv' using 1:9 skip 1 with linespoints title "la-edf" noenhanced, \
+     'fig2_bcet.csv' using 1:10 skip 1 with linespoints title "st-edf" noenhanced

@@ -1,0 +1,17 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'fig3_ntasks.svg'
+set title "fig3_ntasks — normalized energy vs task-set size (U = 0.7, BCET/WCET = 0.5)" noenhanced
+set xlabel "tasks" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'fig3_ntasks.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'fig3_ntasks.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'fig3_ntasks.csv' using 1:4 skip 1 with linespoints title "lpps-edf" noenhanced, \
+     'fig3_ntasks.csv' using 1:5 skip 1 with linespoints title "cc-edf" noenhanced, \
+     'fig3_ntasks.csv' using 1:6 skip 1 with linespoints title "dra" noenhanced, \
+     'fig3_ntasks.csv' using 1:7 skip 1 with linespoints title "dra-ote" noenhanced, \
+     'fig3_ntasks.csv' using 1:8 skip 1 with linespoints title "feedback-edf" noenhanced, \
+     'fig3_ntasks.csv' using 1:9 skip 1 with linespoints title "la-edf" noenhanced, \
+     'fig3_ntasks.csv' using 1:10 skip 1 with linespoints title "st-edf" noenhanced

@@ -1,0 +1,12 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'fig7_leakage.svg'
+set title "fig7_leakage — normalized energy vs static power (8 tasks, U = 0.7, BCET/WCET = 0.2)" noenhanced
+set xlabel "P_static/P_max" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'fig7_leakage.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'fig7_leakage.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'fig7_leakage.csv' using 1:4 skip 1 with linespoints title "st-edf" noenhanced, \
+     'fig7_leakage.csv' using 1:5 skip 1 with linespoints title "st-edf-cs" noenhanced

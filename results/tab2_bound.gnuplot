@@ -1,0 +1,14 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'tab2_bound.svg'
+set title "tab2_bound — energy above the YDS clairvoyant optimum, in percent (8 tasks, BCET/WCET = 0.5)" noenhanced
+set xlabel "U" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'tab2_bound.csv' using 1:2 skip 1 with linespoints title "static-edf" noenhanced, \
+     'tab2_bound.csv' using 1:3 skip 1 with linespoints title "cc-edf" noenhanced, \
+     'tab2_bound.csv' using 1:4 skip 1 with linespoints title "dra" noenhanced, \
+     'tab2_bound.csv' using 1:5 skip 1 with linespoints title "la-edf" noenhanced, \
+     'tab2_bound.csv' using 1:6 skip 1 with linespoints title "st-edf" noenhanced, \
+     'tab2_bound.csv' using 1:7 skip 1 with linespoints title "oracle-static" noenhanced

@@ -1,0 +1,17 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'tab4_switches.svg'
+set title "tab4_switches — speed switches per job (8 tasks, BCET/WCET = 0.5)" noenhanced
+set xlabel "U" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'tab4_switches.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'tab4_switches.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'tab4_switches.csv' using 1:4 skip 1 with linespoints title "lpps-edf" noenhanced, \
+     'tab4_switches.csv' using 1:5 skip 1 with linespoints title "cc-edf" noenhanced, \
+     'tab4_switches.csv' using 1:6 skip 1 with linespoints title "dra" noenhanced, \
+     'tab4_switches.csv' using 1:7 skip 1 with linespoints title "dra-ote" noenhanced, \
+     'tab4_switches.csv' using 1:8 skip 1 with linespoints title "feedback-edf" noenhanced, \
+     'tab4_switches.csv' using 1:9 skip 1 with linespoints title "la-edf" noenhanced, \
+     'tab4_switches.csv' using 1:10 skip 1 with linespoints title "st-edf" noenhanced

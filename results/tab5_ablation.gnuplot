@@ -1,0 +1,13 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'tab5_ablation.svg'
+set title "tab5_ablation — stEDF slack-source ablation, normalized energy (8 tasks, U = 0.7)" noenhanced
+set xlabel "BCET/WCET" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'tab5_ablation.csv' using 1:2 skip 1 with linespoints title "st-edf" noenhanced, \
+     'tab5_ablation.csv' using 1:3 skip 1 with linespoints title "st-edf[d]" noenhanced, \
+     'tab5_ablation.csv' using 1:4 skip 1 with linespoints title "st-edf[a]" noenhanced, \
+     'tab5_ablation.csv' using 1:5 skip 1 with linespoints title "st-edf[r]" noenhanced, \
+     'tab5_ablation.csv' using 1:6 skip 1 with linespoints title "dra" noenhanced

@@ -1,0 +1,11 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'tab6_pace.svg'
+set title "tab6_pace — intra-job acceleration, normalized energy (8 tasks, U = 0.7)" noenhanced
+set xlabel "BCET/WCET" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'tab6_pace.csv' using 1:2 skip 1 with linespoints title "static-edf" noenhanced, \
+     'tab6_pace.csv' using 1:3 skip 1 with linespoints title "st-edf" noenhanced, \
+     'tab6_pace.csv' using 1:4 skip 1 with linespoints title "st-edf-pace" noenhanced

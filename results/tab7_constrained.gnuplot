@@ -1,0 +1,14 @@
+set terminal svg size 900,560 dynamic background rgb 'white'
+set output 'tab7_constrained.svg'
+set title "tab7_constrained — normalized energy vs deadline/period fraction (6 tasks, U = 0.5)" noenhanced
+set xlabel "D/T" noenhanced
+set ylabel "normalized energy"
+set key outside right
+set grid
+set datafile separator ','
+plot 'tab7_constrained.csv' using 1:2 skip 1 with linespoints title "no-dvs" noenhanced, \
+     'tab7_constrained.csv' using 1:3 skip 1 with linespoints title "static-edf" noenhanced, \
+     'tab7_constrained.csv' using 1:4 skip 1 with linespoints title "lpps-edf" noenhanced, \
+     'tab7_constrained.csv' using 1:5 skip 1 with linespoints title "dra" noenhanced, \
+     'tab7_constrained.csv' using 1:6 skip 1 with linespoints title "feedback-edf" noenhanced, \
+     'tab7_constrained.csv' using 1:7 skip 1 with linespoints title "st-edf" noenhanced

@@ -1,0 +1,218 @@
+//! Cross-validation of the off-line analyses against the simulator and
+//! against each other: QPA vs brute simulation, the oracle static speed vs
+//! the YDS peak, and minimum-static-speed tightness on random sets.
+
+use proptest::prelude::*;
+use stadvs::analysis::{
+    edf_schedulable, materialize_jobs, minimum_static_speed, optimal_static_speed, yds_schedule,
+    SchedulabilityTest, WorkKind,
+};
+use stadvs::power::{Processor, Speed};
+use stadvs::sim::{
+    ActiveJob, ConstantRatio, Governor, MissPolicy, SchedulerView, SimConfig, Simulator, Task,
+    TaskSet, WorstCase,
+};
+
+struct Fixed(Speed);
+impl Governor for Fixed {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+    fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+        self.0
+    }
+}
+
+fn random_constrained_set(seed: u64, n: usize) -> TaskSet {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::new();
+    for _ in 0..n {
+        let period: f64 = rng.gen_range(2.0..20.0_f64).round();
+        let wcet = rng.gen_range(0.1..(0.9 * period / n as f64));
+        let deadline = rng.gen_range(wcet..=period);
+        tasks.push(Task::with_deadline(wcet, period, deadline).expect("valid"));
+    }
+    TaskSet::new(tasks).expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// QPA's verdict matches a synchronous worst-case simulation at full
+    /// speed (the synchronous pattern is the worst case for EDF).
+    #[test]
+    fn qpa_agrees_with_simulation(seed in 0u64..100_000, n in 2usize..6) {
+        let tasks = random_constrained_set(seed, n);
+        if tasks.density() > 1.0 {
+            // The simulator (rightly) refuses sets that cannot be hard
+            // real-time on any processor.
+            return Ok(());
+        }
+        let horizon = (tasks.hyperperiod().unwrap_or(200.0))
+            .min(200.0)
+            .max(4.0 * tasks.max_period());
+        let sim = Simulator::new(
+            tasks.clone(),
+            Processor::ideal_continuous(),
+            SimConfig::new(horizon).expect("valid"),
+        )
+        .expect("density checked above");
+        let outcome = sim.run(&mut Fixed(Speed::FULL), &WorstCase).expect("runs");
+        match edf_schedulable(&tasks) {
+            SchedulabilityTest::Schedulable => {
+                prop_assert_eq!(
+                    outcome.miss_count(),
+                    0,
+                    "QPA said schedulable but the simulation missed"
+                );
+            }
+            SchedulabilityTest::Unschedulable { counterexample } => {
+                // The violation is at a concrete time; the synchronous
+                // simulation must also miss (if the horizon covers it).
+                if counterexample <= horizon {
+                    prop_assert!(
+                        outcome.miss_count() > 0,
+                        "QPA found a violation at {counterexample} but the simulation met all deadlines"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The clairvoyant static-optimal speed equals the YDS peak speed (the
+    /// first critical interval's intensity) and is tight against simulation.
+    #[test]
+    fn oracle_speed_equals_yds_peak_and_is_tight(
+        seed in 0u64..100_000,
+        n in 2usize..7,
+        utilization in 0.2f64..0.95,
+        ratio in 0.2f64..=1.0,
+    ) {
+        use stadvs::workload::TaskSetSpec;
+        let tasks = TaskSetSpec::new(n, utilization)
+            .expect("valid")
+            .with_seed(seed)
+            .generate()
+            .expect("generates");
+        let exec = ConstantRatio::new(ratio);
+        let horizon = 1.5;
+        let jobs = materialize_jobs(&tasks, &exec, horizon);
+        let jobs = stadvs::analysis::due_within(&jobs, horizon);
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let oracle = optimal_static_speed(&jobs, WorkKind::Actual);
+        let yds_peak = yds_schedule(&jobs, WorkKind::Actual).peak_speed();
+        prop_assert!(
+            (oracle - yds_peak).abs() < 1e-9,
+            "oracle {oracle} != YDS peak {yds_peak}"
+        );
+        // Tightness: the oracle speed meets every due deadline... (use a
+        // near-zero platform floor so quantize-up cannot silently rescue
+        // the deliberately-too-slow run below).
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous_with_floor(1.0e-6).expect("valid floor"),
+            SimConfig::new(horizon)
+                .expect("valid")
+                .with_miss_policy(MissPolicy::Record),
+        )
+        .expect("feasible");
+        if oracle <= 1.0 && oracle > 0.0 {
+            let out = sim
+                .run(&mut Fixed(Speed::new(oracle.min(1.0)).expect("valid")), &exec)
+                .expect("runs");
+            prop_assert_eq!(out.miss_count(), 0, "oracle speed missed");
+            // ...and 95 % of it does not (when meaningfully below 1).
+            if oracle < 0.95 {
+                let slow = sim
+                    .run(
+                        &mut Fixed(Speed::new(oracle * 0.95).expect("valid")),
+                        &exec,
+                    )
+                    .expect("runs");
+                prop_assert!(slow.miss_count() > 0, "oracle speed is not tight");
+            }
+        }
+    }
+
+    /// The design-time minimum static speed is *sufficient* on random
+    /// constrained-deadline sets: worst-case simulation at that speed never
+    /// misses (this exact property caught a horizon bug — the binding
+    /// deadline can lie beyond the full-speed busy period).
+    #[test]
+    fn minimum_static_speed_is_sufficient_for_constrained_deadlines(
+        seed in 0u64..1_000_000,
+        n in 2usize..7,
+        utilization in 0.1f64..=0.6,
+        fraction in 0.55f64..=1.0,
+    ) {
+        use stadvs::sim::TaskSet;
+        use stadvs::workload::TaskSetSpec;
+        let base = TaskSetSpec::new(n, utilization)
+            .expect("valid")
+            .with_seed(seed)
+            .generate()
+            .expect("generates");
+        let tasks = TaskSet::new(
+            base.iter()
+                .map(|(_, t)| {
+                    let deadline = (fraction * t.period()).max(t.wcet());
+                    Task::with_deadline(t.wcet(), t.period(), deadline).expect("valid")
+                })
+                .collect(),
+        )
+        .expect("non-empty");
+        if tasks.density() > 1.0 {
+            // U up to 0.6 with fractions down to 0.55 can overshoot the
+            // density bound; such sets cannot be hard real-time at all.
+            return Ok(());
+        }
+        let speed = minimum_static_speed(&tasks);
+        prop_assert!(speed <= 1.0 + 1e-9, "density-bounded set infeasible?");
+        let sim = Simulator::new(
+            tasks,
+            Processor::ideal_continuous_with_floor(1.0e-6).expect("valid floor"),
+            SimConfig::new(3.0)
+                .expect("valid")
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .expect("feasible");
+        let clamped = Speed::new((speed + 1e-9).min(1.0)).expect("valid");
+        let out = sim.run(&mut Fixed(clamped), &WorstCase);
+        prop_assert!(
+            out.is_ok(),
+            "minimum static speed {speed} missed: {:?}",
+            out.err()
+        );
+    }
+
+    /// The design-time minimum static speed upper-bounds the realized
+    /// (clairvoyant) one, and equals it under worst-case demand.
+    #[test]
+    fn static_speed_bounds_relate(seed in 0u64..100_000, n in 2usize..6) {
+        use stadvs::workload::TaskSetSpec;
+        let tasks = TaskSetSpec::new(n, 0.8)
+            .expect("valid")
+            .with_seed(seed)
+            .generate()
+            .expect("generates");
+        let design = minimum_static_speed(&tasks);
+        let horizon = 1.0;
+        let worst_jobs = stadvs::analysis::due_within(
+            &materialize_jobs(&tasks, &WorstCase, horizon),
+            horizon,
+        );
+        let light_jobs = stadvs::analysis::due_within(
+            &materialize_jobs(&tasks, &ConstantRatio::new(0.4), horizon),
+            horizon,
+        );
+        let realized_worst = optimal_static_speed(&worst_jobs, WorkKind::Actual);
+        let realized_light = optimal_static_speed(&light_jobs, WorkKind::Actual);
+        prop_assert!(realized_worst <= design + 1e-9,
+            "realized worst {realized_worst} exceeds design bound {design}");
+        prop_assert!(realized_light <= realized_worst + 1e-9);
+    }
+}

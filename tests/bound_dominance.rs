@@ -1,0 +1,113 @@
+//! Lower-bound dominance: the YDS clairvoyant optimum must never exceed any
+//! governor's energy, and the bound hierarchy must hold:
+//! `YDS ≤ oracle-static ≤ st-edf` (on average) `≤ no-dvs`.
+
+use stadvs::analysis::{due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind};
+use stadvs::experiments::{make_governor, WorkloadCase, STANDARD_LINEUP};
+use stadvs::power::Processor;
+use stadvs::sim::{SimConfig, Simulator};
+use stadvs::workload::DemandPattern;
+
+const HORIZON: f64 = 2.0;
+
+fn cases() -> Vec<WorkloadCase> {
+    let mut out = Vec::new();
+    for (i, &u) in [0.3, 0.5, 0.7, 0.9].iter().enumerate() {
+        for seed in 0..4u64 {
+            out.push(WorkloadCase::synthetic(
+                6,
+                u,
+                DemandPattern::Uniform { min: 0.4, max: 1.0 },
+                seed + (i as u64) * 100,
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn yds_lower_bounds_every_governor() {
+    let processor = Processor::ideal_continuous();
+    for case in cases() {
+        let jobs = materialize_jobs(&case.tasks, &case.exec, HORIZON);
+        let due = due_within(&jobs, HORIZON);
+        let bound = yds_schedule(&due, WorkKind::Actual).energy(processor.power_model());
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            processor.clone(),
+            SimConfig::new(HORIZON).expect("valid horizon"),
+        )
+        .expect("feasible");
+        for name in STANDARD_LINEUP {
+            let mut governor = make_governor(name).expect("resolves");
+            let out = sim.run(governor.as_mut(), &case.exec).expect("runs");
+            assert!(
+                bound <= out.total_energy() + 1e-9,
+                "YDS bound {bound} exceeds {name} energy {} (U = {:.2})",
+                out.total_energy(),
+                case.tasks.utilization()
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_hierarchy_holds() {
+    let processor = Processor::ideal_continuous();
+    let mut sums = (0.0, 0.0, 0.0, 0.0); // yds, oracle, st-edf, no-dvs
+    for case in cases() {
+        let jobs = materialize_jobs(&case.tasks, &case.exec, HORIZON);
+        let due = due_within(&jobs, HORIZON);
+        let yds = yds_schedule(&due, WorkKind::Actual).energy(processor.power_model());
+        let oracle_speed = optimal_static_speed(&due, WorkKind::Actual)
+            .clamp(processor.min_speed().ratio(), 1.0);
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            processor.clone(),
+            SimConfig::new(HORIZON).expect("valid horizon"),
+        )
+        .expect("feasible");
+
+        let mut oracle = stadvs::baselines::OracleStatic::new(
+            stadvs::power::Speed::new(oracle_speed).expect("in range"),
+        );
+        let oracle_energy = sim.run(&mut oracle, &case.exec).expect("runs").total_energy();
+        let mut stedf = make_governor("st-edf").expect("resolves");
+        let stedf_energy = sim
+            .run(stedf.as_mut(), &case.exec)
+            .expect("runs")
+            .total_energy();
+        let mut nodvs = make_governor("no-dvs").expect("resolves");
+        let nodvs_energy = sim
+            .run(nodvs.as_mut(), &case.exec)
+            .expect("runs")
+            .total_energy();
+
+        // Per-case hard relations.
+        assert!(yds <= oracle_energy + 1e-9, "YDS above the static oracle");
+        assert!(
+            stedf_energy <= nodvs_energy + 1e-9,
+            "st-edf above no-dvs"
+        );
+        sums.0 += yds;
+        sums.1 += oracle_energy;
+        sums.2 += stedf_energy;
+        sums.3 += nodvs_energy;
+    }
+    // On average the on-line algorithm sits between the clairvoyant bounds
+    // and the baseline.
+    assert!(sums.0 <= sums.1 && sums.1 <= sums.2 + 1e-9 && sums.2 <= sums.3);
+}
+
+#[test]
+fn worst_case_demand_collapses_bounds_to_static() {
+    // With actual == WCET, the oracle static speed equals the worst-case
+    // peak intensity, and YDS of the realized workload equals YDS of the
+    // worst case.
+    let case = WorkloadCase::synthetic(5, 0.6, DemandPattern::Constant { ratio: 1.0 }, 9);
+    let jobs = materialize_jobs(&case.tasks, &case.exec, HORIZON);
+    let due = due_within(&jobs, HORIZON);
+    let actual = optimal_static_speed(&due, WorkKind::Actual);
+    let worst = optimal_static_speed(&due, WorkKind::WorstCase);
+    assert!((actual - worst).abs() < 1e-12);
+}

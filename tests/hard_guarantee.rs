@@ -1,0 +1,267 @@
+//! The central property of the whole repository: **every governor meets
+//! every deadline on every feasible workload** — enforced with randomized
+//! task sets, demand patterns, and utilizations, under the strict
+//! [`MissPolicy::Fail`] policy plus the independent trace audit.
+
+use proptest::prelude::*;
+use stadvs::analysis::validate_outcome;
+use stadvs::experiments::{make_governor, WorkloadCase};
+use stadvs::power::Processor;
+use stadvs::sim::{MissPolicy, SimConfig, Simulator};
+use stadvs::workload::DemandPattern;
+
+const GOVERNORS: &[&str] = &[
+    "no-dvs",
+    "static-edf",
+    "lpps-edf",
+    "cc-edf",
+    "dra",
+    "dra-ote",
+    "feedback-edf",
+    "la-edf",
+    "st-edf",
+    "st-edf[r]",
+    "st-edf[a]",
+    "st-edf[d]",
+    "st-edf-pace",
+    "st-edf-cs",
+];
+
+fn pattern_strategy() -> impl Strategy<Value = DemandPattern> {
+    prop_oneof![
+        (0.0..=1.0_f64).prop_map(|ratio| DemandPattern::Constant { ratio }),
+        (0.0..=1.0_f64).prop_map(|min| DemandPattern::Uniform { min, max: 1.0 }),
+        (0.1..=0.9_f64, 0.05..=0.4_f64).prop_map(|(mean, std_dev)| DemandPattern::Normal {
+            mean,
+            std_dev,
+            floor: 0.01,
+        }),
+        (0.05..=0.5_f64, 0.05..=0.45_f64).prop_map(|(low, spread)| DemandPattern::Bimodal {
+            low,
+            high: (low + spread + 0.1).min(1.0),
+            high_probability: 0.3,
+        }),
+        (2u32..=30).prop_map(|burst_jobs| DemandPattern::Bursty {
+            low: 0.1,
+            high: 0.95,
+            burst_jobs,
+            duty: 0.5,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random (n, U, pattern, seed) → all governors, zero misses, clean
+    /// audit.
+    #[test]
+    fn no_governor_ever_misses(
+        n_tasks in 2usize..10,
+        utilization in 0.1f64..=1.0,
+        pattern in pattern_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let case = WorkloadCase::synthetic(n_tasks, utilization, pattern, seed);
+        let processor = Processor::ideal_continuous();
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            processor.clone(),
+            SimConfig::new(1.5)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail)
+                .with_trace(true),
+        )
+        .expect("generated sets are feasible");
+        for name in GOVERNORS {
+            let mut governor = make_governor(name).expect("governor resolves");
+            let outcome = sim
+                .run(governor.as_mut(), &case.exec)
+                .unwrap_or_else(|e| panic!("{name} violated the hard guarantee: {e}"));
+            let report = validate_outcome(&outcome, &case.tasks, &processor);
+            prop_assert!(
+                report.is_clean(),
+                "{name} failed the audit: {report}"
+            );
+        }
+    }
+
+    /// Discrete platforms quantize speeds up; the guarantee must survive
+    /// coarse operating-point grids.
+    #[test]
+    fn discrete_platforms_preserve_the_guarantee(
+        levels in 2usize..8,
+        utilization in 0.2f64..=1.0,
+        bcet in 0.0f64..=1.0,
+        seed in 0u64..100_000,
+    ) {
+        let case = WorkloadCase::synthetic(
+            5,
+            utilization,
+            DemandPattern::Uniform { min: bcet, max: 1.0 },
+            seed,
+        );
+        let processor = Processor::uniform_discrete(levels).expect("levels >= 1");
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            processor,
+            SimConfig::new(1.0)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .expect("feasible");
+        for name in ["static-edf", "cc-edf", "dra", "la-edf", "st-edf"] {
+            let mut governor = make_governor(name).expect("resolves");
+            let out = sim.run(governor.as_mut(), &case.exec);
+            prop_assert!(out.is_ok(), "{name} missed on {levels}-level platform");
+        }
+    }
+
+    /// Constrained deadlines (`D < T`) break the naive `1/U` canonical
+    /// stretch; the governors whose arguments extend (the slack-analysis
+    /// family, the canonical-stretch baselines rebased on the dbf-intensity
+    /// speed, and the stretch/full-speed schemes) must stay spotless.
+    /// (ccEDF and laEDF are excluded: their published utilization-bound
+    /// arguments genuinely assume implicit deadlines.)
+    #[test]
+    fn constrained_deadlines_preserve_the_guarantee(
+        n_tasks in 2usize..7,
+        utilization in 0.1f64..=0.55,
+        deadline_fraction in 0.6f64..=1.0,
+        bcet in 0.0f64..=1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        use stadvs::sim::{Task, TaskSet};
+        let base = WorkloadCase::synthetic(
+            n_tasks,
+            utilization,
+            DemandPattern::Uniform { min: bcet, max: 1.0 },
+            seed,
+        );
+        // Shrink every deadline; density stays ≤ U / fraction ≤ 0.92.
+        let tasks = TaskSet::new(
+            base.tasks
+                .iter()
+                .map(|(_, t)| {
+                    let deadline = (deadline_fraction * t.period()).max(t.wcet());
+                    Task::with_deadline(t.wcet(), t.period(), deadline).expect("valid")
+                })
+                .collect(),
+        )
+        .expect("non-empty");
+        let processor = Processor::ideal_continuous();
+        let sim = Simulator::new(
+            tasks.clone(),
+            processor.clone(),
+            SimConfig::new(1.5)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail)
+                .with_trace(true),
+        )
+        .expect("density bounded above");
+        for name in [
+            "no-dvs",
+            "static-edf",
+            "lpps-edf",
+            "dra",
+            "dra-ote",
+            "feedback-edf",
+            "st-edf",
+            "st-edf[r]",
+            "st-edf[a]",
+            "st-edf[d]",
+            "st-edf-pace",
+        ] {
+            let mut governor = make_governor(name).expect("resolves");
+            let outcome = sim
+                .run(governor.as_mut(), &base.exec)
+                .unwrap_or_else(|e| panic!("{name} missed under constrained deadlines: {e}"));
+            let report = validate_outcome(&outcome, &tasks, &processor);
+            prop_assert!(report.is_clean(), "{name} failed the audit: {report}");
+        }
+    }
+
+    /// Asynchronous releases (random per-task phases) must not break any
+    /// governor: every safety argument in the repository is phase-agnostic
+    /// (synchronous arrivals are the worst case, but bookkeeping bugs love
+    /// offsets).
+    #[test]
+    fn random_phases_preserve_the_guarantee(
+        n_tasks in 2usize..8,
+        utilization in 0.1f64..=1.0,
+        bcet in 0.0f64..=1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        use stadvs::workload::{ExecutionModel, TaskSetSpec};
+        let tasks = TaskSetSpec::new(n_tasks, utilization)
+            .expect("valid")
+            .with_random_phases(true)
+            .with_seed(seed)
+            .generate()
+            .expect("generates");
+        let exec = ExecutionModel::uniform_bcet(bcet)
+            .expect("valid")
+            .with_seed(seed ^ 0xFEED);
+        let processor = Processor::ideal_continuous();
+        let sim = Simulator::new(
+            tasks.clone(),
+            processor.clone(),
+            SimConfig::new(1.5)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail)
+                .with_trace(true),
+        )
+        .expect("feasible");
+        for name in GOVERNORS {
+            let mut governor = make_governor(name).expect("resolves");
+            let outcome = sim
+                .run(governor.as_mut(), &exec)
+                .unwrap_or_else(|e| panic!("{name} missed with phases: {e}"));
+            let report = validate_outcome(&outcome, &tasks, &processor);
+            prop_assert!(report.is_clean(), "{name} failed the audit: {report}");
+        }
+    }
+
+    /// With transition overhead, the overhead-aware variant must still be
+    /// spotless (the oblivious ones are allowed to fail here — that hazard
+    /// is the point of the fig5 experiment).
+    #[test]
+    fn overhead_aware_variant_is_always_safe(
+        latency_us in 0.0f64..=1000.0,
+        utilization in 0.2f64..=1.0,
+        seed in 0u64..100_000,
+    ) {
+        use stadvs::power::{TransitionEnergy, TransitionOverhead};
+        let case = WorkloadCase::synthetic(
+            6,
+            utilization,
+            DemandPattern::Uniform { min: 0.3, max: 1.0 },
+            seed,
+        );
+        let overhead = TransitionOverhead::new(
+            latency_us * 1.0e-6,
+            TransitionEnergy::Constant(1.0e-6),
+        )
+        .expect("valid overhead");
+        let processor = Processor::ideal_continuous().with_overhead(overhead);
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            processor,
+            SimConfig::new(1.5)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .expect("feasible");
+        let mut governor = make_governor("st-edf-oa").expect("resolves");
+        let out = sim.run(governor.as_mut(), &case.exec);
+        prop_assert!(
+            out.is_ok(),
+            "st-edf-oa missed at {latency_us} µs: {:?}",
+            out.err()
+        );
+    }
+}
