@@ -60,9 +60,7 @@ where
             if release >= horizon {
                 break;
             }
-            let actual = exec
-                .actual_work(id, task, index)
-                .clamp(0.0, task.wcet());
+            let actual = exec.actual_work(id, task, index).clamp(0.0, task.wcet());
             jobs.push(JobInstance {
                 id: JobId { task: id, index },
                 release,
@@ -110,10 +108,7 @@ mod tests {
         let jobs = materialize_jobs(&tasks(), &WorstCase, 12.0);
         // T0: 0,4,8 → 3 jobs; T1: 0,6 → 2 jobs.
         assert_eq!(jobs.len(), 5);
-        assert_eq!(
-            jobs.iter().filter(|j| j.id.task.0 == 0).count(),
-            3
-        );
+        assert_eq!(jobs.iter().filter(|j| j.id.task.0 == 0).count(), 3);
     }
 
     #[test]

@@ -108,7 +108,11 @@ mod tests {
             SimConfig::new(32.0).unwrap(),
         )
         .unwrap();
-        (sim.run(&mut Fixed(speed), &ConstantRatio::new(1.0)).unwrap(), tasks)
+        (
+            sim.run(&mut Fixed(speed), &ConstantRatio::new(1.0))
+                .unwrap(),
+            tasks,
+        )
     }
 
     #[test]

@@ -82,10 +82,7 @@ pub fn edf_schedulable(tasks: &TaskSet) -> SchedulabilityTest {
 }
 
 fn analysis_bound(tasks: &TaskSet, u: f64) -> f64 {
-    let d_max = tasks
-        .iter()
-        .map(|(_, t)| t.deadline())
-        .fold(0.0, f64::max);
+    let d_max = tasks.iter().map(|(_, t)| t.deadline()).fold(0.0, f64::max);
     let la = if u < 1.0 - 1.0e-12 {
         let num: f64 = tasks
             .iter()
@@ -93,10 +90,7 @@ fn analysis_bound(tasks: &TaskSet, u: f64) -> f64 {
             .sum();
         d_max.max(num / (1.0 - u))
     } else {
-        tasks
-            .hyperperiod()
-            .unwrap_or(f64::INFINITY)
-            .max(d_max)
+        tasks.hyperperiod().unwrap_or(f64::INFINITY).max(d_max)
     };
     la.min(busy_period(tasks)).max(d_max)
 }

@@ -55,6 +55,16 @@ pub enum Issue {
         /// Number of job records present.
         found: usize,
     },
+    /// A completed job's recorded wall time differs from the total duration
+    /// of its execution segments in the trace.
+    WallTimeMismatch {
+        /// The offending job.
+        job: JobId,
+        /// Wall time summed from the trace.
+        traced: f64,
+        /// Wall time the simulator recorded.
+        reported: f64,
+    },
     /// The energy bill recomputed from the trace disagrees with the
     /// simulator's accounting.
     EnergyMismatch {
@@ -76,7 +86,11 @@ impl fmt::Display for Issue {
                 completed,
                 deadline,
             } => write!(f, "job {job} missed deadline {deadline} (done {completed})"),
-            Issue::WorkMismatch { job, traced, actual } => {
+            Issue::WorkMismatch {
+                job,
+                traced,
+                actual,
+            } => {
                 write!(f, "job {job} traced work {traced} != actual {actual}")
             }
             Issue::UnavailableSpeed { at, speed } => {
@@ -86,6 +100,14 @@ impl fmt::Display for Issue {
                 write!(f, "job {job} executed outside [release, deadline] at {at}")
             }
             Issue::BrokenTimeline { at } => write!(f, "trace discontinuity at {at}"),
+            Issue::WallTimeMismatch {
+                job,
+                traced,
+                reported,
+            } => write!(
+                f,
+                "job {job} traced wall time {traced} != recorded {reported}"
+            ),
             Issue::WrongJobCount { expected, found } => {
                 write!(f, "expected {expected} job records, found {found}")
             }
@@ -130,7 +152,12 @@ impl fmt::Display for ValidationReport {
         if self.is_clean() {
             write!(f, "clean ({} jobs audited)", self.jobs_checked)
         } else {
-            writeln!(f, "{} issue(s) over {} jobs:", self.issues.len(), self.jobs_checked)?;
+            writeln!(
+                f,
+                "{} issue(s) over {} jobs:",
+                self.issues.len(),
+                self.jobs_checked
+            )?;
             for i in &self.issues {
                 writeln!(f, "  - {i}")?;
             }
@@ -195,13 +222,16 @@ pub fn validate_outcome(
     if let Some(trace) = outcome.trace.as_ref() {
         let mut cursor = 0.0;
         for seg in trace.segments() {
-            if (seg.start - cursor).abs() > TOL {
+            if (seg.start - cursor).abs() > TOL || seg.end < seg.start - TOL {
                 report.issues.push(Issue::BrokenTimeline { at: seg.start });
             }
             cursor = seg.end;
             if let SegmentKind::Execute { job } = seg.kind {
                 let granted = processor.quantize_up(seg.speed);
-                if (granted.ratio() - seg.speed.ratio()).abs() > 1e-12 {
+                if (granted.ratio() - seg.speed.ratio()).abs() > 1e-12
+                    || seg.speed.ratio() > 1.0 + 1e-12
+                    || seg.speed.ratio() < processor.min_speed().ratio() - 1e-9
+                {
                     report.issues.push(Issue::UnavailableSpeed {
                         at: seg.start,
                         speed: seg.speed.ratio(),
@@ -211,10 +241,9 @@ pub fn validate_outcome(
                     let inside = seg.start >= rec.release - TOL
                         && (seg.end <= rec.deadline + TOL || rec.missed(horizon));
                     if !inside {
-                        report.issues.push(Issue::ExecutionOutsideWindow {
-                            job,
-                            at: seg.start,
-                        });
+                        report
+                            .issues
+                            .push(Issue::ExecutionOutsideWindow { job, at: seg.start });
                     }
                 }
             }
@@ -222,9 +251,32 @@ pub fn validate_outcome(
         if (cursor - horizon).abs() > TOL {
             report.issues.push(Issue::BrokenTimeline { at: cursor });
         }
-        for r in outcome.jobs.iter().filter(|r| r.completion.is_some()) {
+        for r in &outcome.jobs {
             let traced = trace.work_executed_for(r.id);
-            if (traced - r.actual).abs() > TOL.max(r.actual * 1e-6) {
+            if r.completion.is_some() {
+                if (traced - r.actual).abs() > TOL.max(r.actual * 1e-6) {
+                    report.issues.push(Issue::WorkMismatch {
+                        job: r.id,
+                        traced,
+                        actual: r.actual,
+                    });
+                }
+                let traced_wall: f64 = trace
+                    .segments()
+                    .iter()
+                    .filter(|s| matches!(s.kind, SegmentKind::Execute { job } if job == r.id))
+                    .map(|s| s.duration())
+                    .sum();
+                if (traced_wall - r.wall_time).abs() > TOL.max(r.wall_time * 1e-6) {
+                    report.issues.push(Issue::WallTimeMismatch {
+                        job: r.id,
+                        traced: traced_wall,
+                        reported: r.wall_time,
+                    });
+                }
+            } else if traced > r.actual + TOL || traced > r.wcet + TOL {
+                // A job cut off by the horizon can have executed at most its
+                // actual demand (which is itself at most its worst case).
                 report.issues.push(Issue::WorkMismatch {
                     job: r.id,
                     traced,
@@ -238,7 +290,11 @@ pub fn validate_outcome(
         let checks = [
             ("active", recomputed.active, outcome.energy.active),
             ("idle", recomputed.idle, outcome.energy.idle),
-            ("transition", recomputed.transition, outcome.energy.transition),
+            (
+                "transition",
+                recomputed.transition,
+                outcome.energy.transition,
+            ),
             ("switches", switches as f64, outcome.switches as f64),
         ];
         for (component, got, reported) in checks {
@@ -272,7 +328,7 @@ pub fn recompute_energy(
     let mut switches = 0u64;
     let mut current = Speed::FULL;
     for seg in trace.segments() {
-        if seg.speed != current {
+        if !seg.speed.same_point(current) {
             breakdown.transition += overhead.energy(current, seg.speed);
             switches += 1;
             current = seg.speed;
@@ -362,8 +418,8 @@ mod tests {
     #[test]
     fn tampered_job_count_is_detected() {
         let (tasks, cpu) = setup();
-        let sim = Simulator::new(tasks.clone(), cpu.clone(), SimConfig::new(32.0).unwrap())
-            .unwrap();
+        let sim =
+            Simulator::new(tasks.clone(), cpu.clone(), SimConfig::new(32.0).unwrap()).unwrap();
         let mut out = sim.run(&mut FullSpeed, &ConstantRatio::new(0.6)).unwrap();
         out.jobs.pop();
         let report = validate_outcome(&out, &tasks, &cpu);
@@ -389,6 +445,24 @@ mod tests {
             .issues
             .iter()
             .any(|i| matches!(i, Issue::WorkMismatch { .. })));
+    }
+
+    #[test]
+    fn tampered_wall_time_is_detected() {
+        let (tasks, cpu) = setup();
+        let sim = Simulator::new(
+            tasks.clone(),
+            cpu.clone(),
+            SimConfig::new(32.0).unwrap().with_trace(true),
+        )
+        .unwrap();
+        let mut out = sim.run(&mut FullSpeed, &ConstantRatio::new(0.6)).unwrap();
+        out.jobs[0].wall_time *= 2.0;
+        let report = validate_outcome(&out, &tasks, &cpu);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::WallTimeMismatch { .. })));
     }
 
     #[test]

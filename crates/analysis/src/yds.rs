@@ -40,8 +40,7 @@ impl SpeedSchedule {
                     "YDS speed {} > 1: infeasible input",
                     b.speed
                 );
-                let s = Speed::new(b.speed.clamp(f64::MIN_POSITIVE, 1.0))
-                    .expect("clamped speed is valid");
+                let s = Speed::clamped(b.speed, Speed::MIN_POSITIVE);
                 power.active_energy(s, b.duration)
             })
             .sum()
@@ -195,7 +194,7 @@ fn critical_interval(items: &[(f64, f64, f64)]) -> Option<(f64, f64, f64)> {
                 return Some((z, z + f64::MIN_POSITIVE, f64::INFINITY));
             }
             let g = work / span;
-            if best.map_or(true, |(_, _, bg)| g > bg) {
+            if best.is_none_or(|(_, _, bg)| g > bg) {
                 best = Some((z, d, g));
             }
         }

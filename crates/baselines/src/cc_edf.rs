@@ -21,6 +21,11 @@ use stadvs_sim::{ActiveJob, Governor, JobRecord, SchedulerView, TaskSet};
 /// **Assumes implicit deadlines** (`D_i = T_i`), like the published
 /// algorithm: the utilization-bound argument does not extend to constrained
 /// deadlines. Use the slack-analysis governor there.
+///
+/// Deadline safety: the selected speed never drops below `Σ u_i`, where
+/// every incomplete job is provisioned at its full worst case; EDF at speed
+/// `s` is feasible whenever total utilization `≤ s` (Pillai & Shin,
+/// Theorem 2), so no implicit-deadline job can miss.
 #[derive(Debug, Clone, Default)]
 pub struct CcEdf {
     utilization: Vec<f64>,

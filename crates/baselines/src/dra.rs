@@ -32,6 +32,12 @@ use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, SchedulerView, TaskSet, 
 /// stretch to the earlier of its deadline and the next task arrival. The
 /// stretched job still worst-case-completes by that instant, so the system
 /// state at the next arrival is never behind the canonical schedule.
+///
+/// Deadline safety: every wall-clock second of allowance a job spends —
+/// its own grant or a transferred α-queue entry with a no-later tag — is
+/// occupancy the canonical speed-`U` EDF schedule provably fits before the
+/// same deadline, so each job worst-case-completes no later than its
+/// canonical (feasible) completion.
 #[derive(Debug, Clone)]
 pub struct Dra {
     one_task_extension: bool,
@@ -85,10 +91,7 @@ impl Dra {
         if amount <= TIME_EPS {
             return;
         }
-        match self
-            .queue
-            .binary_search_by(|&(t, _)| t.total_cmp(&tag))
-        {
+        match self.queue.binary_search_by(|&(t, _)| t.total_cmp(&tag)) {
             Ok(i) => self.queue[i].1 += amount,
             Err(i) => self.queue.insert(i, (tag, amount)),
         }
@@ -117,8 +120,7 @@ impl Governor for Dra {
         // (equal to U for implicit deadlines — the published DRA setting —
         // but strictly higher when constrained deadlines bind the demand
         // bound function; using plain 1/U there would be unsound).
-        self.scale =
-            1.0 / stadvs_analysis::minimum_static_speed(tasks).clamp(1.0e-6, 1.0);
+        self.scale = 1.0 / stadvs_analysis::minimum_static_speed(tasks).clamp(1.0e-6, 1.0);
     }
 
     fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
@@ -136,13 +138,16 @@ impl Governor for Dra {
         let allowance = (*entry - job.wall_used()).min(job.deadline - now);
         let rem = job.remaining_budget();
 
-        let mut speed = if allowance <= rem { 1.0 } else { rem / allowance };
+        let mut speed = if allowance <= rem {
+            1.0
+        } else {
+            rem / allowance
+        };
 
         if self.one_task_extension && view.ready_jobs().len() == 1 {
             // Queue entries with tags beyond this job's deadline rely on
             // wall-clock time inside the stretch window; reserve it.
-            let window =
-                job.deadline.min(view.next_release_global()) - now - self.banked_slack();
+            let window = job.deadline.min(view.next_release_global()) - now - self.banked_slack();
             if window > rem {
                 speed = speed.min(rem / window);
             }
@@ -197,7 +202,11 @@ mod tests {
         let s = sim(&[(1.0, 4.0), (2.0, 8.0)], 64.0);
         let out = s.run(&mut Dra::new(), &WorstCase).unwrap();
         assert!(out.all_deadlines_met());
-        assert!((out.busy_time - 64.0).abs() < 1e-6, "busy {}", out.busy_time);
+        assert!(
+            (out.busy_time - 64.0).abs() < 1e-6,
+            "busy {}",
+            out.busy_time
+        );
         assert!((out.total_energy() - 64.0 * 0.125).abs() < 1e-4);
     }
 

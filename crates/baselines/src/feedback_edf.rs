@@ -70,8 +70,7 @@ impl Governor for FeedbackEdf {
         // Canonical stretch: inverse minimum feasible static speed (see
         // the same note on [`Dra`](crate::Dra) — plain 1/U is only correct
         // for implicit deadlines).
-        self.scale =
-            1.0 / stadvs_analysis::minimum_static_speed(tasks).clamp(1.0e-6, 1.0);
+        self.scale = 1.0 / stadvs_analysis::minimum_static_speed(tasks).clamp(1.0e-6, 1.0);
         // Start from a mid-range guess; the controller converges within a
         // few jobs either way.
         self.prediction = tasks.iter().map(|(_, t)| 0.5 * t.wcet()).collect();
@@ -83,17 +82,19 @@ impl Governor for FeedbackEdf {
     fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
         let now = view.now();
         self.pending_review = None;
-        let entry = self
-            .granted
-            .entry(job.id)
-            .or_insert(job.wcet * self.scale);
-        let allowance = (*entry - job.wall_used()).min(job.deadline - now);
+        let entry = self.granted.entry(job.id).or_insert(job.wcet * self.scale);
+        // The simulator floors the A/B review point at 1 µs to guarantee
+        // progress, so a sub-µs slow window runs up to 1 µs longer than
+        // planned. A floored review always pushes `executed` past the
+        // prediction (at most one floor event per job), so reserving twice
+        // the floor out of the allowance keeps the full-speed tail feasible.
+        const REVIEW_FLOOR_GUARD: f64 = 2.0e-6;
+        let allowance = (*entry - job.wall_used()).min(job.deadline - now) - REVIEW_FLOOR_GUARD;
         let rem = job.remaining_budget();
         if allowance <= rem {
             return Speed::FULL;
         }
-        let predicted_rem =
-            (self.prediction[job.id.task.0] - job.executed()).clamp(0.0, rem);
+        let predicted_rem = (self.prediction[job.id.task.0] - job.executed()).clamp(0.0, rem);
         if predicted_rem <= 0.0 {
             // The bet failed (job ran past its prediction): full-speed tail.
             return Speed::FULL;
@@ -123,11 +124,9 @@ impl Governor for FeedbackEdf {
         self.integral[i] = (self.integral[i] + error).clamp(-record.wcet, record.wcet);
         let derivative = error - self.previous_error[i];
         self.previous_error[i] = error;
-        self.prediction[i] = (self.prediction[i]
-            + KP * error
-            + KI * self.integral[i]
-            + KD * derivative)
-            .clamp(1.0e-9, record.wcet);
+        self.prediction[i] =
+            (self.prediction[i] + KP * error + KI * self.integral[i] + KD * derivative)
+                .clamp(1.0e-9, record.wcet);
     }
 }
 

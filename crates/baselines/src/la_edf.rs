@@ -36,6 +36,11 @@ use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet, TIME_EPS};
 /// **Assumes implicit deadlines** (`D_i = T_i`), like the published
 /// algorithm: the `(1 − U)` reservation argument does not extend to
 /// constrained deadlines. Use the slack-analysis governor there.
+///
+/// Deadline safety: work deferred past the earliest deadline `d_n` is
+/// bounded so that it still fits at *full speed* between `d_n` and its own
+/// deadline alongside the `(1 − U)` reservation for future releases —
+/// deferral never schedules work the processor could not catch up on.
 #[derive(Debug, Clone, Default)]
 pub struct LaEdf {
     /// Deadline of each task's current period (kept after completion until
@@ -62,11 +67,7 @@ impl LaEdf {
             };
             self.rows.push(row);
         }
-        let d_n = self
-            .rows
-            .iter()
-            .map(|r| r.0)
-            .fold(f64::INFINITY, f64::min);
+        let d_n = self.rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
         if !d_n.is_finite() || d_n - now <= TIME_EPS {
             return 1.0;
         }

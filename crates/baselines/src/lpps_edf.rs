@@ -102,7 +102,9 @@ mod tests {
             vec![(2.0, 4.0), (4.0, 8.0)], // U = 1
             vec![(1.0, 5.0), (1.0, 7.0), (1.0, 11.0)],
         ] {
-            let out = sim(&rows, 80.0).run(&mut LppsEdf::new(), &WorstCase).unwrap();
+            let out = sim(&rows, 80.0)
+                .run(&mut LppsEdf::new(), &WorstCase)
+                .unwrap();
             assert!(out.all_deadlines_met(), "missed on {rows:?}");
         }
     }
@@ -110,7 +112,9 @@ mod tests {
     #[test]
     fn early_completions_still_safe() {
         let s = sim(&[(1.0, 4.0), (2.0, 8.0)], 64.0);
-        let out = s.run(&mut LppsEdf::new(), &ConstantRatio::new(0.3)).unwrap();
+        let out = s
+            .run(&mut LppsEdf::new(), &ConstantRatio::new(0.3))
+            .unwrap();
         assert!(out.all_deadlines_met());
     }
 }

@@ -5,6 +5,10 @@ use stadvs_sim::{ActiveJob, Governor, SchedulerView};
 
 /// Always runs at full speed — the energy baseline every DVS algorithm is
 /// normalized against ("normalized energy = 1.0" in every figure).
+///
+/// Deadline safety: trivial — full speed is the schedule every feasibility
+/// test assumes, so any task set schedulable by EDF at all is schedulable
+/// under this governor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoDvs;
 
@@ -46,7 +50,9 @@ mod tests {
                 .with_miss_policy(MissPolicy::Fail),
         )
         .unwrap();
-        let out = sim.run(&mut NoDvs::new(), &ConstantRatio::new(0.8)).unwrap();
+        let out = sim
+            .run(&mut NoDvs::new(), &ConstantRatio::new(0.8))
+            .unwrap();
         assert!(out.all_deadlines_met());
         assert_eq!(out.switches, 0);
         assert_eq!(out.governor, "no-dvs");

@@ -12,6 +12,13 @@ use stadvs_sim::{ActiveJob, Governor, SchedulerView};
 /// actual demands of the whole run before it starts. It appears in the
 /// tables as the static lower bound separating "what a constant speed could
 /// ever achieve" from the YDS variable-speed optimum.
+///
+/// Deadline safety: conditional on the precomputation — the constant speed
+/// is chosen (by search over the realized demand trace) as the lowest one
+/// under which EDF replays the whole run without a miss, so replaying the
+/// same trace is deadline-safe by construction. It carries no guarantee
+/// for any other trace, which is why it is a bound and not a governor for
+/// deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OracleStatic {
     speed: Speed,

@@ -13,6 +13,12 @@ use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet};
 /// For convex power no constant speed below this can be feasible in the
 /// worst case. All *dynamic* algorithms improve on it by exploiting early
 /// completions.
+///
+/// Deadline safety: at speed `s = max_t dbf(t)/t` the processing supplied
+/// in any interval of length `t` is `s·t ≥ dbf(t)`, the worst-case demand
+/// EDF must serve in that interval — the classical demand-bound feasibility
+/// condition — so every deadline is met for both implicit and constrained
+/// deadlines.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StaticEdf {
     speed: f64,

@@ -66,7 +66,9 @@ fn bench_oracle_speed(c: &mut Criterion) {
         .with_seed(5)
         .generate()
         .expect("generates");
-    let exec = ExecutionModel::uniform_bcet(0.5).expect("valid").with_seed(5);
+    let exec = ExecutionModel::uniform_bcet(0.5)
+        .expect("valid")
+        .with_seed(5);
     let jobs = materialize_jobs(&tasks, &exec, 2.0);
     c.bench_function("oracle_static_speed_2s", |b| {
         b.iter(|| optimal_static_speed(&jobs, WorkKind::Actual));

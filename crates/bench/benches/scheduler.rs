@@ -13,12 +13,7 @@ use stadvs_sim::{SimConfig, Simulator};
 use stadvs_workload::DemandPattern;
 
 fn bench_governors(c: &mut Criterion) {
-    let case = WorkloadCase::synthetic(
-        8,
-        0.7,
-        DemandPattern::Uniform { min: 0.5, max: 1.0 },
-        42,
-    );
+    let case = WorkloadCase::synthetic(8, 0.7, DemandPattern::Uniform { min: 0.5, max: 1.0 }, 42);
     let sim = Simulator::new(
         case.tasks.clone(),
         Processor::ideal_continuous(),
@@ -43,12 +38,8 @@ fn bench_governors(c: &mut Criterion) {
 fn bench_task_count_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("stedf_scaling_by_tasks");
     for n in [4usize, 8, 16, 32] {
-        let case = WorkloadCase::synthetic(
-            n,
-            0.7,
-            DemandPattern::Uniform { min: 0.5, max: 1.0 },
-            7,
-        );
+        let case =
+            WorkloadCase::synthetic(n, 0.7, DemandPattern::Uniform { min: 0.5, max: 1.0 }, 7);
         let sim = Simulator::new(
             case.tasks.clone(),
             Processor::ideal_continuous(),

@@ -9,5 +9,8 @@ fn main() {
     for experiment in all() {
         let _ = stadvs_bench::regenerate(experiment.id, &opts);
     }
-    eprintln!("all experiments regenerated in {:.1} s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "all experiments regenerated in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -19,7 +19,7 @@ use stadvs_experiments::{write_csv, write_markdown, Table};
 /// or `STADVS_QUICK=1` selects the reduced preset.
 pub fn options_from_env() -> RunOptions {
     let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("STADVS_QUICK").map_or(false, |v| v == "1");
+        || std::env::var("STADVS_QUICK").is_ok_and(|v| v == "1");
     if quick {
         RunOptions::quick()
     } else {

@@ -114,7 +114,13 @@ mod tests {
     #[test]
     fn parses_mixture() {
         let args = Args::parse([
-            "run", "--tasks", "8", "--quick", "--governors", "a,b , c", "fig1",
+            "run",
+            "--tasks",
+            "8",
+            "--quick",
+            "--governors",
+            "a,b , c",
+            "fig1",
         ]);
         assert_eq!(args.positional(), ["run", "fig1"]);
         assert_eq!(args.opt::<usize>("tasks", 0).unwrap(), 8);

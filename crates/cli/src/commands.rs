@@ -181,7 +181,10 @@ fn print_analysis(set: &TaskSet) {
         }
     }
     let s = minimum_static_speed(set);
-    println!("min static speed:    {s:.4}{}", if s > 1.0 { "  (infeasible!)" } else { "" });
+    println!(
+        "min static speed:    {s:.4}{}",
+        if s > 1.0 { "  (infeasible!)" } else { "" }
+    );
 }
 
 /// `stadvs refsets`
@@ -199,7 +202,11 @@ fn refset_by_name(name: &str) -> Result<TaskSet, ArgError> {
         .into_iter()
         .find(|(n, _)| *n == name)
         .map(|(_, set)| set)
-        .ok_or_else(|| ArgError(format!("unknown reference set `{name}` (cnc, ins, avionics)")))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown reference set `{name}` (cnc, ins, avionics)"
+            ))
+        })
 }
 
 /// `stadvs trace [--governor NAME] [--tasks N | --refset NAME] [--util U]
@@ -324,8 +331,15 @@ mod tests {
     #[test]
     fn trace_smoke() {
         let args = Args::parse([
-            "trace", "--tasks", "2", "--horizon", "0.2", "--governor", "dra",
-            "--out", "/tmp/stadvs-cli-test-trace.csv",
+            "trace",
+            "--tasks",
+            "2",
+            "--horizon",
+            "0.2",
+            "--governor",
+            "dra",
+            "--out",
+            "/tmp/stadvs-cli-test-trace.csv",
         ]);
         assert!(trace(&args).is_ok());
         let csv = std::fs::read_to_string("/tmp/stadvs-cli-test-trace.csv").unwrap();

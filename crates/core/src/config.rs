@@ -130,7 +130,11 @@ impl SlackEdfConfig {
     /// governor names for ablation tables).
     pub fn variant_name(&self) -> String {
         if self.reclaiming && self.arrival_stretch && self.demand_analysis {
-            return match (self.overhead_aware, self.critical_speed_floor, self.pace_steps) {
+            return match (
+                self.overhead_aware,
+                self.critical_speed_floor,
+                self.pace_steps,
+            ) {
                 (true, _, _) => "st-edf-oa".to_string(),
                 (false, true, _) => "st-edf-cs".to_string(),
                 (false, false, 0) => "st-edf".to_string(),

@@ -44,6 +44,10 @@ impl SlackLedger {
     /// Panics if `deadline` or `amount` is NaN.
     pub fn donate(&mut self, deadline: f64, amount: f64) {
         assert!(!deadline.is_nan() && !amount.is_nan(), "NaN in ledger");
+        debug_assert!(
+            amount.is_finite() && deadline.is_finite(),
+            "non-finite ledger donation: {amount} tagged {deadline}"
+        );
         if amount <= TIME_EPS {
             return;
         }
@@ -57,8 +61,7 @@ impl SlackLedger {
                 // keep the ledger compact under float jitter.
                 if i > 0 && (self.entries[i - 1].0 - deadline).abs() <= TIME_EPS {
                     self.entries[i - 1].1 += amount;
-                } else if i < self.entries.len()
-                    && (self.entries[i].0 - deadline).abs() <= TIME_EPS
+                } else if i < self.entries.len() && (self.entries[i].0 - deadline).abs() <= TIME_EPS
                 {
                     self.entries[i].1 += amount;
                 } else {

@@ -30,6 +30,7 @@
 
 mod config;
 mod ledger;
+mod num;
 pub mod pace;
 mod slack_edf;
 pub mod sources;

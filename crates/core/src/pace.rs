@@ -33,6 +33,8 @@
 
 use stadvs_sim::WORK_EPS;
 
+use crate::num::count_to_f64;
+
 /// One step of an intra-job speed plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaceStep {
@@ -45,44 +47,91 @@ pub struct PaceStep {
 
 /// The energy-optimal step plan for `remaining` worst-case work in
 /// `allowance` wall time, given per-chunk survival probabilities
-/// `survival[k] = P(job still runs in chunk k)`.
+/// `survival[k] = P(job still runs in chunk k)` and the platform's maximum
+/// achievable speed `cap`.
 ///
 /// Survival values are clamped into `[1e-3, 1]`; an empty slice yields an
-/// empty plan. The plan's worst case consumes exactly `allowance`.
-pub fn plan(remaining: f64, allowance: f64, survival: &[f64]) -> Vec<PaceStep> {
-    if survival.is_empty() || remaining <= WORK_EPS || allowance <= 0.0 {
+/// empty plan. No step exceeds `cap`, and the plan's worst case consumes
+/// exactly `allowance` when no chunk saturates (at most `allowance`
+/// otherwise).
+///
+/// The cap is load-bearing for the hard guarantee: the unconstrained
+/// Lagrange solution accelerates its tail above the platform maximum
+/// whenever `remaining/allowance` is close to `cap` (tight constrained
+/// deadlines). A dispatcher that clamps those speeds afterwards runs the
+/// early chunks slower than the constant-safe plan while relying on
+/// unachievable future speeds — the worst case then overruns the deadline
+/// by the clamped deficit. Saturated chunks are therefore pinned to `cap`
+/// *inside* the optimization (water-filling) and the remaining chunks are
+/// re-solved under the correspondingly reduced allowance, which restores
+/// the KKT conditions of the capped problem.
+pub fn plan(remaining: f64, allowance: f64, cap: f64, survival: &[f64]) -> Vec<PaceStep> {
+    if survival.is_empty() || remaining <= WORK_EPS || allowance <= 0.0 || cap <= 0.0 {
         return Vec::new();
     }
-    let n = survival.len() as f64;
+    let n = count_to_f64(survival.len());
     let w = remaining / n;
     let roots: Vec<f64> = survival
         .iter()
         .map(|p| p.clamp(1.0e-3, 1.0).cbrt())
         .collect();
-    let norm: f64 = roots.iter().map(|r| w * r).sum();
-    roots
-        .iter()
-        .map(|r| PaceStep {
-            speed: norm / (allowance * r),
-            work: w,
-        })
-        .collect()
+    let mut capped = vec![false; roots.len()];
+    loop {
+        let free_norm: f64 = roots
+            .iter()
+            .zip(&capped)
+            .filter(|&(_, &c)| !c)
+            .map(|(r, _)| w * r)
+            .sum();
+        let capped_wall = count_to_f64(capped.iter().filter(|&&c| c).count()) * (w / cap);
+        let avail = allowance - capped_wall;
+        if free_norm <= 0.0 || avail <= 0.0 {
+            // Every chunk saturates (allowance ≤ remaining/cap): the best
+            // achievable schedule is flat at the cap.
+            return roots
+                .iter()
+                .map(|_| PaceStep {
+                    speed: cap,
+                    work: w,
+                })
+                .collect();
+        }
+        let mut newly_capped = false;
+        for (k, r) in roots.iter().enumerate() {
+            if !capped[k] && free_norm / (avail * r) > cap {
+                capped[k] = true;
+                newly_capped = true;
+            }
+        }
+        if !newly_capped {
+            return roots
+                .iter()
+                .zip(&capped)
+                .map(|(r, &c)| PaceStep {
+                    speed: if c { cap } else { free_norm / (avail * r) },
+                    work: w,
+                })
+                .collect();
+        }
+    }
 }
 
 /// The first step of [`plan`] — the only one that actually runs before the
 /// governor re-plans. Returns `None` when there is nothing to plan
 /// (`remaining ≈ 0`, no slowdown possible, or no chunks).
-pub fn first_step(remaining: f64, allowance: f64, survival: &[f64]) -> Option<PaceStep> {
+pub fn first_step(remaining: f64, allowance: f64, cap: f64, survival: &[f64]) -> Option<PaceStep> {
     if allowance <= remaining {
         return None;
     }
-    plan(remaining, allowance, survival).into_iter().next()
+    plan(remaining, allowance, cap, survival).into_iter().next()
 }
 
 /// Uniform-demand survival probabilities, `P_k = 1 − (k−1)/n` — the
 /// textbook PACE assumption, kept for tests and comparison.
 pub fn uniform_survival(steps: u32) -> Vec<f64> {
-    (0..steps).map(|k| 1.0 - k as f64 / steps as f64).collect()
+    (0..steps)
+        .map(|k| 1.0 - f64::from(k) / f64::from(steps))
+        .collect()
 }
 
 /// Online per-task profile of the demand distribution: a sliding window of
@@ -107,7 +156,10 @@ impl SurvivalEstimator {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> SurvivalEstimator {
-        assert!(capacity > 0, "estimator needs capacity for at least one sample");
+        assert!(
+            capacity > 0,
+            "estimator needs capacity for at least one sample"
+        );
         SurvivalEstimator {
             samples: Vec::with_capacity(capacity),
             capacity,
@@ -129,7 +181,7 @@ impl SurvivalEstimator {
     /// Smoothed estimate of `P(demand > fraction · wcet)`.
     pub fn survival(&self, fraction: f64) -> f64 {
         let above = self.samples.iter().filter(|&&r| r > fraction).count();
-        (above + 1) as f64 / (self.samples.len() + 1) as f64
+        count_to_f64(above + 1) / count_to_f64(self.samples.len() + 1)
     }
 
     /// Number of recorded samples.
@@ -150,11 +202,11 @@ impl SurvivalEstimator {
             return Vec::new();
         }
         let remaining = (wcet - executed).max(0.0);
-        let w = remaining / steps as f64;
+        let w = remaining / f64::from(steps);
         let base = self.survival(executed / wcet).max(1.0e-9);
         (0..steps)
             .map(|k| {
-                let fraction = (executed + k as f64 * w) / wcet;
+                let fraction = (executed + f64::from(k) * w) / wcet;
                 (self.survival(fraction) / base).clamp(0.0, 1.0)
             })
             .collect()
@@ -168,7 +220,7 @@ mod tests {
     #[test]
     fn plan_meets_the_worst_case_exactly() {
         for steps in [1u32, 2, 4, 8, 32] {
-            let p = plan(2.0, 5.0, &uniform_survival(steps));
+            let p = plan(2.0, 5.0, f64::INFINITY, &uniform_survival(steps));
             assert_eq!(p.len(), steps as usize);
             let wall: f64 = p.iter().map(|s| s.work / s.speed).sum();
             assert!(
@@ -183,7 +235,7 @@ mod tests {
 
     #[test]
     fn flat_survival_collapses_to_constant_speed() {
-        let p = plan(2.0, 5.0, &[1.0, 1.0, 1.0, 1.0]);
+        let p = plan(2.0, 5.0, f64::INFINITY, &[1.0, 1.0, 1.0, 1.0]);
         for step in &p {
             assert!((step.speed - 0.4).abs() < 1e-12);
         }
@@ -193,7 +245,8 @@ mod tests {
     fn first_step_is_slower_than_constant_under_decaying_survival() {
         let constant = 2.0 / 5.0;
         for steps in [2u32, 4, 16] {
-            let s = first_step(2.0, 5.0, &uniform_survival(steps)).expect("plannable");
+            let s =
+                first_step(2.0, 5.0, f64::INFINITY, &uniform_survival(steps)).expect("plannable");
             assert!(
                 s.speed < constant,
                 "{steps} steps: first speed {} !< {constant}",
@@ -203,10 +256,55 @@ mod tests {
     }
 
     #[test]
+    fn capped_plan_never_exceeds_the_cap_and_still_fits_the_allowance() {
+        // Tight allowance: the unconstrained tail would need speed > 1.
+        for (rem, allowance) in [(0.9, 1.0), (0.95, 1.0), (0.5, 0.52), (1.9, 2.0)] {
+            for steps in [2u32, 4, 8, 32] {
+                let p = plan(rem, allowance, 1.0, &uniform_survival(steps));
+                assert_eq!(p.len(), steps as usize);
+                let wall: f64 = p.iter().map(|s| s.work / s.speed).sum();
+                assert!(
+                    wall <= allowance + 1e-9,
+                    "rem={rem} A={allowance} n={steps}: worst case {wall} overruns"
+                );
+                for s in &p {
+                    assert!(
+                        s.speed <= 1.0 + 1e-12,
+                        "rem={rem} A={allowance} n={steps}: speed {} beyond cap",
+                        s.speed
+                    );
+                }
+                // Monotone acceleration is preserved (capped tail is flat).
+                for pair in p.windows(2) {
+                    assert!(pair[0].speed <= pair[1].speed + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loose_allowance_is_unaffected_by_the_cap() {
+        let free = plan(2.0, 5.0, f64::INFINITY, &uniform_survival(8));
+        let capped = plan(2.0, 5.0, 1.0, &uniform_survival(8));
+        for (a, b) in free.iter().zip(&capped) {
+            assert!((a.speed - b.speed).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn infeasible_allowance_degenerates_to_flat_cap() {
+        // allowance < remaining/cap: nothing better than flat-out exists.
+        let p = plan(1.0, 0.5, 1.0, &uniform_survival(4));
+        for s in &p {
+            assert!((s.speed - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn expected_energy_beats_constant_for_matching_distribution() {
         let (w_total, allowance, steps) = (2.0_f64, 5.0_f64, 16u32);
         let survival = uniform_survival(steps);
-        let p = plan(w_total, allowance, &survival);
+        let p = plan(w_total, allowance, f64::INFINITY, &survival);
         let n = steps as f64;
         let expected = |speeds: &[f64]| -> f64 {
             speeds
@@ -222,10 +320,11 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert!(first_step(0.0, 1.0, &[1.0]).is_none());
-        assert!(first_step(1.0, 0.5, &[1.0]).is_none());
-        assert!(first_step(1.0, 2.0, &[]).is_none());
-        assert!(plan(1.0, -1.0, &[1.0]).is_empty());
+        assert!(first_step(0.0, 1.0, 1.0, &[1.0]).is_none());
+        assert!(first_step(1.0, 0.5, 1.0, &[1.0]).is_none());
+        assert!(first_step(1.0, 2.0, 1.0, &[]).is_none());
+        assert!(plan(1.0, -1.0, 1.0, &[1.0]).is_empty());
+        assert!(plan(1.0, 1.0, 0.0, &[1.0]).is_empty());
     }
 
     #[test]
@@ -254,7 +353,7 @@ mod tests {
             assert!(*p > 0.95, "survival {p} should stay near 1 at worst case");
         }
         // The plan therefore collapses to (nearly) constant speed.
-        let steps = plan(1.0, 2.0, &pk);
+        let steps = plan(1.0, 2.0, f64::INFINITY, &pk);
         let spread = steps.last().expect("nonempty").speed - steps[0].speed;
         assert!(spread < 0.02, "speed spread {spread} should be negligible");
     }

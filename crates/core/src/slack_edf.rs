@@ -41,6 +41,13 @@ use crate::sources::{arrival_allowance, DemandAnalysis, ReclaimedPool};
 ///   (the pessimistic-judgment rule) — switches *up* needed for
 ///   feasibility are always taken.
 ///
+/// Deadline safety: every second of a job's allowance is backed by a
+/// claim the slack-time analysis proved lies before the job's deadline in
+/// the worst case — the initial grant by the EDF feasibility of the task
+/// set, each reclaimed increment by the ledger's deadline-tagged
+/// accounting — so executing `remaining/allowance ≤ 1` (capped pacing
+/// included) completes the worst case by the deadline.
+///
 /// ```
 /// use stadvs_core::SlackEdf;
 /// use stadvs_power::Processor;
@@ -212,7 +219,7 @@ impl Governor for SlackEdf {
             // worst-case-complete by the deadline.
             if let Some((id, speed)) = self.committed {
                 if id == job.id
-                    && view.current_speed() == speed
+                    && view.current_speed().same_point(speed)
                     && rem / speed.ratio() <= job.deadline - view.now() + TIME_EPS
                 {
                     return speed;
@@ -241,7 +248,11 @@ impl Governor for SlackEdf {
                 job.wcet,
                 self.config.pace_steps,
             );
-            if let Some(step) = crate::pace::first_step(rem, paced_allowance, &survival) {
+            // The platform cannot exceed full speed; planning the tail
+            // above it would make the worst case silently infeasible once
+            // dispatch clamps the speed (see [`crate::pace::plan`]).
+            let cap = Speed::FULL.ratio();
+            if let Some(step) = crate::pace::first_step(rem, paced_allowance, cap, &survival) {
                 if step.work / step.speed.max(1e-12) >= 4.0e-6 {
                     requested = step.speed;
                     self.pending_review = Some(step.work);
@@ -254,7 +265,9 @@ impl Governor for SlackEdf {
             // saving; flooring higher is always deadline-safe.
             floor = floor.max(critical);
         }
-        let mut chosen = view.processor().quantize_up(Speed::clamped(requested, floor));
+        let mut chosen = view
+            .processor()
+            .quantize_up(Speed::clamped(requested, floor));
         let current = view.current_speed();
 
         if self.config.overhead_aware && chosen < current {
@@ -368,7 +381,10 @@ mod tests {
             for ratio in [0.1, 0.5, 0.9, 1.0] {
                 for config in configs {
                     let out = sim(&rows, 90.0)
-                        .run(&mut SlackEdf::with_config(config), &ConstantRatio::new(ratio))
+                        .run(
+                            &mut SlackEdf::with_config(config),
+                            &ConstantRatio::new(ratio),
+                        )
                         .unwrap();
                     assert!(
                         out.all_deadlines_met(),
@@ -400,7 +416,10 @@ mod tests {
         .unwrap();
         let exec = ConstantRatio::new(0.5);
         let aware = s
-            .run(&mut SlackEdf::with_config(SlackEdfConfig::overhead_aware()), &exec)
+            .run(
+                &mut SlackEdf::with_config(SlackEdfConfig::overhead_aware()),
+                &exec,
+            )
             .unwrap();
         assert!(aware.all_deadlines_met());
         // The oblivious variant under the same overhead platform would
@@ -423,7 +442,11 @@ mod tests {
         let exec = ConstantRatio::new(0.2);
         let stedf = s.run(&mut SlackEdf::new(), &exec).unwrap();
         // Static would burn 64 s * 0.5³ = 8 J regardless of actuals.
-        assert!(stedf.total_energy() < 4.0, "energy {}", stedf.total_energy());
+        assert!(
+            stedf.total_energy() < 4.0,
+            "energy {}",
+            stedf.total_energy()
+        );
     }
 
     #[test]

@@ -356,7 +356,11 @@ mod tests {
             };
             let out = sim.run(&mut probe, &ConstantRatio::new(0.4)).unwrap();
             assert!(out.all_deadlines_met());
-            assert!(probe.checks >= 5, "probe barely ran ({} checks)", probe.checks);
+            assert!(
+                probe.checks >= 5,
+                "probe barely ran ({} checks)",
+                probe.checks
+            );
             assert_eq!(
                 probe.violations, 0,
                 "seed {seed}: tail bound certified more slack than a 16-period window                  in {}/{} dispatches",
@@ -402,10 +406,7 @@ mod tests {
         // A phased low-rate task leaves real gaps in the canonical claims.
         let tasks = TaskSet::new(vec![
             Task::new(1.0, 4.0).unwrap(),
-            Task::new(1.0, 16.0)
-                .unwrap()
-                .with_phase(8.0)
-                .unwrap(),
+            Task::new(1.0, 16.0).unwrap().with_phase(8.0).unwrap(),
         ])
         .unwrap();
         let sim = Simulator::new(
@@ -425,5 +426,4 @@ mod tests {
         assert!(out.all_deadlines_met());
         assert!(probe.saw_extra, "no phasing slack discovered");
     }
-
 }

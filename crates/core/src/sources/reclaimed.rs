@@ -184,8 +184,24 @@ impl ReclaimedPool {
         if let Some(total) = self.granted.remove(&record.id) {
             if bank {
                 let margin = self.margin_of(record.id.task);
-                self.ledger
-                    .donate(record.deadline, total - record.wall_time - margin);
+                let returned = total - record.wall_time - margin;
+                // `returned` may legitimately be negative: a job whose grant
+                // fell short of its worst case still plans at least its
+                // remaining work (the demand analysis covers the deficit via
+                // `remaining_claim_of`), and `donate` drops non-positive
+                // amounts — so the deficit is forfeited, never banked, and
+                // the pool total stays non-negative by construction.
+                debug_assert!(
+                    returned.is_finite(),
+                    "non-finite settle residue for job {:?}",
+                    record.id
+                );
+                self.ledger.donate(record.deadline, returned);
+                debug_assert!(
+                    self.ledger.total() >= 0.0,
+                    "reclaimed pool went negative after settling {:?}",
+                    record.id
+                );
             }
         }
     }
@@ -232,7 +248,11 @@ mod tests {
         fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
             let allowance = self.0.allowance(view, job);
             let rem = job.remaining_budget();
-            let s = if allowance <= rem { 1.0 } else { rem / allowance };
+            let s = if allowance <= rem {
+                1.0
+            } else {
+                rem / allowance
+            };
             Speed::clamped(s, view.processor().min_speed())
         }
         fn on_completion(&mut self, _v: &SchedulerView<'_>, record: &JobRecord) {
@@ -256,10 +276,16 @@ mod tests {
         )
         .unwrap();
         let worst = sim
-            .run(&mut PoolOnly(ReclaimedPool::new()), &ConstantRatio::new(1.0))
+            .run(
+                &mut PoolOnly(ReclaimedPool::new()),
+                &ConstantRatio::new(1.0),
+            )
             .unwrap();
         let light = sim
-            .run(&mut PoolOnly(ReclaimedPool::new()), &ConstantRatio::new(0.3))
+            .run(
+                &mut PoolOnly(ReclaimedPool::new()),
+                &ConstantRatio::new(0.3),
+            )
             .unwrap();
         assert!(worst.all_deadlines_met());
         assert!(light.all_deadlines_met());

@@ -30,9 +30,7 @@ pub fn run(opts: &RunOptions) -> Table {
     let mut misses = 0;
     for (ni, &n) in SIZES.iter().enumerate() {
         let cases: Vec<WorkloadCase> = (0..opts.replications)
-            .map(|rep| {
-                WorkloadCase::synthetic(n, UTILIZATION, PATTERN, (ni * 1_000 + rep) as u64)
-            })
+            .map(|rep| WorkloadCase::synthetic(n, UTILIZATION, PATTERN, (ni * 1_000 + rep) as u64))
             .collect();
         let agg = comparison.run_cases(&cases);
         misses += agg.iter().map(|a| a.total_misses).sum::<usize>();

@@ -27,7 +27,7 @@ pub const LINEUP: [&str; 5] = ["no-dvs", "cc-edf", "dra", "st-edf", "st-edf-oa"]
 
 /// Builds the platform for one latency point.
 pub fn platform(latency: f64) -> Processor {
-    let overhead = if latency == 0.0 {
+    let overhead = if latency <= 0.0 {
         TransitionOverhead::free()
     } else {
         TransitionOverhead::new(
@@ -102,7 +102,11 @@ mod tests {
         // Saves energy at moderate latency; may honestly degenerate to
         // full speed (normalized 1.0) at extreme latency, but never does
         // worse than no-DVS.
-        assert!(oa[1] < 1.0, "st-edf-oa at 50 µs should save energy, got {}", oa[1]);
+        assert!(
+            oa[1] < 1.0,
+            "st-edf-oa at 50 µs should save energy, got {}",
+            oa[1]
+        );
         assert!(
             *oa.last().unwrap() <= 1.0 + 1e-9,
             "st-edf-oa at 1 ms must not lose to no-dvs, got {}",

@@ -73,7 +73,12 @@ pub fn run(opts: &RunOptions) -> Table {
     for (pi, (label, pattern)) in patterns().into_iter().enumerate() {
         let cases: Vec<WorkloadCase> = (0..opts.replications)
             .map(|rep| {
-                WorkloadCase::synthetic(N_TASKS, UTILIZATION, pattern.clone(), (pi * 1_000 + rep) as u64)
+                WorkloadCase::synthetic(
+                    N_TASKS,
+                    UTILIZATION,
+                    pattern.clone(),
+                    (pi * 1_000 + rep) as u64,
+                )
             })
             .collect();
         let agg = comparison.run_cases(&cases);

@@ -95,11 +95,17 @@ mod tests {
         }
         // The overhead-aware variant must never appear in the miss note.
         for note in &table.notes {
-            assert!(!note.contains("st-edf-oa on"), "aware variant missed: {note}");
+            assert!(
+                !note.contains("st-edf-oa on"),
+                "aware variant missed: {note}"
+            );
         }
         // Continuous platforms have zero switch overhead: no misses at all.
         for note in &table.notes {
-            assert!(!note.contains("(continuous)"), "miss without overhead: {note}");
+            assert!(
+                !note.contains("(continuous)"),
+                "miss without overhead: {note}"
+            );
         }
         // CNC (lowest U) saves more than avionics (highest U) on the
         // continuous platform.

@@ -39,9 +39,7 @@ pub fn run(opts: &RunOptions) -> Table {
         let comparison = Comparison::new(Processor::ideal_continuous(), horizon)
             .with_governors(lineup_with_bound.iter().copied());
         let cases: Vec<WorkloadCase> = (0..opts.replications)
-            .map(|rep| {
-                WorkloadCase::synthetic(N_TASKS, u, PATTERN, (ui * 1_000 + rep) as u64)
-            })
+            .map(|rep| WorkloadCase::synthetic(N_TASKS, u, PATTERN, (ui * 1_000 + rep) as u64))
             .collect();
         let raw = comparison.run_cases_raw(&cases);
         // Per-case gap, then mean: gap = (E_gov − E_yds) / E_yds · 100.

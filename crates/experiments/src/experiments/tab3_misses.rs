@@ -54,12 +54,8 @@ pub fn run(opts: &RunOptions) -> Table {
         let mut min_margin = f64::INFINITY;
         for (mi, (u, pattern)) in stress_mix().into_iter().enumerate() {
             for rep in 0..opts.replications {
-                let case = WorkloadCase::synthetic(
-                    6,
-                    u,
-                    pattern.clone(),
-                    (mi * 1_000 + rep) as u64,
-                );
+                let case =
+                    WorkloadCase::synthetic(6, u, pattern.clone(), (mi * 1_000 + rep) as u64);
                 let sim = Simulator::new(
                     case.tasks.clone(),
                     processor.clone(),

@@ -29,9 +29,7 @@ pub fn run(opts: &RunOptions) -> Table {
     );
     for (ui, &u) in UTILIZATIONS.iter().enumerate() {
         let cases: Vec<WorkloadCase> = (0..opts.replications)
-            .map(|rep| {
-                WorkloadCase::synthetic(N_TASKS, u, PATTERN, (ui * 1_000 + rep) as u64)
-            })
+            .map(|rep| WorkloadCase::synthetic(N_TASKS, u, PATTERN, (ui * 1_000 + rep) as u64))
             .collect();
         let agg = comparison.run_cases(&cases);
         table.push_row(

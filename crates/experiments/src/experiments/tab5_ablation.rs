@@ -41,7 +41,12 @@ pub fn run(opts: &RunOptions) -> Table {
             Comparison::new(Processor::ideal_continuous(), opts.horizon).with_governors(LINEUP);
         let cases: Vec<WorkloadCase> = (0..opts.replications)
             .map(|rep| {
-                WorkloadCase::synthetic(N_TASKS, UTILIZATION, pattern.clone(), (ri * 1_000 + rep) as u64)
+                WorkloadCase::synthetic(
+                    N_TASKS,
+                    UTILIZATION,
+                    pattern.clone(),
+                    (ri * 1_000 + rep) as u64,
+                )
             })
             .collect();
         let agg = comparison.run_cases(&cases);

@@ -43,7 +43,12 @@ pub fn run(opts: &RunOptions) -> Table {
         };
         let cases: Vec<WorkloadCase> = (0..opts.replications)
             .map(|rep| {
-                WorkloadCase::synthetic(N_TASKS, UTILIZATION, pattern.clone(), (ri * 1_000 + rep) as u64)
+                WorkloadCase::synthetic(
+                    N_TASKS,
+                    UTILIZATION,
+                    pattern.clone(),
+                    (ri * 1_000 + rep) as u64,
+                )
             })
             .collect();
         let agg = comparison.run_cases(&cases);

@@ -23,7 +23,12 @@ impl WorkloadCase {
     ///
     /// Panics if the spec or pattern parameters are out of range (callers
     /// pass experiment constants).
-    pub fn synthetic(n_tasks: usize, utilization: f64, pattern: DemandPattern, seed: u64) -> WorkloadCase {
+    pub fn synthetic(
+        n_tasks: usize,
+        utilization: f64,
+        pattern: DemandPattern,
+        seed: u64,
+    ) -> WorkloadCase {
         let tasks = TaskSetSpec::new(n_tasks, utilization)
             .expect("experiment parameters are valid")
             .with_seed(seed)
@@ -172,10 +177,7 @@ impl Comparison {
         };
 
         // Clairvoyant data, computed lazily only if requested.
-        let needs_oracle = self
-            .governors
-            .iter()
-            .any(|g| g == ORACLE || g == YDS_BOUND);
+        let needs_oracle = self.governors.iter().any(|g| g == ORACLE || g == YDS_BOUND);
         let due_jobs = needs_oracle.then(|| {
             let jobs = materialize_jobs(&case.tasks, &case.exec, self.horizon);
             due_within(&jobs, self.horizon)
@@ -201,8 +203,7 @@ impl Comparison {
                     let jobs = due_jobs.as_ref().expect("materialized above");
                     let speed = optimal_static_speed(jobs, WorkKind::Actual)
                         .clamp(self.processor.min_speed().ratio(), 1.0);
-                    let mut oracle =
-                        OracleStatic::new(Speed::new(speed).expect("speed in range"));
+                    let mut oracle = OracleStatic::new(Speed::new(speed).expect("speed in range"));
                     sim.run(&mut oracle, &case.exec)
                         .expect("oracle simulation succeeds")
                 } else {
@@ -287,7 +288,10 @@ fn aggregate(governors: &[String], results: &[Vec<GovernorOutcome>]) -> Vec<Aggr
             let n = normalized.len().max(1) as f64;
             let mean = normalized.iter().sum::<f64>() / n;
             let var = if normalized.len() > 1 {
-                normalized.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                normalized
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
                     / (normalized.len() - 1) as f64
             } else {
                 0.0
@@ -316,12 +320,7 @@ mod tests {
     fn quick_cases(n: usize) -> Vec<WorkloadCase> {
         (0..n as u64)
             .map(|seed| {
-                WorkloadCase::synthetic(
-                    4,
-                    0.6,
-                    DemandPattern::Uniform { min: 0.4, max: 1.0 },
-                    seed,
-                )
+                WorkloadCase::synthetic(4, 0.6, DemandPattern::Uniform { min: 0.4, max: 1.0 }, seed)
             })
             .collect()
     }
@@ -366,8 +365,7 @@ mod tests {
         let cmp = Comparison::new(Processor::ideal_continuous(), 1.0)
             .with_governors(["no-dvs", "st-edf"]);
         let cases = quick_cases(4);
-        let serial: Vec<Vec<GovernorOutcome>> =
-            cases.iter().map(|c| cmp.run_case(c)).collect();
+        let serial: Vec<Vec<GovernorOutcome>> = cases.iter().map(|c| cmp.run_case(c)).collect();
         let parallel = cmp.run_cases_raw(&cases);
         assert_eq!(serial, parallel);
     }

@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn breakdown_components_accumulate() {
         let power = PowerModel::normalized_cubic_with_idle(0.1).unwrap();
-        let overhead =
-            TransitionOverhead::new(1.0e-4, TransitionEnergy::Constant(1.0e-3)).unwrap();
+        let overhead = TransitionOverhead::new(1.0e-4, TransitionEnergy::Constant(1.0e-3)).unwrap();
         let mut acc = EnergyAccumulator::new(power, overhead);
         acc.add_execution(Speed::FULL, 2.0);
         acc.add_idle(10.0);

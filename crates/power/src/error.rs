@@ -42,7 +42,10 @@ impl fmt::Display for PowerError {
                 write!(f, "voltage {v} is not finite and positive")
             }
             PowerError::EmptyFrequencyTable => {
-                write!(f, "frequency table must contain at least one operating point")
+                write!(
+                    f,
+                    "frequency table must contain at least one operating point"
+                )
             }
             PowerError::UnsortedFrequencyTable { index } => {
                 write!(

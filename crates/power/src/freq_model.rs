@@ -62,7 +62,7 @@ impl FrequencyModel {
             }
             prev = p.speed.ratio();
         }
-        if points[points.len() - 1].speed != Speed::FULL {
+        if !points[points.len() - 1].speed.same_point(Speed::FULL) {
             return Err(PowerError::MissingFullSpeed);
         }
         Ok(FrequencyModel::Discrete { points })
@@ -90,7 +90,7 @@ impl FrequencyModel {
         }
         let mut points = Vec::with_capacity(levels);
         for i in 1..=levels {
-            let speed = Speed::new(i as f64 / levels as f64).expect("ratio in (0,1]");
+            let speed = Speed::new(i as f64 / levels as f64)?;
             points.push(OperatingPoint {
                 speed,
                 frequency_hz: f_max_hz * speed.ratio(),

@@ -103,7 +103,9 @@ impl TransitionOverhead {
 
     /// Whether switches cost nothing in both time and energy.
     pub fn is_free(&self) -> bool {
-        self.latency == 0.0 && matches!(self.energy, TransitionEnergy::None)
+        // Latency is validated non-negative at construction, so `<= 0.0`
+        // is exactly the "zero latency" test without a float equality.
+        self.latency <= 0.0 && matches!(self.energy, TransitionEnergy::None)
     }
 
     /// Wall-clock latency of one switch, in seconds.

@@ -76,18 +76,24 @@ impl PowerModel {
     ///
     /// Returns [`PowerError::InvalidParameter`] if any physical parameter is
     /// negative or non-finite.
-    pub fn new(kind: PowerKind, idle_power: f64, static_power: f64) -> Result<PowerModel, PowerError> {
-        check(
-            "idle_power",
-            idle_power,
-        )?;
+    pub fn new(
+        kind: PowerKind,
+        idle_power: f64,
+        static_power: f64,
+    ) -> Result<PowerModel, PowerError> {
+        check("idle_power", idle_power)?;
         check("static_power", static_power)?;
         match &kind {
-            PowerKind::Cmos { c_eff, f_max_hz, .. } => {
+            PowerKind::Cmos {
+                c_eff, f_max_hz, ..
+            } => {
                 check("c_eff", *c_eff)?;
                 check("f_max_hz", *f_max_hz)?;
             }
-            PowerKind::Polynomial { coefficient, exponent } => {
+            PowerKind::Polynomial {
+                coefficient,
+                exponent,
+            } => {
                 check("coefficient", *coefficient)?;
                 check("exponent", *exponent)?;
             }
@@ -200,7 +206,7 @@ impl PowerModel {
         const PHI: f64 = 0.618_033_988_749_894_8;
         let mut lo = 1.0e-6;
         let mut hi = 1.0;
-        let energy = |s: f64| self.energy_per_work(Speed::clamped(s, Speed::new(1.0e-9).expect("valid")));
+        let energy = |s: f64| self.energy_per_work(Speed::clamped(s, Speed::MIN_POSITIVE));
         for _ in 0..120 {
             let a = hi - PHI * (hi - lo);
             let b = lo + PHI * (hi - lo);
@@ -210,7 +216,7 @@ impl PowerModel {
                 lo = a;
             }
         }
-        Speed::clamped(0.5 * (lo + hi), Speed::new(1.0e-6).expect("valid"))
+        Speed::clamped(0.5 * (lo + hi), Speed::MIN_POSITIVE)
     }
 
     /// The active-power kind.

@@ -28,6 +28,15 @@ pub struct Processor {
     overhead: TransitionOverhead,
 }
 
+/// Unwraps a preset-catalog component. The ready-made profiles below are
+/// built from compile-time constant tables, each exercised by the catalog
+/// unit tests; a failure here is a broken constant, not a runtime
+/// condition, so the panic path is sanctioned in this one place.
+fn preset<T>(component: Result<T, PowerError>) -> T {
+    // xtask:allow(no-panic): single sanctioned site for constant catalogs
+    component.expect("preset catalog constant is valid")
+}
+
 impl Processor {
     /// Assembles a custom processor.
     pub fn new(
@@ -50,9 +59,7 @@ impl Processor {
     pub fn ideal_continuous() -> Processor {
         Processor {
             name: "ideal-continuous".to_string(),
-            frequency_model: FrequencyModel::continuous(
-                Speed::new(0.05).expect("0.05 is a valid speed"),
-            ),
+            frequency_model: FrequencyModel::continuous(preset(Speed::new(0.05))),
             power_model: PowerModel::normalized_cubic(),
             overhead: TransitionOverhead::free(),
         }
@@ -115,23 +122,22 @@ impl Processor {
             let ratio = f / f_max;
             let v = 0.8 + (1.5 - 0.8) * (i as f64 / (levels - 1) as f64);
             points.push(OperatingPoint {
-                speed: Speed::new(ratio.min(1.0)).expect("ratio in (0,1]"),
+                speed: preset(Speed::new(ratio.min(1.0))),
                 frequency_hz: f,
                 voltage: v,
             });
         }
-        let voltage = VoltageMap::table(
+        let voltage = preset(VoltageMap::table(
             points
                 .iter()
                 .map(|p| (p.speed.ratio(), p.voltage))
                 .collect(),
-        )
-        .expect("profile table is sorted");
+        ));
         let c_eff = 1.0 / (1.5 * 1.5 * f_max); // full-speed power normalized to 1 W
         Processor {
             name: "strongarm-sa1100-class".to_string(),
-            frequency_model: FrequencyModel::discrete(points).expect("profile table is valid"),
-            power_model: PowerModel::new(
+            frequency_model: preset(FrequencyModel::discrete(points)),
+            power_model: preset(PowerModel::new(
                 PowerKind::Cmos {
                     c_eff,
                     f_max_hz: f_max,
@@ -139,17 +145,15 @@ impl Processor {
                 },
                 0.02,
                 0.0,
-            )
-            .expect("profile parameters are valid"),
-            overhead: TransitionOverhead::new(
+            )),
+            overhead: preset(TransitionOverhead::new(
                 140.0e-6,
                 TransitionEnergy::CapacitiveSwing {
                     eta: 0.9,
                     c_dd: 5.0e-6,
                     voltage,
                 },
-            )
-            .expect("profile parameters are valid"),
+            )),
         }
     }
 
@@ -168,23 +172,22 @@ impl Processor {
         let points: Vec<OperatingPoint> = table
             .iter()
             .map(|&(f, v)| OperatingPoint {
-                speed: Speed::new(f / f_max).expect("ratio in (0,1]"),
+                speed: preset(Speed::new(f / f_max)),
                 frequency_hz: f,
                 voltage: v,
             })
             .collect();
-        let voltage = VoltageMap::table(
+        let voltage = preset(VoltageMap::table(
             points
                 .iter()
                 .map(|p| (p.speed.ratio(), p.voltage))
                 .collect(),
-        )
-        .expect("profile table is sorted");
+        ));
         let c_eff = 1.0 / (1.8 * 1.8 * f_max);
         Processor {
             name: "xscale-class".to_string(),
-            frequency_model: FrequencyModel::discrete(points).expect("profile table is valid"),
-            power_model: PowerModel::new(
+            frequency_model: preset(FrequencyModel::discrete(points)),
+            power_model: preset(PowerModel::new(
                 PowerKind::Cmos {
                     c_eff,
                     f_max_hz: f_max,
@@ -192,17 +195,15 @@ impl Processor {
                 },
                 0.05,
                 0.0,
-            )
-            .expect("profile parameters are valid"),
-            overhead: TransitionOverhead::new(
+            )),
+            overhead: preset(TransitionOverhead::new(
                 20.0e-6,
                 TransitionEnergy::CapacitiveSwing {
                     eta: 0.9,
                     c_dd: 5.0e-6,
                     voltage,
                 },
-            )
-            .expect("profile parameters are valid"),
+            )),
         }
     }
 
@@ -220,23 +221,22 @@ impl Processor {
         let points: Vec<OperatingPoint> = table
             .iter()
             .map(|&(f, v)| OperatingPoint {
-                speed: Speed::new((f / f_max).min(1.0)).expect("ratio in (0,1]"),
+                speed: preset(Speed::new((f / f_max).min(1.0))),
                 frequency_hz: f,
                 voltage: v,
             })
             .collect();
-        let voltage = VoltageMap::table(
+        let voltage = preset(VoltageMap::table(
             points
                 .iter()
                 .map(|p| (p.speed.ratio(), p.voltage))
                 .collect(),
-        )
-        .expect("profile table is sorted");
+        ));
         let c_eff = 1.0 / (1.6 * 1.6 * f_max);
         Processor {
             name: "crusoe-class".to_string(),
-            frequency_model: FrequencyModel::discrete(points).expect("profile table is valid"),
-            power_model: PowerModel::new(
+            frequency_model: preset(FrequencyModel::discrete(points)),
+            power_model: preset(PowerModel::new(
                 PowerKind::Cmos {
                     c_eff,
                     f_max_hz: f_max,
@@ -244,17 +244,15 @@ impl Processor {
                 },
                 0.03,
                 0.0,
-            )
-            .expect("profile parameters are valid"),
-            overhead: TransitionOverhead::new(
+            )),
+            overhead: preset(TransitionOverhead::new(
                 30.0e-6,
                 TransitionEnergy::CapacitiveSwing {
                     eta: 0.9,
                     c_dd: 5.0e-6,
                     voltage,
                 },
-            )
-            .expect("profile parameters are valid"),
+            )),
         }
     }
 
@@ -331,11 +329,7 @@ mod tests {
             assert!(p.frequency_model().levels().unwrap() >= 5);
             // Full-speed dynamic power is normalized to ~1 W.
             let full = p.power_model().active_power(Speed::FULL);
-            assert!(
-                (full - 1.0).abs() < 0.1,
-                "{}: full power {full}",
-                p.name()
-            );
+            assert!((full - 1.0).abs() < 0.1, "{}: full power {full}", p.name());
             // Lowest level draws much less than full.
             let low = p.power_model().active_power(p.min_speed());
             assert!(low < 0.5 * full, "{}: low power {low}", p.name());

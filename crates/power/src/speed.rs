@@ -62,9 +62,26 @@ impl Speed {
         Speed(ratio.clamp(floor.0, 1.0))
     }
 
+    /// The smallest representable positive speed, used as the ultimate
+    /// clamping floor where no platform floor applies.
+    pub const MIN_POSITIVE: Speed = Speed(1.0e-9);
+
     /// The normalized ratio in `(0, 1]`.
     pub fn ratio(self) -> f64 {
         self.0
+    }
+
+    /// Whether two speeds denote the *same operating point*.
+    ///
+    /// This is exact identity, not an epsilon comparison: operating points
+    /// flow through the system by value (quantization, commitment, trace
+    /// segments), so two speeds either are the same point or they are not.
+    /// Epsilon comparisons belong to arithmetic-*derived* quantities, never
+    /// to operating-point identity — a near-equal speed is still a
+    /// different point and switching to it costs a real transition.
+    pub fn same_point(self, other: Speed) -> bool {
+        // xtask:allow(float-eq): operating-point identity is exact by design
+        self.0 == other.0
     }
 
     /// Wall-clock time needed to execute `work` units of f_max-normalized
@@ -170,7 +187,7 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        let mut v = vec![
+        let mut v = [
             Speed::new(0.9).unwrap(),
             Speed::new(0.1).unwrap(),
             Speed::FULL,

@@ -119,9 +119,9 @@ mod tests {
     fn miss_and_margin_accounting() {
         let o = outcome(vec![
             record(0, Some(5.0), 10.0),
-            record(1, Some(12.0), 10.0),  // late
-            record(2, None, 50.0),        // due but unfinished
-            record(3, None, 1000.0),      // not yet due at horizon
+            record(1, Some(12.0), 10.0), // late
+            record(2, None, 50.0),       // due but unfinished
+            record(3, None, 1000.0),     // not yet due at horizon
         ]);
         assert_eq!(o.miss_count(), 2);
         assert!(!o.all_deadlines_met());

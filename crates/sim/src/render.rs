@@ -75,10 +75,12 @@ pub fn render_gantt(trace: &Trace, tasks: &TaskSet, width: usize) -> String {
 
     let mut out = String::new();
     for (i, (id, task)) in tasks.iter().enumerate() {
-        let label = task.name().map(str::to_string).unwrap_or_else(|| id.to_string());
+        let label = task
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| id.to_string());
         out.push_str(&format!("{label:>12} │"));
-        for col in 0..width {
-            let mine = exec_time[i][col];
+        for &mine in exec_time[i].iter().take(width) {
             let c = if mine <= 0.0 {
                 ' '
             } else if mine >= 0.5 * slice {
@@ -91,12 +93,8 @@ pub fn render_gantt(trace: &Trace, tasks: &TaskSet, width: usize) -> String {
         out.push('\n');
     }
     out.push_str(&format!("{:>12} │", "idle"));
-    for col in 0..width {
-        out.push(if idle_time[col] >= 0.5 * slice {
-            '.'
-        } else {
-            ' '
-        });
+    for &idle in idle_time.iter().take(width) {
+        out.push(if idle >= 0.5 * slice { '.' } else { ' ' });
     }
     out.push('\n');
     out.push_str(&format!("{:>12} │", "speed"));
@@ -107,7 +105,7 @@ pub fn render_gantt(trace: &Trace, tasks: &TaskSet, width: usize) -> String {
         } else {
             let mean_speed = speed_weight[col] / busy;
             let digit = ((mean_speed * 10.0).floor() as u32).min(9);
-            out.push(char::from_digit(digit, 10).expect("digit <= 9"));
+            out.push(char::from_digit(digit, 10).unwrap_or('9'));
         }
     }
     out.push('\n');

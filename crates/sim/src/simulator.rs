@@ -217,6 +217,12 @@ impl Simulator {
         // and chain transitions forever (real platforms commit too).
         let mut committed_for: Option<JobId> = None;
         let mut events: u64 = 0;
+        // Runtime invariant audit (debug builds only): the clock must never
+        // move backwards, and idle + transition + execution time must tile
+        // `[0, now]` — a gap or overlap means the trace and the energy
+        // accounting have diverged from wall-clock time.
+        let mut audit_prev_now = now;
+        let mut audit_accounted = 0.0_f64;
 
         governor.on_start(tasks, processor);
 
@@ -227,6 +233,15 @@ impl Simulator {
                     limit: self.config.max_events,
                 });
             }
+            debug_assert!(
+                now >= audit_prev_now,
+                "clock moved backwards: {audit_prev_now} -> {now}"
+            );
+            debug_assert!(
+                (audit_accounted - now).abs() <= TIME_EPS * events as f64,
+                "timeline not tiled: accounted {audit_accounted}, clock {now}"
+            );
+            audit_prev_now = now;
 
             // 1. Release every job due at (or within tolerance of) `now`.
             for i in 0..n {
@@ -255,8 +270,9 @@ impl Simulator {
                         &next_release,
                         current_speed,
                     );
-                    let released = ready.last().expect("just pushed");
-                    governor.on_release(&view, released);
+                    if let Some(released) = ready.last() {
+                        governor.on_release(&view, released);
+                    }
                 }
             }
 
@@ -264,10 +280,7 @@ impl Simulator {
                 break;
             }
 
-            let next_arrival = next_release
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let next_arrival = next_release.iter().copied().fold(f64::INFINITY, f64::min);
 
             // 2. Idle until the next arrival (or the horizon) if nothing is
             //    ready.
@@ -294,6 +307,7 @@ impl Simulator {
                             kind: SegmentKind::Idle,
                         });
                     }
+                    audit_accounted += wake - now;
                     now = wake;
                 }
                 continue;
@@ -318,20 +332,14 @@ impl Simulator {
             let requested = if committed {
                 current_speed
             } else {
-                let view = SchedulerView::new(
-                    now,
-                    tasks,
-                    processor,
-                    &ready,
-                    &next_release,
-                    current_speed,
-                );
+                let view =
+                    SchedulerView::new(now, tasks, processor, &ready, &next_release, current_speed);
                 let speed = governor.select_speed(&view, &ready[ji]);
                 review = governor.review_after(&view, &ready[ji]);
                 speed
             };
             let speed = processor.quantize_up(requested);
-            if speed != current_speed {
+            if !speed.same_point(current_speed) {
                 acc.add_transition(current_speed, speed);
                 current_speed = speed;
                 let latency = processor.overhead().latency();
@@ -345,6 +353,7 @@ impl Simulator {
                             kind: SegmentKind::Transition,
                         });
                     }
+                    audit_accounted += end - now;
                     now = end;
                     // Re-enter the loop: releases that occurred during the
                     // transition are processed; if this job is still the
@@ -369,9 +378,17 @@ impl Simulator {
                 .min(dt_review)
                 .max(0.0);
             if dt > 0.0 {
+                debug_assert!(dt.is_finite(), "non-finite execution step at {now}");
                 job.executed += speed.ratio() * dt;
                 job.wall_used += dt;
+                debug_assert!(
+                    job.remaining_actual() >= -WORK_EPS,
+                    "job {:?} executed past its actual demand by {}",
+                    cur_id,
+                    -job.remaining_actual()
+                );
                 acc.add_execution(speed, dt);
+                audit_accounted += dt;
                 if let Some(tr) = trace.as_mut() {
                     tr.push(Segment {
                         start: now,
@@ -396,8 +413,7 @@ impl Simulator {
                     wall_time: job.wall_used,
                     preemptions: job.preemptions,
                 };
-                if self.config.miss_policy == MissPolicy::Fail && now > record.deadline + TIME_EPS
-                {
+                if self.config.miss_policy == MissPolicy::Fail && now > record.deadline + TIME_EPS {
                     return Err(SimError::DeadlineMiss {
                         job: record.id,
                         deadline: record.deadline,
@@ -405,14 +421,8 @@ impl Simulator {
                     });
                 }
                 last_running = None;
-                let view = SchedulerView::new(
-                    now,
-                    tasks,
-                    processor,
-                    &ready,
-                    &next_release,
-                    current_speed,
-                );
+                let view =
+                    SchedulerView::new(now, tasks, processor, &ready, &next_release, current_speed);
                 governor.on_completion(&view, &record);
                 records.push(record);
             }
@@ -598,11 +608,7 @@ mod tests {
         let s = sim(tasks, 12.0);
         let out = s.run(&mut FullSpeed, &WorstCase).unwrap();
         assert!(out.all_deadlines_met());
-        let t1 = out
-            .jobs
-            .iter()
-            .find(|r| r.id.task == TaskId(1))
-            .unwrap();
+        let t1 = out.jobs.iter().find(|r| r.id.task == TaskId(1)).unwrap();
         assert_eq!(t1.preemptions, 2);
     }
 
@@ -649,10 +655,7 @@ mod tests {
         let s = Simulator::new(
             two_task_set(),
             stadvs_power::Processor::ideal_continuous(),
-            SimConfig::new(1.0e6)
-                .unwrap()
-                .with_max_events(10)
-                .unwrap(),
+            SimConfig::new(1.0e6).unwrap().with_max_events(10).unwrap(),
         )
         .unwrap();
         let err = s.run(&mut FullSpeed, &WorstCase).unwrap_err();
@@ -790,11 +793,8 @@ mod tests {
 
     #[test]
     fn phased_release_creates_initial_idle() {
-        let tasks = TaskSet::new(vec![Task::new(1.0, 4.0)
-            .unwrap()
-            .with_phase(2.0)
-            .unwrap()])
-        .unwrap();
+        let tasks =
+            TaskSet::new(vec![Task::new(1.0, 4.0).unwrap().with_phase(2.0).unwrap()]).unwrap();
         let s = sim(tasks, 10.0);
         let out = s.run(&mut FullSpeed, &WorstCase).unwrap();
         // Releases at 2 and 6 only; job at 10 is outside the horizon.

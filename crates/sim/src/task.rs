@@ -254,6 +254,7 @@ impl FromIterator<Task> for TaskSet {
     /// Panics if the iterator is empty; use [`TaskSet::new`] for fallible
     /// construction.
     fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> TaskSet {
+        // xtask:allow(no-panic): documented `# Panics` contract of FromIterator
         TaskSet::new(iter.into_iter().collect()).expect("FromIterator requires at least one task")
     }
 }

@@ -74,7 +74,7 @@ impl Trace {
                 last.end,
                 segment.start
             );
-            if last.kind == segment.kind && last.speed == segment.speed {
+            if last.kind == segment.kind && last.speed.same_point(segment.speed) {
                 last.end = segment.end;
                 return;
             }

@@ -114,6 +114,7 @@ impl DemandPattern {
             } => {
                 check("mean", mean, 0.0, 1.0)?;
                 check("amplitude", amplitude, 0.0, 1.0)?;
+                // xtask:allow(float-eq): period_jobs is an integer job count
                 if period_jobs == 0 {
                     return Err(WorkloadError::InvalidParameter {
                         name: "period_jobs",
@@ -187,8 +188,8 @@ impl DemandPattern {
                 let run = index / u64::from(burst_jobs);
                 // The run's mode must be identical for all jobs in the run:
                 // derive it from (seed, task, run), not from the job rng.
-                let coin = splitmix64(task_hash(seed, task) ^ splitmix64(run)) as f64
-                    / u64::MAX as f64;
+                let coin =
+                    splitmix64(task_hash(seed, task) ^ splitmix64(run)) as f64 / u64::MAX as f64;
                 let base = if coin < duty { high } else { low };
                 base + rng.gen_range(-0.05..=0.05)
             }
@@ -462,6 +463,8 @@ mod tests {
         .unwrap()
         .with_seed(3);
         let xs = sample(&m, 0, 500);
-        assert!(xs.iter().all(|&x| x >= 0.05 - 1e-12 && x <= 1.0 + 1e-12));
+        assert!(xs
+            .iter()
+            .all(|&x| (0.05 - 1e-12..=1.0 + 1e-12).contains(&x)));
     }
 }

@@ -66,7 +66,10 @@ impl RecordedDemand {
     ///
     /// Returns [`WorkloadError::InvalidParameter`] if some task released no
     /// job in the outcome (its trace would be empty).
-    pub fn from_outcome(outcome: &SimOutcome, n_tasks: usize) -> Result<RecordedDemand, WorkloadError> {
+    pub fn from_outcome(
+        outcome: &SimOutcome,
+        n_tasks: usize,
+    ) -> Result<RecordedDemand, WorkloadError> {
         let mut traces: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n_tasks];
         for record in &outcome.jobs {
             if let Some(trace) = traces.get_mut(record.id.task.0) {

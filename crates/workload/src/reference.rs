@@ -73,22 +73,22 @@ pub fn avionics() -> TaskSet {
     build(
         "avionics",
         &[
-            (3_000.0e-6, 200_000.0e-6),  // aircraft flight data
-            (1_000.0e-6, 25_000.0e-6),   // radar tracking filter
-            (5_000.0e-6, 25_000.0e-6),   // RWR contact management
-            (1_000.0e-6, 40_000.0e-6),   // data bus poll device
-            (3_000.0e-6, 50_000.0e-6),   // weapon release
-            (5_000.0e-6, 50_000.0e-6),   // radar target update
-            (8_000.0e-6, 59_000.0e-6),   // navigation update
-            (9_000.0e-6, 80_000.0e-6),   // display graphic
-            (2_000.0e-6, 80_000.0e-6),   // display hook update
-            (5_000.0e-6, 100_000.0e-6),  // tracking target update
-            (1_000.0e-6, 100_000.0e-6),  // nav steering commands
-            (3_000.0e-6, 200_000.0e-6),  // display stores update
-            (1_000.0e-6, 200_000.0e-6),  // display keyset
-            (1_000.0e-6, 200_000.0e-6),  // display status update
-            (1_000.0e-6, 1_000_000.0e-6), // BET E status update
-            (1_000.0e-6, 1_000_000.0e-6), // nav status
+            (3_000.0e-6, 200_000.0e-6),     // aircraft flight data
+            (1_000.0e-6, 25_000.0e-6),      // radar tracking filter
+            (5_000.0e-6, 25_000.0e-6),      // RWR contact management
+            (1_000.0e-6, 40_000.0e-6),      // data bus poll device
+            (3_000.0e-6, 50_000.0e-6),      // weapon release
+            (5_000.0e-6, 50_000.0e-6),      // radar target update
+            (8_000.0e-6, 59_000.0e-6),      // navigation update
+            (9_000.0e-6, 80_000.0e-6),      // display graphic
+            (2_000.0e-6, 80_000.0e-6),      // display hook update
+            (5_000.0e-6, 100_000.0e-6),     // tracking target update
+            (1_000.0e-6, 100_000.0e-6),     // nav steering commands
+            (3_000.0e-6, 200_000.0e-6),     // display stores update
+            (1_000.0e-6, 200_000.0e-6),     // display keyset
+            (1_000.0e-6, 200_000.0e-6),     // display status update
+            (1_000.0e-6, 1_000_000.0e-6),   // BET E status update
+            (1_000.0e-6, 1_000_000.0e-6),   // nav status
             (100_000.0e-6, 1_000_000.0e-6), // situation awareness
         ],
     )

@@ -148,11 +148,7 @@ impl TaskSetSpec {
             .collect();
         // The 1 µs floor can nudge total utilization above the target (and,
         // at U = 1, above feasibility); rescale down to the exact target.
-        let actual: f64 = wcets
-            .iter()
-            .zip(&periods)
-            .map(|(&c, &t)| c / t)
-            .sum();
+        let actual: f64 = wcets.iter().zip(&periods).map(|(&c, &t)| c / t).sum();
         if actual > self.utilization {
             let scale = self.utilization / actual;
             for c in &mut wcets {
@@ -241,7 +237,11 @@ mod tests {
             assert!(t.phase() < t.period());
         }
         // Default stays synchronous.
-        let sync = TaskSetSpec::new(6, 0.6).unwrap().with_seed(4).generate().unwrap();
+        let sync = TaskSetSpec::new(6, 0.6)
+            .unwrap()
+            .with_seed(4)
+            .generate()
+            .unwrap();
         assert!(sync.iter().all(|(_, t)| t.phase() == 0.0));
     }
 

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let static_edf = sim.run(&mut StaticEdf::new(), &demand)?;
     let stedf = sim.run(&mut SlackEdf::new(), &demand)?;
 
-    println!("\n{:<12} {:>12} {:>12} {:>10}", "governor", "energy (J)", "normalized", "switches");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>10}",
+        "governor", "energy (J)", "normalized", "switches"
+    );
     for out in [&full, &static_edf, &stedf] {
         println!(
             "{:<12} {:>12.4} {:>12.3} {:>10}",
@@ -70,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stadvs::sim::SimConfig::new(0.1)?.with_trace(true),
     )?;
     let zoomed = zoom_sim.run(&mut SlackEdf::new(), &demand)?;
-    println!("\nfirst 100 ms under st-edf:\n{}",
-             stadvs::sim::render_gantt(zoomed.trace.as_ref().expect("trace on"), &tasks, 72));
+    println!(
+        "\nfirst 100 ms under st-edf:\n{}",
+        stadvs::sim::render_gantt(zoomed.trace.as_ref().expect("trace on"), &tasks, 72)
+    );
     Ok(())
 }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Replay the identical workload under every governor.
-    println!("\n{:<14} {:>12} {:>12} {:>8}", "governor", "energy (J)", "normalized", "misses");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>8}",
+        "governor", "energy (J)", "normalized", "misses"
+    );
     let mut base = None;
     for name in STANDARD_LINEUP {
         let mut governor = make_governor(name).expect("resolves");

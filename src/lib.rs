@@ -38,8 +38,6 @@ pub mod prelude {
     pub use stadvs_baselines::{CcEdf, Dra, FeedbackEdf, LaEdf, LppsEdf, NoDvs, StaticEdf};
     pub use stadvs_core::{SlackEdf, SlackEdfConfig};
     pub use stadvs_power::{Processor, Speed};
-    pub use stadvs_sim::{
-        render_gantt, Governor, MissPolicy, SimConfig, Simulator, Task, TaskSet,
-    };
+    pub use stadvs_sim::{render_gantt, Governor, MissPolicy, SimConfig, Simulator, Task, TaskSet};
     pub use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
 }

@@ -2,7 +2,9 @@
 //! governor's energy, and the bound hierarchy must hold:
 //! `YDS ≤ oracle-static ≤ st-edf` (on average) `≤ no-dvs`.
 
-use stadvs::analysis::{due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind};
+use stadvs::analysis::{
+    due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind,
+};
 use stadvs::experiments::{make_governor, WorkloadCase, STANDARD_LINEUP};
 use stadvs::power::Processor;
 use stadvs::sim::{SimConfig, Simulator};
@@ -59,8 +61,8 @@ fn bound_hierarchy_holds() {
         let jobs = materialize_jobs(&case.tasks, &case.exec, HORIZON);
         let due = due_within(&jobs, HORIZON);
         let yds = yds_schedule(&due, WorkKind::Actual).energy(processor.power_model());
-        let oracle_speed = optimal_static_speed(&due, WorkKind::Actual)
-            .clamp(processor.min_speed().ratio(), 1.0);
+        let oracle_speed =
+            optimal_static_speed(&due, WorkKind::Actual).clamp(processor.min_speed().ratio(), 1.0);
         let sim = Simulator::new(
             case.tasks.clone(),
             processor.clone(),
@@ -71,7 +73,10 @@ fn bound_hierarchy_holds() {
         let mut oracle = stadvs::baselines::OracleStatic::new(
             stadvs::power::Speed::new(oracle_speed).expect("in range"),
         );
-        let oracle_energy = sim.run(&mut oracle, &case.exec).expect("runs").total_energy();
+        let oracle_energy = sim
+            .run(&mut oracle, &case.exec)
+            .expect("runs")
+            .total_energy();
         let mut stedf = make_governor("st-edf").expect("resolves");
         let stedf_energy = sim
             .run(stedf.as_mut(), &case.exec)
@@ -85,10 +90,7 @@ fn bound_hierarchy_holds() {
 
         // Per-case hard relations.
         assert!(yds <= oracle_energy + 1e-9, "YDS above the static oracle");
-        assert!(
-            stedf_energy <= nodvs_energy + 1e-9,
-            "st-edf above no-dvs"
-        );
+        assert!(stedf_energy <= nodvs_energy + 1e-9, "st-edf above no-dvs");
         sums.0 += yds;
         sums.1 += oracle_energy;
         sums.2 += stedf_energy;

@@ -3,6 +3,10 @@
 //! task sets, demand patterns, and utilizations, under the strict
 //! [`MissPolicy::Fail`] policy plus the independent trace audit.
 
+// `ProptestConfig` grows fields across proptest releases; keep the
+// `..default()` spread even when every currently-visible field is set.
+#![allow(clippy::needless_update)]
+
 use proptest::prelude::*;
 use stadvs::analysis::validate_outcome;
 use stadvs::experiments::{make_governor, WorkloadCase};

@@ -1,0 +1,13 @@
+//! Domain-specific static analysis for the stadvs workspace.
+//!
+//! `cargo xtask lint` enforces four invariants that clippy cannot express
+//! (see [`rules::RULES`]): epsilon-safe float comparisons, panic-free
+//! guarantee crates, documented governor safety arguments, and cast-free
+//! claims arithmetic. The implementation is dependency-free on purpose —
+//! a hand-rolled lexer ([`lexer`]) rather than a parser crate — so the
+//! gate itself adds nothing to the workspace's supply-chain trust base.
+
+pub mod lexer;
+pub mod lint;
+pub mod report;
+pub mod rules;

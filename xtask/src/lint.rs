@@ -1,0 +1,287 @@
+//! Lint orchestration: workspace discovery, rule scoping, allow-list
+//! application.
+//!
+//! Scope policy (library code only — integration tests, benches and
+//! examples are exercised by the compiler and test suite, not by this
+//! gate):
+//!
+//! * scanned roots: `crates/*/src`, `src`, `xtask/src`;
+//! * `float-eq` and `governor-doc` run everywhere scanned;
+//! * `no-panic` runs in the guarantee-critical crates (`sim`, `core`,
+//!   `power`, `analysis`);
+//! * `as-cast` runs in `core` (the claims/ledger arithmetic).
+//!
+//! A violation is suppressed by `// xtask:allow(<rule>): <reason>` on the
+//! same or the immediately preceding line, or
+//! `// xtask:allow-file(<rule>): <reason>` anywhere in the file. The
+//! reason is mandatory; a directive without one is inert. Directives
+//! naming unknown rules are themselves reported.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, LexedFile};
+use crate::report::{LintReport, Violation};
+use crate::rules;
+
+/// Crates whose library code must be panic-free (rule `no-panic`).
+/// `baselines` joined after its construction paths were swept clean:
+/// comparison governors run inside the same simulations as the governor
+/// under test, so a baseline panic also aborts the guarantee experiment.
+const GUARANTEE_CRATES: &[&str] = &["sim", "core", "power", "analysis", "baselines"];
+
+/// Crates subject to the `as-cast` rule.
+const CLAIMS_CRATES: &[&str] = &["core"];
+
+/// A scanned source file, lexed and classified.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The owning crate's directory name (`sim`, `core`, ... or `stadvs`
+    /// for the root package, `xtask` for the tool itself).
+    pub crate_name: String,
+    pub lexed: LexedFile,
+    pub mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the file `rel` belonging to `crate_name` — the entry
+    /// point used by fixture tests.
+    pub fn from_source(rel: &str, crate_name: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let mask = rules::test_mask(&lexed.tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            lexed,
+            mask,
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = discover(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = relative(root, &path);
+        let crate_name = classify(&rel);
+        sources.push(SourceFile::from_source(&rel, &crate_name, &text));
+    }
+    Ok(analyze(&sources))
+}
+
+/// Runs every applicable rule over the given sources and applies the
+/// allow-lists. Pure (no I/O) — fixture tests call this directly.
+pub fn analyze(sources: &[SourceFile]) -> LintReport {
+    let mut violations = Vec::new();
+
+    // governor-doc needs the cross-file declaration index first.
+    let mut docs = rules::TypeDocs::new();
+    for s in sources {
+        rules::collect_type_docs(&s.rel, &s.lexed.tokens, &s.mask, &mut docs);
+    }
+
+    for s in sources {
+        let mut found = Vec::new();
+        found.extend(rules::check_float_eq(&s.rel, &s.lexed.tokens, &s.mask));
+        found.extend(rules::check_governor_doc(
+            &s.rel,
+            &s.lexed.tokens,
+            &s.mask,
+            &docs,
+        ));
+        if GUARANTEE_CRATES.contains(&s.crate_name.as_str()) {
+            found.extend(rules::check_no_panic(&s.rel, &s.lexed.tokens, &s.mask));
+        }
+        if CLAIMS_CRATES.contains(&s.crate_name.as_str()) {
+            found.extend(rules::check_as_cast(&s.rel, &s.lexed.tokens, &s.mask));
+        }
+        violations.extend(apply_allows(s, found));
+        // Directives naming unknown rules are dead suppressions — report
+        // them so typos cannot silently disable the gate.
+        for allow in &s.lexed.allows {
+            if !rules::is_known_rule(&allow.rule) {
+                violations.push(Violation {
+                    rule: "unknown-allow",
+                    file: s.rel.clone(),
+                    line: allow.line,
+                    col: 1,
+                    message: format!(
+                        "allow directive names unknown rule `{}` (known: {})",
+                        allow.rule,
+                        rules::RULES
+                            .iter()
+                            .map(|r| r.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    LintReport {
+        files_scanned: sources.len(),
+        violations,
+    }
+}
+
+/// Filters `found` through the file's allow directives. A directive with
+/// an empty reason is inert (the violation stands).
+fn apply_allows(s: &SourceFile, found: Vec<Violation>) -> Vec<Violation> {
+    found
+        .into_iter()
+        .filter(|v| {
+            !s.lexed.allows.iter().any(|a| {
+                a.rule == v.rule
+                    && !a.reason.is_empty()
+                    && (a.file_level || a.line == v.line || a.line + 1 == v.line)
+            })
+        })
+        .collect()
+}
+
+/// All `.rs` files under the scanned roots, sorted for stable output.
+fn discover(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut out)?;
+            }
+        }
+    }
+    for dir in [root.join("src"), root.join("xtask").join("src")] {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The owning crate's directory name for rule scoping.
+fn classify(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("xtask") => "xtask".to_string(),
+        Some("src") => "stadvs".to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, krate: &str, src: &str) -> LintReport {
+        analyze(&[SourceFile::from_source(rel, krate, src)])
+    }
+
+    #[test]
+    fn no_panic_scoped_to_guarantee_crates() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
+        assert!(one("crates/cli/src/a.rs", "cli", src).is_clean());
+    }
+
+    #[test]
+    fn as_cast_scoped_to_core() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }";
+        assert_eq!(one("crates/core/src/a.rs", "core", src).violations.len(), 1);
+        assert!(one("crates/sim/src/a.rs", "sim", src).is_clean());
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "fn f() { x.unwrap(); // xtask:allow(no-panic): infallible by construction\n}";
+        assert!(one("crates/sim/src/a.rs", "sim", src).is_clean());
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses() {
+        let src = "fn f() {\n    // xtask:allow(no-panic): infallible by construction\n    x.unwrap();\n}";
+        assert!(one("crates/sim/src/a.rs", "sim", src).is_clean());
+    }
+
+    #[test]
+    fn file_level_allow_suppresses_everywhere() {
+        let src = "// xtask:allow-file(no-panic): prototype module\nfn f() { x.unwrap(); }\nfn g() { y.unwrap(); }";
+        assert!(one("crates/sim/src/a.rs", "sim", src).is_clean());
+    }
+
+    #[test]
+    fn allow_without_reason_is_inert() {
+        let src = "fn f() { x.unwrap(); // xtask:allow(no-panic)\n}";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); // xtask:allow(float-eq): wrong rule\n}";
+        let report = one("crates/sim/src/a.rs", "sim", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// xtask:allow(no-such-rule): whatever\nfn f() {}";
+        let report = one("crates/sim/src/a.rs", "sim", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "unknown-allow");
+    }
+
+    #[test]
+    fn governor_doc_resolves_across_files() {
+        let decl = SourceFile::from_source(
+            "crates/core/src/g.rs",
+            "core",
+            "/// Deadline safety: bounded by the certified allowance.\npub struct Cross;",
+        );
+        let imp = SourceFile::from_source(
+            "crates/core/src/i.rs",
+            "core",
+            "impl Governor for Cross { }",
+        );
+        assert!(analyze(&[decl, imp]).is_clean());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/sim/src/lib.rs"), "sim");
+        assert_eq!(classify("src/lib.rs"), "stadvs");
+        assert_eq!(classify("xtask/src/main.rs"), "xtask");
+    }
+}

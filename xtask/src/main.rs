@@ -1,0 +1,81 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lint::lint_workspace;
+use xtask::rules::RULES;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask lint [--json] [--list-rules] [--root <dir>]
+
+Runs the workspace's domain lints. Exits 0 when clean, 1 on violations.
+
+  --json        machine-readable report on stdout
+  --list-rules  print the rule names and summaries, then exit
+  --root <dir>  lint a different workspace root (default: this workspace)
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{}: {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The xtask crate lives one level below the workspace root.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("xtask sits inside the workspace")
+            .to_path_buf()
+    });
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

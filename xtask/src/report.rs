@@ -1,0 +1,125 @@
+//! Violation data model and the human/JSON renderers.
+
+use std::fmt;
+
+/// One finding, anchored to a workspace-relative path and 1-based span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule name (one of [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl LintReport {
+    /// Whether the run found nothing (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} violation(s)\n",
+            self.files_scanned,
+            self.violations.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (stable JSON shape).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"violation_count\":{},", self.violations.len()));
+        out.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                json_string(v.rule),
+                json_string(&v.file),
+                v.line,
+                v.col,
+                json_string(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the lint is dependency-free by design).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = LintReport {
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: "float-eq",
+                file: "crates/sim/src/simulator.rs".into(),
+                line: 3,
+                col: 7,
+                message: "msg".into(),
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"violation_count\":1"));
+        assert!(json.contains("\"rule\":\"float-eq\""));
+        assert!(json.contains("\"line\":3"));
+    }
+}

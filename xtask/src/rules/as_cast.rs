@@ -1,0 +1,104 @@
+//! Rule `as-cast`: no numeric `as` casts in claims/ledger arithmetic
+//! (`crates/core`).
+//!
+//! The slack currency is wall-clock claims accumulated in `f64`; chunk
+//! counts and window sizes are integers. An `as` cast between the two
+//! silently truncates, saturates or rounds — each of which has produced
+//! real accounting bugs in DVS schedulers (a claim rounded down is slack
+//! granted twice). Conversions go through `stadvs_core::num` (range-checked
+//! count conversion) or lossless `From`/`f64::from` impls; the few
+//! deliberate sites carry `// xtask:allow(as-cast): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128",
+    "usize",
+];
+
+/// Runs the rule over one file's tokens. `mask[i]` marks test-only tokens.
+pub fn check_as_cast(file: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || !tok.kind.is_ident("as") {
+            continue;
+        }
+        // A cast has an expression on the left (identifier, literal or a
+        // closing delimiter) — this excludes `use x as y` and
+        // `extern crate x as y`, where the left side is also an identifier,
+        // so rule those out by keyword instead.
+        let prev_ok = i.checked_sub(1).map(|p| &tokens[p].kind).is_some_and(|k| {
+            matches!(
+                k,
+                TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Close(_)
+            )
+        });
+        let target = match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokenKind::Ident(n)) if NUMERIC_TYPES.contains(&n.as_str()) => n.clone(),
+            _ => continue,
+        };
+        if !prev_ok {
+            continue;
+        }
+        // `use foo as f64` is not legal Rust, so any `as <numeric>` with an
+        // expression on the left is a numeric cast.
+        out.push(Violation {
+            rule: "as-cast",
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`as {target}` cast in claims/ledger arithmetic; use \
+                 stadvs_core::num::count_to_f64 (range-checked) or a \
+                 lossless From conversion, or justify with \
+                 `// xtask:allow(as-cast): <reason>`"
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        check_as_cast("f.rs", &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn flags_int_to_float_and_float_to_int() {
+        let v = run("fn f(n: usize, x: f64) { let a = n as f64; let b = x as usize; }");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("as f64"));
+        assert!(v[1].message.contains("as usize"));
+    }
+
+    #[test]
+    fn flags_cast_after_call_chain() {
+        let v = run("fn f(v: Vec<u8>) -> f64 { v.len() as f64 }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ignores_non_numeric_as() {
+        assert!(
+            run("use std::io as stdio;\nfn f(x: &dyn Any) { let _ = x as &dyn Other; }").is_empty()
+        );
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { let _ = 3usize as f64; } }").is_empty());
+    }
+
+    #[test]
+    fn lossless_from_passes() {
+        assert!(run("fn f(k: u32) -> f64 { f64::from(k) }").is_empty());
+    }
+}

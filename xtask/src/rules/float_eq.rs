@@ -1,0 +1,166 @@
+//! Rule `float-eq`: no raw `==`/`!=` on floating-point time/speed/energy
+//! quantities.
+//!
+//! Exact equality on the simulator's continuous quantities is almost always
+//! a latent bug: times, speeds, energies and claims are accumulated through
+//! floating-point arithmetic, so semantically-equal values differ in the
+//! last bits. Comparisons must go through the sanctioned epsilon helpers
+//! (`TIME_EPS`/`WORK_EPS` based) or the explicit operating-point identity
+//! `Speed::same_point`.
+//!
+//! Detection is lexical: an `==`/`!=` is flagged when either operand window
+//! contains a float literal or an identifier whose snake-case words include
+//! a known continuous-quantity vocabulary term (`speed`, `deadline`,
+//! `energy`, ...). Identifier-name heuristics can misfire on integer
+//! quantities that reuse the vocabulary; such sites take a justified
+//! `// xtask:allow(float-eq): <reason>` instead of weakening the rule.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+
+use super::{left_window, right_window};
+
+/// Snake-case words that name continuous (floating-point) quantities in
+/// this codebase. Matching any word of an identifier marks the operand as
+/// float-suspect.
+const FLOAT_VOCAB: &[&str] = &[
+    "time",
+    "now",
+    "deadline",
+    "deadlines",
+    "release",
+    "horizon",
+    "slack",
+    "speed",
+    "speeds",
+    "energy",
+    "wcet",
+    "bcet",
+    "budget",
+    "phase",
+    "period",
+    "periods",
+    "ratio",
+    "ratios",
+    "latency",
+    "amount",
+    "work",
+    "demand",
+    "util",
+    "utilization",
+    "density",
+    "intensity",
+    "completion",
+    "tag",
+    "eps",
+    "epsilon",
+    "allowance",
+    "elapsed",
+    "executed",
+    "remaining",
+    "duration",
+    "window",
+    "margin",
+    "claim",
+    "claims",
+    "banked",
+    "fraction",
+    "joules",
+];
+
+/// Runs the rule over one file's tokens. `mask[i]` marks test-only tokens.
+pub fn check_float_eq(file: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let op = match tok.kind {
+            TokenKind::Punct(p @ ("==" | "!=")) => p,
+            _ => continue,
+        };
+        let left = left_window(tokens, i);
+        let right = right_window(tokens, i);
+        let evidence = float_evidence(tokens, &left).or_else(|| float_evidence(tokens, &right));
+        if let Some(why) = evidence {
+            out.push(Violation {
+                rule: "float-eq",
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "raw `{op}` on a floating-point quantity ({why}); compare \
+                     through an epsilon helper (TIME_EPS/WORK_EPS) or \
+                     Speed::same_point, or justify with \
+                     `// xtask:allow(float-eq): <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Why an operand window looks float-typed, if it does.
+fn float_evidence(tokens: &[Token], window: &[usize]) -> Option<String> {
+    for &i in window {
+        match &tokens[i].kind {
+            TokenKind::Float(text) => return Some(format!("float literal `{text}`")),
+            TokenKind::Ident(name) => {
+                if let Some(word) = name
+                    .split('_')
+                    .find(|w| FLOAT_VOCAB.contains(&w.to_ascii_lowercase().as_str()))
+                {
+                    return Some(format!("identifier `{name}` (term `{word}`)"));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        check_float_eq("f.rs", &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn flags_vocabulary_identifiers() {
+        let v = run("fn f() { if speed != current_speed { x(); } }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("speed"));
+    }
+
+    #[test]
+    fn flags_float_literals() {
+        let v = run("fn f() { let a = self.latency == 0.0; }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ignores_integer_comparisons() {
+        assert!(run("fn f() { if count == 0 && kind != other.kind { x(); } }").is_empty());
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { assert!(speed == 0.5); } }").is_empty());
+    }
+
+    #[test]
+    fn epsilon_comparisons_pass() {
+        assert!(run("fn f() -> bool { (a - deadline).abs() <= TIME_EPS }").is_empty());
+    }
+
+    #[test]
+    fn operators_inside_strings_do_not_count() {
+        assert!(run(r#"fn f() { let s = "speed == 0.5"; }"#).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Rule `governor-doc`: every type implementing `Governor` must carry a
+//! doc comment naming its safety argument.
+//!
+//! A governor picks speeds for a *hard* real-time simulator; its deadline
+//! argument is the single most important fact about it and must live on the
+//! type, not in tribal memory. The rule accepts any doc comment on the
+//! implementing type's declaration that contains a `Safety` section or the
+//! phrase "deadline-safe"/"deadline safety" (the workspace convention is a
+//! sentence starting "Deadline safety:").
+//!
+//! Blanket impls over non-nominal self types (`&mut G`, `Box<G>`) are
+//! skipped — they forward to an already-checked implementation.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+
+/// Where a nominal type was declared and whether its docs state a safety
+/// argument.
+#[derive(Debug, Clone)]
+pub struct TypeDoc {
+    pub file: String,
+    pub line: usize,
+    pub has_safety: bool,
+}
+
+/// Map from type name to every declaration seen across the workspace.
+pub type TypeDocs = HashMap<String, Vec<TypeDoc>>;
+
+/// Pass 1: records every non-test `struct`/`enum` declaration in `tokens`
+/// together with whether its leading doc comments state a safety argument.
+pub fn collect_type_docs(file: &str, tokens: &[Token], mask: &[bool], docs: &mut TypeDocs) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let is_decl_kw = tok.kind.is_ident("struct") || tok.kind.is_ident("enum");
+        if !is_decl_kw {
+            continue;
+        }
+        // `struct` must introduce a declaration, not e.g. appear in a path.
+        let name = match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokenKind::Ident(n)) => n.clone(),
+            _ => continue,
+        };
+        let doc_text = leading_docs(tokens, i);
+        docs.entry(name).or_default().push(TypeDoc {
+            file: file.to_string(),
+            line: tok.line,
+            has_safety: states_safety(&doc_text),
+        });
+    }
+}
+
+/// Pass 2: flags every `impl ... Governor for Type` whose `Type`
+/// declaration (looked up in `docs`) lacks a safety argument.
+pub fn check_governor_doc(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    docs: &TypeDocs,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || !tok.kind.is_ident("impl") {
+            continue;
+        }
+        let Some((trait_name, self_type)) = parse_impl_header(tokens, i) else {
+            continue;
+        };
+        if trait_name != "Governor" {
+            continue;
+        }
+        let Some(type_name) = self_type else {
+            continue; // blanket impl over a non-nominal self type
+        };
+        let documented = docs
+            .get(&type_name)
+            .is_some_and(|decls| decls.iter().any(|d| d.has_safety));
+        if !documented {
+            out.push(Violation {
+                rule: "governor-doc",
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{type_name}` implements Governor but its declaration \
+                     carries no safety argument; add a doc comment with a \
+                     `Deadline safety:` (or `# Safety`) section explaining \
+                     why its speed choices cannot cause a miss"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Doc-comment text immediately preceding the item keyword at `kw`
+/// (walking back over attributes and visibility).
+fn leading_docs(tokens: &[Token], kw: usize) -> String {
+    let mut text = String::new();
+    let mut i = kw;
+    while i > 0 {
+        i -= 1;
+        match &tokens[i].kind {
+            TokenKind::DocComment(doc) => {
+                text.push_str(doc);
+                text.push('\n');
+            }
+            TokenKind::Ident(w) if w == "pub" => {}
+            // `pub(crate)` visibility parens.
+            TokenKind::Close(')') => {
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tokens[i].kind {
+                        TokenKind::Close(_) => depth += 1,
+                        TokenKind::Open(_) => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            // Attributes: `#[...]`.
+            TokenKind::Close(']') => {
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tokens[i].kind {
+                        TokenKind::Close(_) => depth += 1,
+                        TokenKind::Open(_) => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if i > 0 && tokens[i - 1].kind.is_punct("#") {
+                    i -= 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    text
+}
+
+fn states_safety(doc: &str) -> bool {
+    let lower = doc.to_ascii_lowercase();
+    lower.contains("safety") || lower.contains("deadline-safe") || lower.contains("deadline safe")
+}
+
+/// Parses `impl [<generics>] TraitPath for SelfType [where ...] {`.
+/// Returns the trait path's final segment and, when the self type is a
+/// plain (possibly path-qualified) identifier, its final segment.
+fn parse_impl_header(tokens: &[Token], impl_idx: usize) -> Option<(String, Option<String>)> {
+    let mut i = impl_idx + 1;
+    // Skip the generic parameter list if present.
+    if tokens.get(i)?.kind.is_punct("<") {
+        i = skip_angles(tokens, i)?;
+    }
+    // Collect the trait path up to `for` (inherent impls have no `for` and
+    // hit `{` first — not our concern).
+    let mut trait_last = None;
+    let mut angle = 0isize;
+    loop {
+        let tok = tokens.get(i)?;
+        match &tok.kind {
+            TokenKind::Ident(w) if w == "for" && angle == 0 => {
+                i += 1;
+                break;
+            }
+            TokenKind::Open('{') if angle == 0 => return None, // inherent impl
+            TokenKind::Ident(w) if angle == 0 => trait_last = Some(w.clone()),
+            TokenKind::Punct("<") => angle += 1,
+            TokenKind::Punct(">") => angle -= 1,
+            TokenKind::Punct("<<") => angle += 2,
+            TokenKind::Punct(">>") => angle -= 2,
+            _ => {}
+        }
+        i += 1;
+    }
+    let trait_name = trait_last?;
+    // Self type: tokens until `where` or `{` at depth 0.
+    let mut segs: Vec<String> = Vec::new();
+    let mut nominal = true;
+    let mut angle = 0isize;
+    loop {
+        let tok = tokens.get(i)?;
+        match &tok.kind {
+            TokenKind::Open('{') if angle == 0 => break,
+            TokenKind::Ident(w) if w == "where" && angle == 0 => break,
+            TokenKind::Ident(w) if angle == 0 => segs.push(w.clone()),
+            TokenKind::Punct("::") if angle == 0 => {}
+            TokenKind::Punct("<") => {
+                angle += 1;
+                nominal = false; // generic self type (Box<G>, Vec<T>, ...)
+            }
+            TokenKind::Punct(">") => angle -= 1,
+            TokenKind::Punct("<<") => {
+                angle += 2;
+                nominal = false;
+            }
+            TokenKind::Punct(">>") => angle -= 2,
+            _ => nominal = false, // `&`, `mut`, tuples, slices, ...
+        }
+        i += 1;
+    }
+    let self_type = if nominal { segs.pop() } else { None };
+    Some((trait_name, self_type))
+}
+
+/// Skips a balanced `<...>` starting at `open` (which must be `<`),
+/// returning the index just past the matching `>`.
+fn skip_angles(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = open;
+    loop {
+        match tokens.get(i)?.kind {
+            TokenKind::Punct("<") => depth += 1,
+            TokenKind::Punct(">") => depth -= 1,
+            TokenKind::Punct("<<") => depth += 2,
+            TokenKind::Punct(">>") => depth -= 2,
+            _ => {}
+        }
+        i += 1;
+        if depth == 0 {
+            return Some(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let mut docs = TypeDocs::new();
+        collect_type_docs("f.rs", &lexed.tokens, &mask, &mut docs);
+        check_governor_doc("f.rs", &lexed.tokens, &mask, &docs)
+    }
+
+    #[test]
+    fn undocumented_governor_is_flagged() {
+        let v = run("pub struct Bare;\nimpl Governor for Bare { }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Bare"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_section_satisfies_the_rule() {
+        let v = run(
+            "/// Runs at full speed.\n///\n/// Deadline safety: never slower than no-DVS.\npub struct Doc;\nimpl Governor for Doc { }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn doc_without_safety_is_flagged() {
+        let v = run("/// A speed picker.\npub struct Vague;\nimpl Governor for Vague { }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn blanket_impls_are_skipped() {
+        let v = run(
+            "impl<G: Governor + ?Sized> Governor for &mut G { }\nimpl<G: Governor + ?Sized> Governor for Box<G> { }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn docs_survive_attributes_and_visibility() {
+        let v = run(
+            "/// Deadline safety: certified allowance.\n#[derive(Debug, Clone)]\npub(crate) struct Attr;\nimpl Governor for Attr { }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn generic_impl_header_parses() {
+        let v = run("pub struct Gen;\nimpl<'a, T: Clone> Governor for Gen { }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn other_traits_are_ignored() {
+        assert!(run("pub struct S;\nimpl Display for S { }\nimpl S { }").is_empty());
+    }
+
+    #[test]
+    fn path_qualified_trait_matches() {
+        let v = run("pub struct P;\nimpl stadvs_sim::Governor for P { }");
+        assert_eq!(v.len(), 1);
+    }
+}

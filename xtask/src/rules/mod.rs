@@ -1,0 +1,270 @@
+//! The four domain rules, implemented over the token stream.
+//!
+//! Shared infrastructure lives here: `#[cfg(test)]` / `#[test]` masking,
+//! delimiter matching, and operand-window extraction for the comparison
+//! rule.
+
+mod as_cast;
+mod float_eq;
+mod governor_doc;
+mod no_panic;
+
+pub use as_cast::check_as_cast;
+pub use float_eq::check_float_eq;
+pub use governor_doc::{check_governor_doc, collect_type_docs, TypeDocs};
+pub use no_panic::check_no_panic;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Static description of a rule, for `--list-rules` and allow validation.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "float-eq",
+        summary: "no raw ==/!= on floating-point time/speed/energy values; \
+                  use the TIME_EPS/WORK_EPS helpers or Speed::same_point",
+    },
+    RuleInfo {
+        name: "no-panic",
+        summary: "no unwrap()/expect()/panic!() in non-test library code of \
+                  the guarantee-critical crates (sim, core, power, analysis); \
+                  return typed errors or use debug_assert!",
+    },
+    RuleInfo {
+        name: "governor-doc",
+        summary: "every type implementing Governor must carry a doc comment \
+                  naming its safety argument (a `Safety` section)",
+    },
+    RuleInfo {
+        name: "as-cast",
+        summary: "no `as` casts between integer and float in claims/ledger \
+                  arithmetic (crates/core); use the checked stadvs_core::num \
+                  helpers or lossless From conversions",
+    },
+];
+
+/// Whether `name` is a known rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// For each token, whether it lies inside test-only code: an item annotated
+/// with an attribute whose arguments mention `test` (`#[cfg(test)]`,
+/// `#[test]`, `#[cfg(any(test, ...))]`, ...). Conservative by construction:
+/// masking too much only makes the lint quieter in test code, never louder
+/// in shipping code.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.is_punct("#")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Open('['))
+        {
+            let attr_end = match matching_close(tokens, i + 1) {
+                Some(e) => e,
+                None => break,
+            };
+            let mentions_test = tokens[i + 1..attr_end]
+                .iter()
+                .any(|t| t.kind.is_ident("test"));
+            if mentions_test {
+                if let Some(item_end) = item_end_after(tokens, attr_end + 1) {
+                    for m in mask.iter_mut().take(item_end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = item_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// The index of the last token of the item starting at `start` (skipping
+/// further attributes and doc comments): either a terminating `;` or the
+/// matching close of its first `{` block.
+fn item_end_after(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip doc comments and further attributes between the attribute and
+    // the item keyword.
+    loop {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::DocComment(_)) => i += 1,
+            Some(TokenKind::Punct("#"))
+                if tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Open('[')) =>
+            {
+                i = matching_close(tokens, i + 1)? + 1;
+            }
+            _ => break,
+        }
+    }
+    // Scan to the first top-level `;` or brace block.
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(i) {
+        match &tok.kind {
+            TokenKind::Open('{') if depth == 0 => return matching_close(tokens, i),
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.saturating_sub(1),
+            TokenKind::Punct(";") if depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `Close` matching the `Open` at `open_idx`.
+pub fn matching_close(tokens: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open_idx) {
+        match tok.kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The operand window to the left of a binary operator at `op`: token
+/// indices scanned backwards until an expression boundary at depth 0.
+pub fn left_window(tokens: &[Token], op: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = op;
+    while i > 0 {
+        i -= 1;
+        match &tokens[i].kind {
+            TokenKind::Close(_) => depth += 1,
+            TokenKind::Open(_) => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(p) if depth == 0 && is_boundary_punct(p) => break,
+            TokenKind::Ident(w) if depth == 0 && is_boundary_keyword(w) => break,
+            _ => {}
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// The operand window to the right of a binary operator at `op`.
+pub fn right_window(tokens: &[Token], op: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = op + 1;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Open('{') if depth == 0 => break, // if-body / block start
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(p) if depth == 0 && is_boundary_punct(p) => break,
+            TokenKind::Ident(w) if depth == 0 && is_boundary_keyword(w) => break,
+            _ => {}
+        }
+        out.push(i);
+        i += 1;
+    }
+    out
+}
+
+fn is_boundary_punct(p: &str) -> bool {
+    matches!(p, ";" | "," | "&&" | "||" | "=" | "=>" | "==" | "!=" | "?")
+}
+
+fn is_boundary_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "while" | "match" | "return" | "let" | "else" | "for" | "in" | "loop"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.is_ident("unwrap"))
+            .unwrap();
+        let tail_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.is_ident("tail"))
+            .unwrap();
+        assert!(mask[unwrap_idx], "inside cfg(test) must be masked");
+        assert!(!mask[tail_idx], "after the test mod must be unmasked");
+        assert!(!mask[0], "before the test mod must be unmasked");
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_attribute() {
+        let src = "#[test]\nfn unit() { y.expect(\"x\"); }\nfn lib() {}\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let expect_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.is_ident("expect"))
+            .unwrap();
+        let lib_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.is_ident("lib"))
+            .unwrap();
+        assert!(mask[expect_idx]);
+        assert!(!mask[lib_idx]);
+    }
+
+    #[test]
+    fn windows_respect_boundaries() {
+        let lexed = lex("if a.b(c) == d && e { }");
+        let op = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.is_punct("=="))
+            .unwrap();
+        let left: Vec<_> = left_window(&lexed.tokens, op);
+        let right: Vec<_> = right_window(&lexed.tokens, op);
+        // Left stops at `if`; right stops at `&&`.
+        assert!(left.iter().all(|&i| !lexed.tokens[i].kind.is_ident("if")));
+        assert!(left.iter().any(|&i| lexed.tokens[i].kind.is_ident("a")));
+        assert!(left.iter().any(|&i| lexed.tokens[i].kind.is_ident("c")));
+        assert_eq!(right.len(), 1);
+        assert!(lexed.tokens[right[0]].kind.is_ident("d"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Rule `no-panic`: no `unwrap()`, `expect()`, `panic!()` (or the `todo!`/
+//! `unimplemented!` stand-ins) in non-test library code of the
+//! guarantee-critical crates.
+//!
+//! The simulator and analysis layers back a *hard* real-time claim: an
+//! aborted process proves nothing about deadlines. Recoverable conditions
+//! must surface as typed errors; genuinely-impossible states are asserted
+//! with `debug_assert!` so release builds keep running while test builds
+//! still catch contract drift. The `assert!` family is deliberately not
+//! flagged — validated-constructor contracts with documented `# Panics`
+//! sections are idiomatic — the rule targets ad-hoc abort paths.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+
+/// Runs the rule over one file's tokens. `mask[i]` marks test-only tokens.
+pub fn check_no_panic(file: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let name = match &tok.kind {
+            TokenKind::Ident(n) => n.as_str(),
+            _ => continue,
+        };
+        let prev = i.checked_sub(1).map(|p| &tokens[p].kind);
+        let next = tokens.get(i + 1).map(|t| &t.kind);
+        let flagged = match name {
+            // `.unwrap()` / `.expect(` — method position only, so
+            // `unwrap_or` and friends stay legal.
+            "unwrap" | "expect" => {
+                prev.is_some_and(|k| k.is_punct("."))
+                    && next.is_some_and(|k| *k == TokenKind::Open('('))
+            }
+            // `panic!(`, `todo!(`, `unimplemented!(` — macro position.
+            "panic" | "todo" | "unimplemented" => next.is_some_and(|k| k.is_punct("!")),
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                rule: "no-panic",
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{name}` aborts the process in guarantee-critical library \
+                     code; return a typed error (or use debug_assert! for \
+                     impossible states), or justify with \
+                     `// xtask:allow(no-panic): <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        check_no_panic("f.rs", &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic() {
+        let v = run("fn f() { x.unwrap(); y.expect(\"reason\"); panic!(\"boom\"); }");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn allows_unwrap_or_family() {
+        assert!(
+            run("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn allows_assert_and_debug_assert() {
+        assert!(run("fn f() { assert!(ok); debug_assert!(fine, \"msg\"); }").is_empty());
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }").is_empty());
+        assert!(run("#[test]\nfn t() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn flags_todo_and_unimplemented() {
+        let v = run("fn f() { todo!(); }\nfn g() { unimplemented!(); }");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ident_named_unwrap_is_not_a_method_call() {
+        assert!(run("fn f(unwrap: u32) -> u32 { unwrap }").is_empty());
+    }
+}

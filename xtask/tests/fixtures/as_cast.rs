@@ -1,0 +1,23 @@
+//! Seeded violations for the `as-cast` rule. This file is lint-test data,
+//! never compiled into the workspace.
+
+/// VIOLATION (line 6, twice): `as f64` on both operands of ledger math.
+pub fn mean_claim(total: usize, jobs: usize) -> f64 {
+    total as f64 / jobs as f64
+}
+
+/// VIOLATION (line 11): float-to-integer truncation in claims arithmetic.
+pub fn whole_periods(elapsed: f64, period: f64) -> u64 {
+    (elapsed / period) as u64
+}
+
+/// NOT a violation: lossless conversion through `From`.
+pub fn steps_to_f64(steps: u32) -> f64 {
+    f64::from(steps)
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn sanctioned(count: usize) -> f64 {
+    // xtask:allow(as-cast): single sanctioned lossless count conversion
+    count as f64
+}

@@ -1,0 +1,25 @@
+//! Seeded violations for the `float-eq` rule. This file is lint-test data,
+//! never compiled into the workspace.
+
+/// VIOLATION (line 8): raw `==` between two time-vocabulary operands.
+pub fn deadline_reached(deadline: f64, now: f64) -> bool {
+    // The next line must be flagged: both operands are float time values.
+
+    deadline == now
+}
+
+/// VIOLATION (line 13): `!=` against a float literal.
+pub fn speed_changed(speed: f64) -> bool {
+    speed != 1.0
+}
+
+/// NOT a violation: integer comparison with no float vocabulary.
+pub fn same_count(jobs: usize, records: usize) -> bool {
+    jobs == records
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn exact_point(speed: f64, other: f64) -> bool {
+    // xtask:allow(float-eq): operating-point identity is exact by design
+    speed == other
+}

@@ -1,0 +1,25 @@
+//! Seeded violations for the `governor-doc` rule. This file is lint-test
+//! data, never compiled into the workspace.
+
+/// A governor whose doc comment says nothing about why it is safe.
+pub struct Undocumented;
+
+// VIOLATION (line 8): `impl Governor` for a type with no safety argument.
+impl Governor for Undocumented {
+    fn name(&self) -> &str {
+        "undocumented"
+    }
+}
+
+/// Runs at full speed.
+///
+/// Deadline safety: full speed is the feasibility baseline, so any EDF
+/// schedulable set stays schedulable.
+pub struct Documented;
+
+// NOT a violation: the declaration above names its safety argument.
+impl Governor for Documented {
+    fn name(&self) -> &str {
+        "documented"
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded violations for the `no-panic` rule. This file is lint-test data,
+//! never compiled into the workspace.
+
+/// VIOLATION (line 6): `unwrap()` in guarantee-critical library code.
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}
+
+/// VIOLATION (line 11): `expect()` in guarantee-critical library code.
+pub fn second(values: &[f64]) -> f64 {
+    *values.get(1).expect("at least two values")
+}
+
+/// VIOLATION (line 16): `panic!` in guarantee-critical library code.
+pub fn refuse() {
+    panic!("refused");
+}
+
+/// NOT a violation: `unwrap_or` is a total method, not a panic site.
+pub fn first_or_zero(values: &[f64]) -> f64 {
+    values.first().copied().unwrap_or(0.0)
+}
+
+/// NOT a violation: `debug_assert!` is a sanctioned contract check.
+pub fn checked(value: f64) -> f64 {
+    debug_assert!(value.is_finite());
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    /// NOT a violation: panics in test code are idiomatic.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixture-based proof that every lint rule flags its seeded violations —
+//! and nothing else — with the right spans.
+//!
+//! Each file under `tests/fixtures/` seeds violations for one rule next to
+//! near-miss code that must NOT be flagged (test modules, total methods,
+//! reasoned allow directives). Expected columns are derived from the
+//! fixture text itself so the assertions stay honest about spans.
+
+use xtask::lint::{analyze, SourceFile};
+use xtask::report::Violation;
+
+const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+const NO_PANIC: &str = include_str!("fixtures/no_panic.rs");
+const GOVERNOR_DOC: &str = include_str!("fixtures/governor_doc.rs");
+const AS_CAST: &str = include_str!("fixtures/as_cast.rs");
+
+/// 1-based column of the `occurrence`-th `needle` on 1-based `line`.
+fn col_of(src: &str, line: usize, needle: &str, occurrence: usize) -> usize {
+    let text = src.lines().nth(line - 1).unwrap_or_else(|| {
+        panic!("fixture has no line {line}");
+    });
+    text.match_indices(needle)
+        .nth(occurrence - 1)
+        .map(|(i, _)| i + 1)
+        .unwrap_or_else(|| panic!("line {line} has no occurrence {occurrence} of {needle:?}"))
+}
+
+fn spans(violations: &[Violation], rule: &str) -> Vec<(usize, usize)> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.line, v.col))
+        .collect()
+}
+
+#[test]
+fn float_eq_fixture_is_flagged_with_spans() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/workload/src/fixture.rs",
+        "workload",
+        FLOAT_EQ,
+    )]);
+    assert_eq!(
+        spans(&report.violations, "float-eq"),
+        vec![
+            (8, col_of(FLOAT_EQ, 8, "==", 1)),
+            (13, col_of(FLOAT_EQ, 13, "!=", 1)),
+        ],
+        "{report:?}"
+    );
+    // The integer comparison, the allowed line, and everything else must
+    // stay clean — two violations total.
+    assert_eq!(report.violations.len(), 2, "{report:?}");
+}
+
+#[test]
+fn no_panic_fixture_is_flagged_with_spans() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/sim/src/fixture.rs",
+        "sim",
+        NO_PANIC,
+    )]);
+    assert_eq!(
+        spans(&report.violations, "no-panic"),
+        vec![
+            (6, col_of(NO_PANIC, 6, "unwrap", 1)),
+            (11, col_of(NO_PANIC, 11, "expect", 1)),
+            (16, col_of(NO_PANIC, 16, "panic", 1)),
+        ],
+        "{report:?}"
+    );
+    assert_eq!(report.violations.len(), 3, "{report:?}");
+}
+
+#[test]
+fn no_panic_rule_is_scoped_to_guarantee_crates() {
+    // The same seeded panics are legal in a non-guarantee crate.
+    let report = analyze(&[SourceFile::from_source(
+        "crates/experiments/src/fixture.rs",
+        "experiments",
+        NO_PANIC,
+    )]);
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn governor_doc_fixture_is_flagged_with_spans() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/baselines/src/fixture.rs",
+        "baselines",
+        GOVERNOR_DOC,
+    )]);
+    assert_eq!(
+        spans(&report.violations, "governor-doc"),
+        vec![(8, col_of(GOVERNOR_DOC, 8, "impl", 1))],
+        "{report:?}"
+    );
+    let v = &report.violations[0];
+    assert!(
+        v.message.contains("Undocumented"),
+        "message must name the type: {}",
+        v.message
+    );
+    // `Documented` states its safety argument and must pass.
+    assert_eq!(report.violations.len(), 1, "{report:?}");
+}
+
+#[test]
+fn as_cast_fixture_is_flagged_with_spans() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/core/src/fixture.rs",
+        "core",
+        AS_CAST,
+    )]);
+    assert_eq!(
+        spans(&report.violations, "as-cast"),
+        vec![
+            (6, col_of(AS_CAST, 6, "as", 1)),
+            (6, col_of(AS_CAST, 6, "as", 2)),
+            (11, col_of(AS_CAST, 11, "as", 1)),
+        ],
+        "{report:?}"
+    );
+    // `f64::from` and the allowed cast must stay clean.
+    assert_eq!(report.violations.len(), 3, "{report:?}");
+}
+
+#[test]
+fn as_cast_rule_is_scoped_to_claims_crates() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/workload/src/fixture.rs",
+        "workload",
+        AS_CAST,
+    )]);
+    assert!(report.is_clean(), "{report:?}");
+}
