@@ -1,0 +1,234 @@
+//! Simulator throughput probe: events/sec and ns/event per governor, plus
+//! allocation counts and an end-to-end `fig1 --quick` wall-clock probe.
+//!
+//! Writes `BENCH_sim.json` at the repository root (or the current
+//! directory when not launched via cargo). Run through `cargo xtask bench`,
+//! which also compares the numbers against the committed
+//! `BENCH_baseline.json` and fails on a >2x ns/event regression.
+//!
+//! Each governor record is emitted as a single JSON line inside the
+//! `governors` array, which keeps the file trivially parseable without a
+//! JSON dependency (the xtask gate greps the lines).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use stadvs_experiments::experiments::{by_id, RunOptions};
+use stadvs_experiments::{make_governor, WorkloadCase};
+use stadvs_power::Processor;
+use stadvs_sim::{SimConfig, SimScratch, Simulator};
+use stadvs_workload::{reference, DemandPattern};
+
+/// A counting wrapper around the system allocator: lets the probe report
+/// allocations per simulation run (the hot path is designed to make zero).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are relaxed atomics
+// and never influence allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+struct GovernorRecord {
+    name: String,
+    workload: &'static str,
+    events: u64,
+    reps: u32,
+    ns_per_event: f64,
+    events_per_sec: f64,
+    allocs_per_run: u64,
+    bytes_per_run: u64,
+}
+
+/// The probed lineup: every standard governor plus the overhead-aware
+/// variant (exercised by tab1 on the xscale platform).
+fn probe_lineup() -> Vec<&'static str> {
+    let mut names = stadvs_experiments::STANDARD_LINEUP.to_vec();
+    names.push("st-edf-oa");
+    names
+}
+
+fn probe_governor(
+    name: &str,
+    workload: &'static str,
+    case: &WorkloadCase,
+    horizon: f64,
+    budget_secs: f64,
+) -> GovernorRecord {
+    let sim = Simulator::new(
+        case.tasks.clone(),
+        Processor::ideal_continuous(),
+        SimConfig::new(horizon).expect("probe horizon is valid"),
+    )
+    .expect("probe task sets are feasible");
+    let mut scratch = SimScratch::new();
+
+    // Warm-up run: grows the scratch buffers and faults in code paths, and
+    // brackets the steady-state allocation count of one full run.
+    let mut governor = make_governor(name).expect("probe lineup resolves");
+    let (a0, b0) = alloc_snapshot();
+    let warm = sim
+        .run_with_scratch(governor.as_mut(), &case.exec, &mut scratch)
+        .expect("probe simulation succeeds");
+    let (a1, b1) = alloc_snapshot();
+    let events = warm.events;
+
+    // Timed repetitions: fresh governor per rep (as the experiment runner
+    // does), shared scratch (likewise).
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        let mut governor = make_governor(name).expect("probe lineup resolves");
+        let out = sim
+            .run_with_scratch(governor.as_mut(), &case.exec, &mut scratch)
+            .expect("probe simulation succeeds");
+        assert_eq!(out.events, events, "probe runs must be deterministic");
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_events = events as f64 * f64::from(reps);
+    GovernorRecord {
+        name: name.to_string(),
+        workload,
+        events,
+        reps,
+        ns_per_event: elapsed * 1.0e9 / total_events,
+        events_per_sec: total_events / elapsed,
+        allocs_per_run: a1 - a0,
+        bytes_per_run: b1 - b0,
+    }
+}
+
+/// Formats an f64 for JSON: finite, shortest-ish representation.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(records: &[GovernorRecord], quick: bool, end_to_end_secs: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"stadvs-bench-sim-v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"governors\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"workload\": \"{}\", \"events\": {}, \"reps\": {}, \
+             \"ns_per_event\": {}, \"events_per_sec\": {}, \"allocs_per_run\": {}, \
+             \"bytes_per_run\": {} }}{comma}\n",
+            r.name,
+            r.workload,
+            r.events,
+            r.reps,
+            jnum(r.ns_per_event),
+            jnum(r.events_per_sec),
+            r.allocs_per_run,
+            r.bytes_per_run,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"end_to_end\": {{ \"name\": \"fig1_util_quick\", \"seconds\": {} }}\n",
+        jnum(end_to_end_secs)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("STADVS_QUICK").is_ok_and(|v| v == "1");
+    let budget_secs = if quick { 0.05 } else { 0.25 };
+
+    // Workload A: the synthetic generator the sweep experiments use.
+    let synthetic =
+        WorkloadCase::synthetic(6, 0.75, DemandPattern::Uniform { min: 0.3, max: 1.0 }, 42);
+    // Workload B: the avionics reference set — many tasks with a wide
+    // period spread, the heaviest per-event load in the evaluation (tab1).
+    let avionics_tasks = reference::all()
+        .into_iter()
+        .find(|(name, _)| *name == "avionics")
+        .expect("avionics reference set exists")
+        .1;
+    let avionics_horizon = avionics_tasks.max_period();
+    let avionics = WorkloadCase::fixed(
+        avionics_tasks,
+        DemandPattern::Uniform { min: 0.5, max: 1.0 },
+        0,
+    );
+
+    let mut records = Vec::new();
+    for name in probe_lineup() {
+        records.push(probe_governor(
+            name,
+            "synthetic",
+            &synthetic,
+            20.0,
+            budget_secs,
+        ));
+        records.push(probe_governor(
+            name,
+            "avionics",
+            &avionics,
+            avionics_horizon,
+            budget_secs,
+        ));
+        let last = &records[records.len() - 2..];
+        for r in last {
+            eprintln!(
+                "{:<12} {:<10} {:>9.1} ns/event  {:>12.0} events/s  {:>6} allocs/run",
+                r.name, r.workload, r.ns_per_event, r.events_per_sec, r.allocs_per_run
+            );
+        }
+    }
+
+    // End-to-end probe: one full quick fig1 sweep, in-process (no file
+    // writes — regeneration is `cargo xtask bench`'s job, not the probe's).
+    let fig1 = by_id("fig1_util").expect("fig1_util is registered");
+    let start = Instant::now();
+    let table = (fig1.run)(&RunOptions::quick());
+    let end_to_end_secs = start.elapsed().as_secs_f64();
+    assert!(!table.rows.is_empty(), "fig1 probe produced no rows");
+    eprintln!("fig1_util --quick end-to-end: {end_to_end_secs:.3} s");
+
+    let json = render_json(&records, quick, end_to_end_secs);
+    // The compile-time manifest dir pins the workspace root regardless of
+    // the invoking process's environment or working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

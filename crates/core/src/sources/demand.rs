@@ -45,8 +45,88 @@ use crate::sources::ReclaimedPool;
 #[derive(Debug, Clone)]
 pub struct DemandAnalysis {
     horizon_periods: f64,
-    /// Scratch: (checkpoint deadline, claim) events.
-    events: Vec<(f64, f64)>,
+    /// Scratch: one lazily-enumerated event source per ready job, task and
+    /// ledger entry, reused across dispatches.
+    streams: Vec<Stream>,
+    /// Scratch: tournament **loser** tree over the stream heads, with keys
+    /// packed as `(time bits, stream index)` in a `u128` (see [`pack`]).
+    /// `tree[0]` holds the overall winner (earliest head), `tree[1..P]`
+    /// the loser of each internal match, `tree[P..2P]` the leaf keys
+    /// (used during the build only). Replaying a path after a pop touches
+    /// exactly one stored loser per level — half the loads of a winner
+    /// tree — and the packed keys compare with a single `u128` compare.
+    tree: Vec<u128>,
+}
+
+/// Packs an event key: `u128` ordering is lexicographic on
+/// `(f64::total_cmp(time), stream index)`.
+///
+/// Event times are non-negative (deadlines at or after `now ≥ 0`) or `+∞`
+/// for exhausted streams, so the IEEE-754 bit patterns of the times order
+/// exactly as `total_cmp` does and a plain integer compare of the packed
+/// keys ranks earlier events first, ties to the lower stream index.
+#[inline]
+fn pack(time: f64, stream: usize) -> u128 {
+    debug_assert!(
+        time.is_sign_positive(),
+        "event time {time} must be non-negative"
+    );
+    // xtask:allow(as-cast): lossless widening of an index into the key's low bits
+    (u128::from(time.to_bits()) << 64) | stream as u128
+}
+
+/// The event time of a packed key.
+#[inline]
+fn key_time(key: u128) -> f64 {
+    // xtask:allow(as-cast): lossless truncation recovering the high 64 key bits
+    f64::from_bits((key >> 64) as u64)
+}
+
+/// The stream index of a packed key.
+#[inline]
+fn key_stream(key: u128) -> usize {
+    // xtask:allow(as-cast): recovers the index packed from a usize in `pack`
+    key as u64 as usize
+}
+
+/// One source of checkpoint events in the claims analysis.
+///
+/// Ready jobs and ledger entries are singletons; a task stream yields one
+/// event per in-window release, generated on demand by stepping `release`
+/// by the period — the same float accumulation a materialized enumeration
+/// performs, so event times are bit-identical. An exhausted stream parks
+/// at `time = ∞`.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// Next event time (absolute deadline, or clamped ledger tag).
+    time: f64,
+    /// The claim attached to every event of this stream.
+    claim: f64,
+    /// Release period for task streams; `0.0` marks a singleton.
+    period: f64,
+    /// Current release instant (task streams only).
+    release: f64,
+    /// Relative deadline (task streams only).
+    deadline_rel: f64,
+}
+
+impl Stream {
+    /// A singleton event source (ready-job deadline or ledger tag).
+    fn singleton(time: f64, claim: f64) -> Stream {
+        Stream {
+            time,
+            claim,
+            period: 0.0,
+            release: 0.0,
+            deadline_rel: 0.0,
+        }
+    }
+
+    /// An exhausted placeholder (pads the tournament tree to a power of
+    /// two and never wins against a live stream).
+    fn exhausted() -> Stream {
+        Stream::singleton(f64::INFINITY, 0.0)
+    }
 }
 
 /// The result of one demand analysis.
@@ -76,7 +156,8 @@ impl DemandAnalysis {
         );
         DemandAnalysis {
             horizon_periods,
-            events: Vec::new(),
+            streams: Vec::new(),
+            tree: Vec::new(),
         }
     }
 
@@ -98,7 +179,6 @@ impl DemandAnalysis {
     ) -> DemandSlack {
         let now = view.now();
         let tasks = view.tasks();
-        let scale = pool.scale();
         let latest_ready = view
             .ready_jobs()
             .iter()
@@ -114,29 +194,30 @@ impl DemandAnalysis {
             .max(now + self.horizon_periods * tasks.max_period())
             .max(first_deadlines);
 
-        self.events.clear();
+        self.streams.clear();
         let mut ready_claims = 0.0;
         for j in view.ready_jobs() {
             let claim = pool.remaining_claim_of(j);
             ready_claims += claim;
-            self.events.push((j.deadline, claim));
+            self.streams.push(Stream::singleton(j.deadline, claim));
         }
         // Analytic tail bound for all checkpoints beyond the horizon. With
         // overhead pricing, every claim carries its task's switch margin,
         // and the canonical stretch keeps total accrual at rate 1.
         let mut tail_bound = -ready_claims - pool.ledger().total();
         for (id, task) in tasks.iter() {
-            let claim = task.wcet() * scale + pool.margin_of(id);
-            let next_deadline = view.next_release_of(id) + task.deadline();
+            let claim = pool.claim_of(id);
+            let release = view.next_release_of(id);
+            let next_deadline = release + task.deadline();
             tail_bound += (next_deadline - now) * claim / task.period() - claim;
-            let mut release = view.next_release_of(id);
-            loop {
-                let deadline = release + task.deadline();
-                if deadline > horizon + TIME_EPS {
-                    break;
-                }
-                self.events.push((deadline, claim));
-                release += task.period();
+            if next_deadline <= horizon + TIME_EPS {
+                self.streams.push(Stream {
+                    time: next_deadline,
+                    claim,
+                    period: task.period(),
+                    release,
+                    deadline_rel: task.deadline(),
+                });
             }
         }
         for (tag, amount) in pool.ledger().iter() {
@@ -144,19 +225,28 @@ impl DemandAnalysis {
                 tag <= horizon + TIME_EPS,
                 "ledger tag {tag} beyond horizon {horizon}"
             );
-            self.events.push((tag.min(horizon), amount));
+            self.streams
+                .push(Stream::singleton(tag.min(horizon), amount));
         }
-        self.events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.rebuild_tree();
 
+        // Fused k-way merge + prefix scan: events pop in ascending time,
+        // ties in stream registration order — exactly the order a stable
+        // sort by time over the materialized blocks produces, so the f64
+        // prefix sums are bit-identical (see [`pack`] and `rebuild_tree`).
         let mut claims = 0.0;
         let mut min_slack = f64::INFINITY;
         let mut binding_claims = f64::INFINITY;
-        let mut i = 0;
-        while i < self.events.len() {
-            let d = self.events[i].0;
-            while i < self.events.len() && self.events[i].0 <= d + TIME_EPS {
-                claims += self.events[i].1;
-                i += 1;
+        let mut head = self.tree[0];
+        while key_time(head).is_finite() {
+            let d = key_time(head);
+            loop {
+                claims += self.streams[key_stream(head)].claim;
+                self.advance(key_stream(head), horizon);
+                head = self.tree[0];
+                if key_time(head) > d + TIME_EPS {
+                    break;
+                }
             }
             // Checkpoints before the dispatched job's deadline do not bind
             // it: it is the EDF minimum, and any future earlier-deadline
@@ -188,6 +278,70 @@ impl DemandAnalysis {
     }
 }
 
+impl DemandAnalysis {
+    /// Builds the loser tree over the current streams, padding with
+    /// exhausted placeholders to a power of two. Reuses the scratch
+    /// buffers: allocation-free once they have grown to the task-set size.
+    ///
+    /// Streams are registered in the order a materialized enumeration
+    /// pushes its event blocks (ready jobs, then tasks by id, then ledger
+    /// entries) and each stream's times are non-decreasing, so the packed
+    /// keys' tie-break to the lower stream index makes the merge emit ties
+    /// in block (push) order: exactly the stable-sort order.
+    fn rebuild_tree(&mut self) {
+        let leaves = self.streams.len().next_power_of_two();
+        self.streams.resize(leaves, Stream::exhausted());
+        self.tree.clear();
+        self.tree.resize(2 * leaves, 0u128);
+        for i in 0..leaves {
+            self.tree[leaves + i] = pack(self.streams[i].time, i);
+        }
+        // Winner pass bottom-up, then convert the internal nodes to the
+        // losers of their matches top-down (children still hold winners
+        // when their parent is converted).
+        for n in (1..leaves).rev() {
+            self.tree[n] = self.tree[2 * n].min(self.tree[2 * n + 1]);
+        }
+        self.tree[0] = self.tree[1];
+        for n in 1..leaves {
+            self.tree[n] = self.tree[2 * n].max(self.tree[2 * n + 1]);
+        }
+    }
+
+    /// Consumes the head of stream `w` and replays its tournament path:
+    /// the new key of `w` plays the stored loser at each node up to the
+    /// root, the winner carries upward, and the final winner lands in
+    /// `tree[0]` — one load per level.
+    ///
+    /// Task streams step to their next in-window release — the same float
+    /// accumulation (`release += period`) the materialized enumeration
+    /// performed, so event times are bit-identical; exhausted streams park
+    /// at `∞` and never win again.
+    fn advance(&mut self, w: usize, horizon: f64) {
+        let s = &mut self.streams[w];
+        if s.period > 0.0 {
+            s.release += s.period;
+            let next = s.release + s.deadline_rel;
+            s.time = if next <= horizon + TIME_EPS {
+                next
+            } else {
+                f64::INFINITY
+            };
+        } else {
+            s.time = f64::INFINITY;
+        }
+        let mut cur = pack(s.time, w);
+        let mut n = (self.tree.len() / 2 + w) / 2;
+        while n >= 1 {
+            if self.tree[n] < cur {
+                std::mem::swap(&mut self.tree[n], &mut cur);
+            }
+            n /= 2;
+        }
+        self.tree[0] = cur;
+    }
+}
+
 impl Default for DemandAnalysis {
     /// A quarter maximum period of look-ahead beyond the structural floor
     /// (latest ready deadline and every task's first in-window deadline).
@@ -206,6 +360,72 @@ mod tests {
     // Direct unit tests drive the analysis through a hand-built view via
     // the simulator; end-to-end behaviour is covered in `slack_edf` tests
     // and the integration suite. Here we check the pure bookkeeping.
+
+    /// The tournament merge must emit events in exactly the order the
+    /// materialize-and-stable-sort implementation produced: ascending
+    /// time, ties in stream registration (= push block) order. Payloads
+    /// record the stream, so equality also proves the tie-break.
+    #[test]
+    fn tournament_merge_emits_stable_sorted_event_order() {
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut rand = |m: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % m
+        };
+        for round in 0..80 {
+            // A mix of singleton and arithmetic (task-like) streams with
+            // heavy collisions on a coarse time grid.
+            let mut analysis = DemandAnalysis::default();
+            let mut reference = Vec::new();
+            let horizon = 10.0;
+            let n = 1 + rand(9);
+            for _ in 0..n {
+                let time = rand(13) as f64 * 0.5;
+                let claim = analysis.streams.len() as f64;
+                if rand(2) == 0 {
+                    analysis.streams.push(Stream::singleton(time, claim));
+                    reference.push((time, claim));
+                } else {
+                    let period = 0.5 + rand(4) as f64 * 0.75;
+                    let deadline_rel = rand(3) as f64 * 0.5;
+                    let mut release = time;
+                    loop {
+                        let deadline = release + deadline_rel;
+                        if deadline > horizon + TIME_EPS {
+                            break;
+                        }
+                        reference.push((deadline, claim));
+                        release += period;
+                    }
+                    let first = time + deadline_rel;
+                    if first <= horizon + TIME_EPS {
+                        analysis.streams.push(Stream {
+                            time: first,
+                            claim,
+                            period,
+                            release: time,
+                            deadline_rel,
+                        });
+                    }
+                }
+            }
+            reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            analysis.rebuild_tree();
+            let mut merged = Vec::new();
+            loop {
+                let head = analysis.tree[0];
+                if !key_time(head).is_finite() {
+                    break;
+                }
+                merged.push((key_time(head), analysis.streams[key_stream(head)].claim));
+                analysis.advance(key_stream(head), horizon);
+            }
+            assert_eq!(merged, reference, "round {round}");
+        }
+    }
 
     #[test]
     fn horizon_validation() {

@@ -30,6 +30,11 @@ use crate::ledger::SlackLedger;
 pub struct ReclaimedPool {
     scale: f64,
     margins: Vec<f64>,
+    /// Per-task base claim `C_i · κ + m_i`, fixed for the whole run at
+    /// reset — the incremental per-task state that lets every consumer
+    /// (allowance, remaining-claim queries, the demand analysis) look the
+    /// claim up instead of re-deriving it at each scheduling point.
+    claims: Vec<f64>,
     degenerate: bool,
     ledger: SlackLedger,
     granted: HashMap<JobId, f64>,
@@ -41,6 +46,7 @@ impl ReclaimedPool {
         ReclaimedPool {
             scale: 1.0,
             margins: Vec::new(),
+            claims: Vec::new(),
             degenerate: false,
             ledger: SlackLedger::new(),
             granted: HashMap::new(),
@@ -81,17 +87,15 @@ impl ReclaimedPool {
     pub fn reset_with_overhead(&mut self, tasks: &TaskSet, delta: f64) {
         self.ledger.clear();
         self.granted.clear();
-        self.margins = tasks
-            .iter()
-            .map(|(i, ti)| {
-                let preemptions: f64 = tasks
-                    .iter()
-                    .filter(|(j, tj)| *j != i && tj.deadline() < ti.deadline())
-                    .map(|(_, tj)| (ti.deadline() - tj.deadline()) / tj.period() + 1.0)
-                    .sum();
-                delta * (2.0 + preemptions)
-            })
-            .collect();
+        self.margins.clear();
+        self.margins.extend(tasks.iter().map(|(i, ti)| {
+            let preemptions: f64 = tasks
+                .iter()
+                .filter(|(j, tj)| *j != i && tj.deadline() < ti.deadline())
+                .map(|(_, tj)| (ti.deadline() - tj.deadline()) / tj.period() + 1.0)
+                .sum();
+            delta * (2.0 + preemptions)
+        }));
 
         // The canonical stretch is the inverse of the minimum feasible
         // static speed of the *margin-inflated* task set. For implicit
@@ -118,6 +122,14 @@ impl ReclaimedPool {
         };
         self.degenerate = kappa < 1.0;
         self.scale = kappa.max(1.0);
+        self.claims.clear();
+        let scale = self.scale;
+        self.claims.extend(
+            tasks
+                .iter()
+                .zip(&self.margins)
+                .map(|((_, t), &m)| t.wcet() * scale + m),
+        );
     }
 
     /// Whether the switch overhead is too large for any safe slowdown; the
@@ -137,6 +149,22 @@ impl ReclaimedPool {
         self.margins.get(task.0).copied().unwrap_or(0.0)
     }
 
+    /// The base claim of a fresh job of `task`: `C · κ + m`, precomputed at
+    /// reset so per-dispatch consumers (the demand analysis in particular)
+    /// read it in `O(1)`.
+    pub fn claim_of(&self, task: stadvs_sim::TaskId) -> f64 {
+        self.claims.get(task.0).copied().unwrap_or(0.0)
+    }
+
+    /// The base claim of `job`, falling back to an on-the-fly derivation
+    /// for jobs of tasks outside the reset table.
+    fn base_claim(&self, job: &ActiveJob) -> f64 {
+        self.claims
+            .get(job.id.task.0)
+            .copied()
+            .unwrap_or(job.wcet * self.scale)
+    }
+
     /// The banked-slack ledger.
     pub fn ledger(&self) -> &SlackLedger {
         &self.ledger
@@ -149,7 +177,7 @@ impl ReclaimedPool {
         let now = view.now();
         self.ledger.expire(now);
         let taken = self.ledger.take_up_to(job.deadline);
-        let initial = job.wcet * self.scale + self.margin_of(job.id.task);
+        let initial = self.base_claim(job);
         let entry = self.granted.entry(job.id).or_insert(initial);
         *entry += taken;
         (*entry - job.wall_used()).min(job.deadline - now)
@@ -168,7 +196,7 @@ impl ReclaimedPool {
             .granted
             .get(&job.id)
             .copied()
-            .unwrap_or(job.wcet * self.scale + margin);
+            .unwrap_or_else(|| self.base_claim(job));
         (granted - job.wall_used()).max(job.remaining_budget() + margin)
     }
 

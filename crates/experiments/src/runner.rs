@@ -4,7 +4,7 @@ use stadvs_analysis::{due_within, materialize_jobs, optimal_static_speed, yds_sc
 use stadvs_baselines::{baseline_by_name, OracleStatic};
 use stadvs_core::{SlackEdf, SlackEdfConfig};
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{Governor, SimConfig, Simulator, TaskSet};
+use stadvs_sim::{Governor, SimConfig, SimScratch, Simulator, TaskSet};
 use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
 
 /// One reproducible workload: a task set plus its execution-demand model.
@@ -160,21 +160,44 @@ impl Comparison {
     /// or if a simulation errors (experiment inputs are constructed
     /// feasible; an error here is a bug worth crashing on).
     pub fn run_case(&self, case: &WorkloadCase) -> Vec<GovernorOutcome> {
+        self.run_case_counted(case, &mut SimScratch::new()).0
+    }
+
+    /// Like [`Comparison::run_case`], but threads `scratch` through every
+    /// simulation (so a worker replaying many cases never re-allocates the
+    /// engine's queues) and also returns how many simulations actually ran.
+    ///
+    /// The `no-dvs` normalization baseline is simulated exactly once per
+    /// case: when `no-dvs` also appears in the lineup, its lineup entry
+    /// reuses the baseline outcome instead of re-simulating (the run is
+    /// deterministic, so the outcomes would be identical anyway). The
+    /// returned count lets a regression test pin this.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Comparison::run_case`].
+    pub fn run_case_counted(
+        &self,
+        case: &WorkloadCase,
+        scratch: &mut SimScratch,
+    ) -> (Vec<GovernorOutcome>, u32) {
         let sim = Simulator::new(
             case.tasks.clone(),
             self.processor.clone(),
             SimConfig::new(self.horizon).expect("horizon is valid"),
         )
         .expect("experiment task sets are feasible");
+        let mut sims = 0u32;
 
         // The normalization baseline is always simulated, even if not in
         // the lineup.
-        let baseline_energy = {
+        let baseline = {
             let mut no_dvs = make_governor("no-dvs").expect("no-dvs exists");
-            sim.run(no_dvs.as_mut(), &case.exec)
+            sims += 1;
+            sim.run_with_scratch(no_dvs.as_mut(), &case.exec, scratch)
                 .expect("no-dvs simulation succeeds")
-                .total_energy()
         };
+        let baseline_energy = baseline.total_energy();
 
         // Clairvoyant data, computed lazily only if requested.
         let needs_oracle = self.governors.iter().any(|g| g == ORACLE || g == YDS_BOUND);
@@ -183,7 +206,8 @@ impl Comparison {
             due_within(&jobs, self.horizon)
         });
 
-        self.governors
+        let outcomes = self
+            .governors
             .iter()
             .map(|name| {
                 if name == YDS_BOUND {
@@ -199,18 +223,26 @@ impl Comparison {
                         misses: 0,
                     };
                 }
-                let outcome = if name == ORACLE {
-                    let jobs = due_jobs.as_ref().expect("materialized above");
-                    let speed = optimal_static_speed(jobs, WorkKind::Actual)
-                        .clamp(self.processor.min_speed().ratio(), 1.0);
-                    let mut oracle = OracleStatic::new(Speed::new(speed).expect("speed in range"));
-                    sim.run(&mut oracle, &case.exec)
-                        .expect("oracle simulation succeeds")
+                let fresh;
+                let outcome = if name == "no-dvs" {
+                    &baseline
                 } else {
-                    let mut governor =
-                        make_governor(name).unwrap_or_else(|| panic!("unknown governor {name}"));
-                    sim.run(governor.as_mut(), &case.exec)
-                        .expect("governor simulation succeeds")
+                    sims += 1;
+                    fresh = if name == ORACLE {
+                        let jobs = due_jobs.as_ref().expect("materialized above");
+                        let speed = optimal_static_speed(jobs, WorkKind::Actual)
+                            .clamp(self.processor.min_speed().ratio(), 1.0);
+                        let mut oracle =
+                            OracleStatic::new(Speed::new(speed).expect("speed in range"));
+                        sim.run_with_scratch(&mut oracle, &case.exec, scratch)
+                            .expect("oracle simulation succeeds")
+                    } else {
+                        let mut governor = make_governor(name)
+                            .unwrap_or_else(|| panic!("unknown governor {name}"));
+                        sim.run_with_scratch(governor.as_mut(), &case.exec, scratch)
+                            .expect("governor simulation succeeds")
+                    };
+                    &fresh
                 };
                 GovernorOutcome {
                     name: name.clone(),
@@ -221,7 +253,8 @@ impl Comparison {
                     misses: outcome.miss_count(),
                 }
             })
-            .collect()
+            .collect();
+        (outcomes, sims)
     }
 
     /// Runs all `cases` (in parallel across worker threads) and aggregates
@@ -232,27 +265,50 @@ impl Comparison {
     }
 
     /// Runs all `cases` in parallel and returns the raw per-case outcomes.
+    ///
+    /// Work-stealing over an atomic cursor; each worker owns a
+    /// [`SimScratch`] for the engine's queues and sends `(index, outcome)`
+    /// over a channel to the scope's owning thread, which performs the
+    /// per-slot result writes — no lock is held anywhere, so a slow case
+    /// never serializes the completion of the others.
     pub fn run_cases_raw(&self, cases: &[WorkloadCase]) -> Vec<Vec<GovernorOutcome>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(cases.len().max(1));
         if threads <= 1 || cases.len() <= 1 {
-            return cases.iter().map(|c| self.run_case(c)).collect();
+            let mut scratch = SimScratch::new();
+            return cases
+                .iter()
+                .map(|c| self.run_case_counted(c, &mut scratch).0)
+                .collect();
         }
         let mut results: Vec<Option<Vec<GovernorOutcome>>> = vec![None; cases.len()];
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_mutex = std::sync::Mutex::new(&mut results);
+        let next = &next;
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<GovernorOutcome>)>();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cases.len() {
-                        break;
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut scratch = SimScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cases.len() {
+                            break;
+                        }
+                        let outcome = self.run_case_counted(&cases[i], &mut scratch).0;
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
                     }
-                    let outcome = self.run_case(&cases[i]);
-                    results_mutex.lock().expect("no poisoned workers")[i] = Some(outcome);
                 });
+            }
+            // Drop the original sender so the receive loop ends once every
+            // worker has finished and released its clone.
+            drop(tx);
+            for (i, outcome) in rx {
+                results[i] = Some(outcome);
             }
         });
         results
@@ -358,6 +414,31 @@ mod tests {
         for a in &agg {
             assert_eq!(a.total_misses, 0, "{} missed", a.name);
         }
+    }
+
+    #[test]
+    fn no_dvs_is_simulated_once_per_case() {
+        let cmp = Comparison::new(Processor::ideal_continuous(), 1.0).with_governors([
+            "no-dvs",
+            "static-edf",
+            "st-edf",
+        ]);
+        let case = &quick_cases(1)[0];
+        let mut scratch = SimScratch::new();
+        let (outcomes, sims) = cmp.run_case_counted(case, &mut scratch);
+        assert_eq!(outcomes.len(), 3);
+        // One baseline no-dvs run (reused for the lineup entry) plus one
+        // run each for static-edf and st-edf. A fourth simulation means
+        // the double-simulation bug is back.
+        assert_eq!(sims, 3);
+        assert!((outcomes[0].normalized - 1.0).abs() < 1e-12);
+
+        // Without no-dvs in the lineup the baseline still runs once.
+        let cmp2 =
+            Comparison::new(Processor::ideal_continuous(), 1.0).with_governors(["static-edf"]);
+        let (outcomes2, sims2) = cmp2.run_case_counted(case, &mut scratch);
+        assert_eq!(outcomes2.len(), 1);
+        assert_eq!(sims2, 2);
     }
 
     #[test]

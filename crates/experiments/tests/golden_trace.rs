@@ -1,0 +1,179 @@
+//! Golden-trace equivalence corpus.
+//!
+//! Pins the simulation engine bit-for-bit: for a recorded corpus of seeds
+//! and governors, the full `SimOutcome` — energy breakdown, switch count,
+//! event count, every job record, and every trace segment — must hash to
+//! exactly the digest committed in `tests/golden/golden_traces.txt`.
+//!
+//! Any hot-path optimization of the simulator (event queues, allocation
+//! reuse, incremental governor state) must leave these digests unchanged;
+//! a diff here means the optimization altered simulation *semantics*, not
+//! just speed.
+//!
+//! Regenerate (after an intentional semantic change) with:
+//!
+//! ```text
+//! STADVS_BLESS=1 cargo test -p stadvs-experiments --test golden_trace
+//! ```
+
+use std::fmt::Write as _;
+
+use stadvs_experiments::{make_governor, WorkloadCase};
+use stadvs_power::Processor;
+use stadvs_sim::{SegmentKind, SimConfig, SimOutcome, Simulator};
+use stadvs_workload::DemandPattern;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/golden_traces.txt"
+);
+
+/// The corpus: 3 seeds x 3 governors covering the trivial (no-dvs), the
+/// baseline-reclaiming (cc-edf), and the full slack-analysis (st-edf)
+/// scheduling paths.
+const SEEDS: [u64; 3] = [11, 23, 47];
+const GOVERNORS: [&str; 3] = ["no-dvs", "cc-edf", "st-edf"];
+
+const N_TASKS: usize = 6;
+const UTILIZATION: f64 = 0.75;
+const HORIZON: f64 = 4.0;
+
+/// 64-bit FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
+fn digest_outcome(out: &SimOutcome) -> String {
+    let mut records = Fnv::new();
+    for r in &out.jobs {
+        records.write_u64(r.id.task.0 as u64);
+        records.write_u64(r.id.index);
+        records.write_f64(r.release);
+        records.write_f64(r.deadline);
+        records.write_f64(r.wcet);
+        records.write_f64(r.actual);
+        match r.completion {
+            Some(c) => {
+                records.write_u64(1);
+                records.write_f64(c);
+            }
+            None => records.write_u64(0),
+        }
+        records.write_f64(r.wall_time);
+        records.write_u64(u64::from(r.preemptions));
+    }
+    let mut trace = Fnv::new();
+    let segments = out.trace.as_ref().expect("corpus records traces");
+    for seg in segments.segments() {
+        trace.write_f64(seg.start);
+        trace.write_f64(seg.end);
+        trace.write_f64(seg.speed.ratio());
+        match seg.kind {
+            SegmentKind::Execute { job } => {
+                trace.write_u64(1);
+                trace.write_u64(job.task.0 as u64);
+                trace.write_u64(job.index);
+            }
+            SegmentKind::Idle => trace.write_u64(2),
+            SegmentKind::Transition => trace.write_u64(3),
+        }
+    }
+    format!(
+        "active={:016x} idle={:016x} transition={:016x} switches={} events={} \
+         jobs={} misses={} segments={} records={:016x} trace={:016x}",
+        out.energy.active.to_bits(),
+        out.energy.idle.to_bits(),
+        out.energy.transition.to_bits(),
+        out.switches,
+        out.events,
+        out.jobs.len(),
+        out.miss_count(),
+        segments.segments().len(),
+        records.0,
+        trace.0,
+    )
+}
+
+fn corpus_digests() -> String {
+    let mut out = String::new();
+    for &seed in &SEEDS {
+        let case = WorkloadCase::synthetic(
+            N_TASKS,
+            UTILIZATION,
+            DemandPattern::Uniform { min: 0.3, max: 1.0 },
+            seed,
+        );
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            Processor::ideal_continuous(),
+            SimConfig::new(HORIZON)
+                .expect("valid horizon")
+                .with_trace(true),
+        )
+        .expect("corpus task sets are feasible");
+        for name in GOVERNORS {
+            let mut governor = make_governor(name).expect("corpus governor exists");
+            let outcome = sim
+                .run(governor.as_mut(), &case.exec)
+                .expect("run succeeds");
+            writeln!(
+                out,
+                "seed={seed} governor={name} {}",
+                digest_outcome(&outcome)
+            )
+            .expect("string write");
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_traces_match_committed_corpus() {
+    let actual = corpus_digests();
+    if std::env::var("STADVS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+            .expect("create golden dir");
+        std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; run with STADVS_BLESS=1 to create it");
+    let mismatches: Vec<String> = expected
+        .lines()
+        .zip(actual.lines())
+        .filter(|(e, a)| e != a)
+        .map(|(e, a)| format!("expected: {e}\n  actual: {a}"))
+        .collect();
+    assert!(
+        mismatches.is_empty() && expected.lines().count() == actual.lines().count(),
+        "simulation outcomes diverged from the golden corpus \
+         ({} of {} lines differ):\n{}",
+        mismatches.len(),
+        expected.lines().count(),
+        mismatches.join("\n")
+    );
+}
+
+/// Replaying the corpus twice in-process must be deterministic — otherwise
+/// the golden digests could never be stable across optimizations.
+#[test]
+fn corpus_is_deterministic_in_process() {
+    assert_eq!(corpus_digests(), corpus_digests());
+}

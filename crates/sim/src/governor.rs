@@ -21,6 +21,7 @@ pub struct SchedulerView<'a> {
     processor: &'a Processor,
     ready: &'a [ActiveJob],
     next_release: &'a [f64],
+    next_arrival: f64,
     current_speed: Speed,
 }
 
@@ -31,6 +32,7 @@ impl<'a> SchedulerView<'a> {
         processor: &'a Processor,
         ready: &'a [ActiveJob],
         next_release: &'a [f64],
+        next_arrival: f64,
         current_speed: Speed,
     ) -> SchedulerView<'a> {
         SchedulerView {
@@ -39,6 +41,7 @@ impl<'a> SchedulerView<'a> {
             processor,
             ready,
             next_release,
+            next_arrival,
             current_speed,
         }
     }
@@ -85,11 +88,11 @@ impl<'a> SchedulerView<'a> {
     }
 
     /// The earliest next release instant over all tasks.
+    ///
+    /// `O(1)`: the simulator maintains this incrementally in its release
+    /// queue instead of folding over the per-task instants on every query.
     pub fn next_release_global(&self) -> f64 {
-        self.next_release
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.next_arrival
     }
 
     /// Worst-case utilization of the task set.
@@ -237,7 +240,16 @@ mod tests {
         ready: &'a [ActiveJob],
         next_release: &'a [f64],
     ) -> SchedulerView<'a> {
-        SchedulerView::new(1.0, tasks, processor, ready, next_release, Speed::FULL)
+        let next_arrival = next_release.iter().copied().fold(f64::INFINITY, f64::min);
+        SchedulerView::new(
+            1.0,
+            tasks,
+            processor,
+            ready,
+            next_release,
+            next_arrival,
+            Speed::FULL,
+        )
     }
 
     fn active(task: usize, index: u64, deadline: f64) -> ActiveJob {

@@ -46,6 +46,7 @@ mod exec;
 mod governor;
 mod job;
 mod outcome;
+mod queue;
 mod render;
 mod simulator;
 mod task;
@@ -57,6 +58,6 @@ pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
 pub use outcome::SimOutcome;
 pub use render::render_gantt;
-pub use simulator::{MissPolicy, SimConfig, Simulator, TIME_EPS, WORK_EPS};
+pub use simulator::{MissPolicy, SimConfig, SimScratch, Simulator, TIME_EPS, WORK_EPS};
 pub use task::{Task, TaskId, TaskSet};
 pub use trace::{Segment, SegmentKind, Trace};

@@ -1,0 +1,489 @@
+//! Priority structures for the dispatch loop.
+//!
+//! The simulator's two per-event questions — *which ready job does EDF
+//! dispatch?* and *when is the next release?* — were answered by linear
+//! scans in the original engine. Both are answered here in `O(log n)` by
+//! binary heaps while preserving the engine's observable behaviour
+//! bit-for-bit:
+//!
+//! * [`ReadySet`] keeps the ready jobs in the exact `Vec` discipline the
+//!   engine always had (push on release, `swap_remove` on completion), so
+//!   the slice governors iterate over is byte-identical to the old one; a
+//!   min-heap over `(deadline, task, index)` with **lazy deletion** finds
+//!   the EDF job without scanning. Completion leaves the heap entry behind;
+//!   it is discarded when it surfaces.
+//! * [`ReleaseQueue`] pairs the per-task `next_release` vector with a
+//!   min-heap keyed by arrival time, so the next-arrival query is a peek
+//!   instead of a fold over all tasks.
+//!
+//! Both structures are scratch-friendly: `reset` reuses every allocation,
+//! which is what lets the experiment runner replay thousands of cases
+//! without per-case allocation churn.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::job::{ActiveJob, JobId};
+use crate::simulator::TIME_EPS;
+
+/// Heap key ordering EDF dispatch: earliest absolute deadline, ties broken
+/// by task id then job index — the exact total order of the original linear
+/// scan, under which the minimum is unique.
+#[derive(Debug, Clone, Copy)]
+struct EdfKey {
+    deadline: f64,
+    id: JobId,
+}
+
+impl PartialEq for EdfKey {
+    fn eq(&self, other: &EdfKey) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for EdfKey {}
+impl PartialOrd for EdfKey {
+    fn partial_cmp(&self, other: &EdfKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EdfKey {
+    fn cmp(&self, other: &EdfKey) -> Ordering {
+        self.deadline
+            .total_cmp(&other.deadline)
+            .then(self.id.task.cmp(&other.id.task))
+            .then(self.id.index.cmp(&other.id.index))
+    }
+}
+
+/// The ready (released, incomplete) jobs with `O(log n)` EDF selection.
+///
+/// Storage is a dense `Vec` with the same push/`swap_remove` discipline the
+/// engine used before heaps existed, so [`ReadySet::jobs`] exposes the jobs
+/// in the identical order. Job positions are tracked per task (a task has
+/// at most a handful of concurrently-ready jobs), so lookups by id are
+/// scan-free without hashing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReadySet {
+    jobs: Vec<ActiveJob>,
+    /// Per task: `(job index, position in jobs)` of its ready jobs.
+    by_task: Vec<Vec<(u64, usize)>>,
+    /// EDF order with lazy deletion: entries of completed jobs linger until
+    /// they surface at the top.
+    heap: BinaryHeap<Reverse<EdfKey>>,
+}
+
+impl ReadySet {
+    /// Clears all state and resizes the per-task index for `n_tasks`.
+    pub(crate) fn reset(&mut self, n_tasks: usize) {
+        self.jobs.clear();
+        self.heap.clear();
+        for slots in &mut self.by_task {
+            slots.clear();
+        }
+        self.by_task.resize_with(n_tasks, Vec::new);
+    }
+
+    /// The ready jobs, in the engine's canonical (insertion/`swap_remove`)
+    /// order.
+    pub(crate) fn jobs(&self) -> &[ActiveJob] {
+        &self.jobs
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The most recently released job, if any.
+    pub(crate) fn last(&self) -> Option<&ActiveJob> {
+        self.jobs.last()
+    }
+
+    /// Mutable access by position (as returned by [`ReadySet::edf_index`]).
+    pub(crate) fn job_mut(&mut self, i: usize) -> &mut ActiveJob {
+        &mut self.jobs[i]
+    }
+
+    /// Shared access by position.
+    pub(crate) fn job(&self, i: usize) -> &ActiveJob {
+        &self.jobs[i]
+    }
+
+    /// Adds a freshly released job.
+    pub(crate) fn push(&mut self, job: ActiveJob) {
+        let id = job.id;
+        let pos = self.jobs.len();
+        self.heap.push(Reverse(EdfKey {
+            deadline: job.deadline,
+            id,
+        }));
+        if let Some(slots) = self.by_task.get_mut(id.task.0) {
+            slots.push((id.index, pos));
+        }
+        self.jobs.push(job);
+    }
+
+    /// Mutable access to the ready job with `id`, if it is still ready.
+    pub(crate) fn job_mut_by_id(&mut self, id: JobId) -> Option<&mut ActiveJob> {
+        let slots = self.by_task.get(id.task.0)?;
+        let pos = slots
+            .iter()
+            .find(|&&(index, _)| index == id.index)
+            .map(|&(_, pos)| pos)?;
+        self.jobs.get_mut(pos)
+    }
+
+    /// Position of the job EDF dispatches: earliest deadline, ties broken by
+    /// task id then job index. `None` when no job is ready. Amortized
+    /// `O(log n)`: stale heap entries (completed jobs) are discarded as they
+    /// surface.
+    pub(crate) fn edf_index(&mut self) -> Option<usize> {
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if let Some(slots) = self.by_task.get(key.id.task.0) {
+                if let Some(&(_, pos)) = slots.iter().find(|&&(index, _)| index == key.id.index) {
+                    return Some(pos);
+                }
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Removes and returns the job at position `i` (on completion), using
+    /// the same `swap_remove` discipline as the original engine so the
+    /// remaining order is unchanged. The job's heap entry is deleted lazily.
+    pub(crate) fn complete(&mut self, i: usize) -> ActiveJob {
+        let id = self.jobs[i].id;
+        if let Some(slots) = self.by_task.get_mut(id.task.0) {
+            slots.retain(|&(index, _)| index != id.index);
+        }
+        let job = self.jobs.swap_remove(i);
+        if let Some(moved) = self.jobs.get(i) {
+            let moved_id = moved.id;
+            if let Some(slots) = self.by_task.get_mut(moved_id.task.0) {
+                for slot in slots.iter_mut() {
+                    if slot.0 == moved_id.index {
+                        slot.1 = i;
+                    }
+                }
+            }
+        }
+        job
+    }
+
+    /// Drains the remaining jobs (end of horizon) in storage order.
+    pub(crate) fn drain_jobs(&mut self) -> std::vec::Drain<'_, ActiveJob> {
+        self.heap.clear();
+        for slots in &mut self.by_task {
+            slots.clear();
+        }
+        self.jobs.drain(..)
+    }
+}
+
+/// Heap key ordering releases: earliest arrival, ties by task id.
+#[derive(Debug, Clone, Copy)]
+struct RelKey {
+    time: f64,
+    task: usize,
+}
+
+impl PartialEq for RelKey {
+    fn eq(&self, other: &RelKey) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for RelKey {}
+impl PartialOrd for RelKey {
+    fn partial_cmp(&self, other: &RelKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RelKey {
+    fn cmp(&self, other: &RelKey) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.task.cmp(&other.task))
+    }
+}
+
+/// Per-task next-release instants with an `O(1)` next-arrival query.
+///
+/// Invariant (outside [`ReleaseQueue::pop_due`] processing): the heap holds
+/// exactly one entry per task, keyed by that task's current next release.
+/// During release processing the due tasks' entries are temporarily out of
+/// the heap; [`ReleaseQueue::min_with_pending`] accounts for them so
+/// next-arrival queries stay exact throughout.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReleaseQueue {
+    next_release: Vec<f64>,
+    heap: BinaryHeap<Reverse<RelKey>>,
+}
+
+impl ReleaseQueue {
+    /// Resets to the given first-release instants (one per task).
+    pub(crate) fn reset(&mut self, phases: impl Iterator<Item = f64>) {
+        self.next_release.clear();
+        self.next_release.extend(phases);
+        self.heap.clear();
+        for (task, &time) in self.next_release.iter().enumerate() {
+            self.heap.push(Reverse(RelKey { time, task }));
+        }
+    }
+
+    /// The per-task next-release instants (what [`SchedulerView`] exposes).
+    ///
+    /// [`SchedulerView`]: crate::governor::SchedulerView
+    pub(crate) fn times(&self) -> &[f64] {
+        &self.next_release
+    }
+
+    /// The next release instant of `task`.
+    pub(crate) fn time(&self, task: usize) -> f64 {
+        self.next_release[task]
+    }
+
+    /// The earliest next release over all tasks whose entry is in the heap.
+    /// Exact whenever no due tasks are pending re-queue.
+    pub(crate) fn next_arrival(&self) -> f64 {
+        self.heap
+            .peek()
+            .map_or(f64::INFINITY, |&Reverse(key)| key.time)
+    }
+
+    /// The earliest next release counting both the heap and the `pending`
+    /// due tasks popped by [`ReleaseQueue::pop_due`] but not yet re-queued.
+    pub(crate) fn min_with_pending(&self, pending: &[usize]) -> f64 {
+        pending
+            .iter()
+            .fold(self.next_arrival(), |min, &task| min.min(self.time(task)))
+    }
+
+    /// Pops every task due at `now` (within event tolerance) with a release
+    /// strictly before `horizon` into `due`, sorted by task id — the order
+    /// the original engine released simultaneous arrivals in. The caller
+    /// must advance each due task ([`ReleaseQueue::set_time`]) and then
+    /// re-queue it ([`ReleaseQueue::requeue`]).
+    pub(crate) fn pop_due(&mut self, now: f64, horizon: f64, due: &mut Vec<usize>) {
+        due.clear();
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if key.time <= now + TIME_EPS && key.time < horizon {
+                due.push(key.task);
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        due.sort_unstable();
+    }
+
+    /// Updates `task`'s next release without touching the heap (used while
+    /// the task is pending re-queue).
+    pub(crate) fn set_time(&mut self, task: usize, time: f64) {
+        self.next_release[task] = time;
+    }
+
+    /// Restores `task`'s heap entry at its current next-release instant.
+    pub(crate) fn requeue(&mut self, task: usize) {
+        self.heap.push(Reverse(RelKey {
+            time: self.next_release[task],
+            task,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn job(task: usize, index: u64, deadline: f64) -> ActiveJob {
+        ActiveJob::new(
+            JobId {
+                task: TaskId(task),
+                index,
+            },
+            0.0,
+            deadline,
+            1.0,
+            1.0,
+        )
+    }
+
+    /// The reference EDF selection the heap must reproduce: the original
+    /// linear scan.
+    fn linear_edf_index(ready: &[ActiveJob]) -> Option<usize> {
+        if ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, j) in ready.iter().enumerate().skip(1) {
+            let b = &ready[best];
+            let ord = j
+                .deadline
+                .total_cmp(&b.deadline)
+                .then(j.id.task.cmp(&b.id.task))
+                .then(j.id.index.cmp(&b.id.index));
+            if ord == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    #[test]
+    fn edf_selection_matches_linear_scan_with_ties() {
+        let mut ready = ReadySet::default();
+        ready.reset(3);
+        for j in [
+            job(2, 0, 8.0),
+            job(0, 0, 5.0),
+            job(1, 0, 5.0), // deadline tie with T0#0: task id breaks it
+            job(0, 1, 9.0),
+        ] {
+            ready.push(j);
+        }
+        assert_eq!(ready.edf_index(), linear_edf_index(ready.jobs()));
+        let i = ready.edf_index().unwrap();
+        assert_eq!(ready.job(i).id.task, TaskId(0));
+        assert_eq!(ready.job(i).id.index, 0);
+    }
+
+    #[test]
+    fn completion_uses_swap_remove_order_and_lazy_deletion() {
+        let mut ready = ReadySet::default();
+        ready.reset(4);
+        for j in [
+            job(0, 0, 2.0),
+            job(1, 0, 4.0),
+            job(2, 0, 6.0),
+            job(3, 0, 8.0),
+        ] {
+            ready.push(j);
+        }
+        let i = ready.edf_index().unwrap();
+        assert_eq!(i, 0);
+        let done = ready.complete(i);
+        assert_eq!(done.id.task, TaskId(0));
+        // swap_remove moved the last job into slot 0.
+        assert_eq!(ready.jobs()[0].id.task, TaskId(3));
+        // The stale heap entry for T0#0 must be skipped.
+        assert_eq!(ready.edf_index(), linear_edf_index(ready.jobs()));
+        assert_eq!(ready.jobs().len(), 3);
+        // Lookups by id track the moved position.
+        assert!(ready
+            .job_mut_by_id(JobId {
+                task: TaskId(3),
+                index: 0
+            })
+            .is_some());
+        assert!(ready
+            .job_mut_by_id(JobId {
+                task: TaskId(0),
+                index: 0
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn release_queue_tracks_min_and_due_order() {
+        let mut rq = ReleaseQueue::default();
+        rq.reset([2.0, 0.5, 1.0].into_iter());
+        assert_eq!(rq.next_arrival(), 0.5);
+        let mut due = Vec::new();
+        rq.pop_due(1.0, 100.0, &mut due);
+        assert_eq!(due, vec![1, 2]); // sorted by task id, not pop order
+        assert_eq!(rq.min_with_pending(&due), 0.5);
+        rq.set_time(1, 10.5);
+        rq.requeue(1);
+        rq.set_time(2, 11.0);
+        rq.requeue(2);
+        assert_eq!(rq.next_arrival(), 2.0);
+    }
+
+    #[test]
+    fn due_releases_respect_horizon() {
+        let mut rq = ReleaseQueue::default();
+        rq.reset([0.0, 0.0].into_iter());
+        let mut due = Vec::new();
+        // Releases at/after the horizon are not generated.
+        rq.pop_due(0.0, 0.0, &mut due);
+        assert!(due.is_empty());
+        assert_eq!(rq.next_arrival(), 0.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Property: after any sequence of releases and completions,
+            /// the lazy-deletion heap selects exactly the job the original
+            /// linear scan would — including deadline ties, which the
+            /// small deadline grid makes frequent.
+            #[test]
+            fn heap_edf_matches_linear_scan(
+                ops in proptest::collection::vec(
+                    (0usize..5, 0u32..12, 0u32..3),
+                    1..80,
+                )
+            ) {
+                let mut ready = ReadySet::default();
+                ready.reset(5);
+                let mut per_task_index = [0u64; 5];
+                for (task, grid, coin) in ops {
+                    // Two-in-three pushes keep the set populated so
+                    // completions (and lazy deletions) actually happen.
+                    if coin < 2 || ready.is_empty() {
+                        let deadline = f64::from(grid) * 0.25 + 1.0;
+                        ready.push(job(task, per_task_index[task], deadline));
+                        per_task_index[task] += 1;
+                    } else {
+                        let victim = task % ready.jobs().len();
+                        ready.complete(victim);
+                    }
+                    prop_assert_eq!(
+                        ready.edf_index(),
+                        linear_edf_index(ready.jobs())
+                    );
+                }
+            }
+        }
+    }
+
+    /// Deterministic LCG-driven stress: random release/complete sequences,
+    /// heap selection must equal the linear scan at every step.
+    #[test]
+    fn random_sequences_match_linear_scan() {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let n_tasks = 5;
+        for _round in 0..200 {
+            let mut ready = ReadySet::default();
+            ready.reset(n_tasks);
+            let mut per_task_index = [0u64; 5];
+            for _op in 0..40 {
+                let coin = next() % 3;
+                if coin < 2 || ready.is_empty() {
+                    let t = (next() as usize) % n_tasks;
+                    // Deadlines from a small grid to force plenty of ties.
+                    let deadline = ((next() % 8) as f64) * 0.5 + 1.0;
+                    ready.push(job(t, per_task_index[t], deadline));
+                    per_task_index[t] += 1;
+                } else {
+                    let victim = (next() as usize) % ready.jobs().len();
+                    ready.complete(victim);
+                }
+                assert_eq!(
+                    ready.edf_index(),
+                    linear_edf_index(ready.jobs()),
+                    "heap and linear scan diverged"
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@ use crate::exec::ExecutionSource;
 use crate::governor::{Governor, SchedulerView};
 use crate::job::{ActiveJob, JobId, JobRecord};
 use crate::outcome::SimOutcome;
+use crate::queue::{ReadySet, ReleaseQueue};
 use crate::task::{TaskId, TaskSet};
 use crate::trace::{Segment, SegmentKind, Trace};
 use crate::SimError;
@@ -109,6 +110,29 @@ impl SimConfig {
     }
 }
 
+/// Reusable working memory for [`Simulator::run_with_scratch`].
+///
+/// One simulation run needs a ready set, a release queue, per-task release
+/// counters, and a due-task staging buffer. All of them are sized by the
+/// task set, not the horizon, and all of them are fully reset at the start
+/// of each run — so a single `SimScratch` can be threaded through thousands
+/// of runs (the experiment sweeps do exactly this, one scratch per worker
+/// thread) without re-allocating per case.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    ready: ReadySet,
+    releases: ReleaseQueue,
+    next_index: Vec<u64>,
+    due: Vec<usize>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch space; buffers grow on first use.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+}
+
 /// A reusable simulator for one task set on one processor.
 ///
 /// [`Simulator::run`] is `&self`: the same simulator can replay the same
@@ -196,16 +220,55 @@ impl Simulator {
         G: Governor + ?Sized,
         E: ExecutionSource + ?Sized,
     {
+        self.run_with_scratch(governor, exec, &mut SimScratch::new())
+    }
+
+    /// Runs one simulation, reusing `scratch`'s buffers.
+    ///
+    /// Observably identical to [`Simulator::run`]; callers replaying many
+    /// cases (the experiment runner, the benchmarks) thread one scratch per
+    /// worker through all of them to avoid per-case allocation churn.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DeadlineMiss`] under [`MissPolicy::Fail`] when a job
+    ///   completes after its deadline;
+    /// * [`SimError::EventLimitExceeded`] if the runaway guard trips.
+    pub fn run_with_scratch<G, E>(
+        &self,
+        governor: &mut G,
+        exec: &E,
+        scratch: &mut SimScratch,
+    ) -> Result<SimOutcome, SimError>
+    where
+        G: Governor + ?Sized,
+        E: ExecutionSource + ?Sized,
+    {
         let tasks = &self.tasks;
         let processor = &self.processor;
         let horizon = self.config.horizon;
         let n = tasks.len();
 
         let mut now = 0.0_f64;
-        let mut next_release: Vec<f64> = tasks.iter().map(|(_, t)| t.phase()).collect();
-        let mut next_index: Vec<u64> = vec![0; n];
-        let mut ready: Vec<ActiveJob> = Vec::new();
-        let mut records: Vec<JobRecord> = Vec::new();
+        scratch.ready.reset(n);
+        scratch.releases.reset(tasks.iter().map(|(_, t)| t.phase()));
+        scratch.next_index.clear();
+        scratch.next_index.resize(n, 0);
+        scratch.due.clear();
+        // Pre-size for the jobs this horizon generates (capped: the records
+        // move into the outcome, so a hostile horizon must not pre-book
+        // unbounded memory).
+        let expected_jobs: usize = tasks
+            .iter()
+            .map(|(_, t)| {
+                if t.phase() >= horizon {
+                    0
+                } else {
+                    ((horizon - t.phase()) / t.period()).ceil() as usize + 1
+                }
+            })
+            .sum();
+        let mut records: Vec<JobRecord> = Vec::with_capacity(expected_jobs.min(1 << 20));
         let mut acc = processor.energy_accumulator();
         let mut trace = self.config.record_trace.then(Trace::new);
         let mut current_speed = Speed::FULL;
@@ -243,55 +306,72 @@ impl Simulator {
             );
             audit_prev_now = now;
 
-            // 1. Release every job due at (or within tolerance of) `now`.
-            for i in 0..n {
-                while next_release[i] <= now + TIME_EPS && next_release[i] < horizon {
+            // 1. Release every job due at (or within tolerance of) `now`,
+            //    in ascending task order (the release queue stages the due
+            //    tasks; each may owe several jobs if its period is tiny).
+            scratch.releases.pop_due(now, horizon, &mut scratch.due);
+            let mut d = 0;
+            while d < scratch.due.len() {
+                let i = scratch.due[d];
+                while scratch.releases.time(i) <= now + TIME_EPS
+                    && scratch.releases.time(i) < horizon
+                {
                     let task = tasks.task(TaskId(i));
                     let id = JobId {
                         task: TaskId(i),
-                        index: next_index[i],
+                        index: scratch.next_index[i],
                     };
-                    let release = next_release[i];
+                    let release = scratch.releases.time(i);
                     let actual = exec.actual_work(id.task, task, id.index);
-                    ready.push(ActiveJob::new(
+                    scratch.ready.push(ActiveJob::new(
                         id,
                         release,
                         release + task.deadline(),
                         task.wcet(),
                         actual,
                     ));
-                    next_index[i] += 1;
-                    next_release[i] = task.release_of(next_index[i]);
+                    scratch.next_index[i] += 1;
+                    scratch
+                        .releases
+                        .set_time(i, task.release_of(scratch.next_index[i]));
+                    // Due tasks from `d` on are still staged out of the
+                    // release heap; fold their instants back in so the
+                    // view's next-arrival query stays exact mid-release.
+                    let next_arrival = scratch.releases.min_with_pending(&scratch.due[d..]);
                     let view = SchedulerView::new(
                         now,
                         tasks,
                         processor,
-                        &ready,
-                        &next_release,
+                        scratch.ready.jobs(),
+                        scratch.releases.times(),
+                        next_arrival,
                         current_speed,
                     );
-                    if let Some(released) = ready.last() {
+                    if let Some(released) = scratch.ready.last() {
                         governor.on_release(&view, released);
                     }
                 }
+                scratch.releases.requeue(i);
+                d += 1;
             }
 
             if now >= horizon - TIME_EPS {
                 break;
             }
 
-            let next_arrival = next_release.iter().copied().fold(f64::INFINITY, f64::min);
+            let next_arrival = scratch.releases.next_arrival();
 
             // 2. Idle until the next arrival (or the horizon) if nothing is
             //    ready.
-            if ready.is_empty() {
+            if scratch.ready.is_empty() {
                 {
                     let view = SchedulerView::new(
                         now,
                         tasks,
                         processor,
-                        &ready,
-                        &next_release,
+                        scratch.ready.jobs(),
+                        scratch.releases.times(),
+                        next_arrival,
                         current_speed,
                     );
                     governor.on_idle(&view);
@@ -313,12 +393,16 @@ impl Simulator {
                 continue;
             }
 
-            // 3. Dispatch the EDF job.
-            let ji = edf_index(&ready);
-            let cur_id = ready[ji].id;
+            // 3. Dispatch the EDF job (`O(log n)` via the lazy-deletion
+            //    heap; the selection order is identical to a linear scan).
+            let Some(ji) = scratch.ready.edf_index() else {
+                // Unreachable: the ready set was checked non-empty above.
+                break;
+            };
+            let cur_id = scratch.ready.job(ji).id;
             if let Some(prev) = last_running {
                 if prev != cur_id {
-                    if let Some(p) = ready.iter_mut().find(|j| j.id == prev) {
+                    if let Some(p) = scratch.ready.job_mut_by_id(prev) {
                         p.preemptions += 1;
                     }
                 }
@@ -332,10 +416,17 @@ impl Simulator {
             let requested = if committed {
                 current_speed
             } else {
-                let view =
-                    SchedulerView::new(now, tasks, processor, &ready, &next_release, current_speed);
-                let speed = governor.select_speed(&view, &ready[ji]);
-                review = governor.review_after(&view, &ready[ji]);
+                let view = SchedulerView::new(
+                    now,
+                    tasks,
+                    processor,
+                    scratch.ready.jobs(),
+                    scratch.releases.times(),
+                    next_arrival,
+                    current_speed,
+                );
+                let speed = governor.select_speed(&view, scratch.ready.job(ji));
+                review = governor.review_after(&view, scratch.ready.job(ji));
                 speed
             };
             let speed = processor.quantize_up(requested);
@@ -365,7 +456,7 @@ impl Simulator {
 
             // 5. Execute until completion, next arrival, or the horizon —
             //    whichever comes first.
-            let job = &mut ready[ji];
+            let job = scratch.ready.job_mut(ji);
             let dt_complete = job.remaining_actual() / speed.ratio();
             let dt_arrival = (next_arrival - now).max(0.0);
             let dt_horizon = horizon - now;
@@ -401,8 +492,8 @@ impl Simulator {
             }
 
             // 6. Completion handling.
-            if ready[ji].remaining_actual() <= WORK_EPS {
-                let job = ready.swap_remove(ji);
+            if scratch.ready.job(ji).remaining_actual() <= WORK_EPS {
+                let job = scratch.ready.complete(ji);
                 let record = JobRecord {
                     id: job.id,
                     release: job.release,
@@ -421,15 +512,22 @@ impl Simulator {
                     });
                 }
                 last_running = None;
-                let view =
-                    SchedulerView::new(now, tasks, processor, &ready, &next_release, current_speed);
+                let view = SchedulerView::new(
+                    now,
+                    tasks,
+                    processor,
+                    scratch.ready.jobs(),
+                    scratch.releases.times(),
+                    next_arrival,
+                    current_speed,
+                );
                 governor.on_completion(&view, &record);
                 records.push(record);
             }
         }
 
         // Jobs still incomplete when the horizon ended.
-        for job in ready.drain(..) {
+        for job in scratch.ready.drain_jobs() {
             let record = JobRecord {
                 id: job.id,
                 release: job.release,
@@ -472,24 +570,6 @@ impl Simulator {
             trace,
         })
     }
-}
-
-/// Index of the EDF job in `ready`: earliest deadline, ties broken by task
-/// id then job index.
-fn edf_index(ready: &[ActiveJob]) -> usize {
-    let mut best = 0;
-    for (i, job) in ready.iter().enumerate().skip(1) {
-        let b = &ready[best];
-        let ord = job
-            .deadline
-            .total_cmp(&b.deadline)
-            .then(job.id.task.cmp(&b.id.task))
-            .then(job.id.index.cmp(&b.id.index));
-        if ord == std::cmp::Ordering::Less {
-            best = i;
-        }
-    }
-    best
 }
 
 #[cfg(test)]

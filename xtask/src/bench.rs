@@ -1,0 +1,245 @@
+//! `cargo xtask bench` — the tracked benchmark pipeline.
+//!
+//! Builds and runs the `bench_probe` binary (simulator throughput per
+//! governor plus an end-to-end `fig1 --quick` probe), which writes
+//! `BENCH_sim.json` at the workspace root, then gates the numbers against
+//! the committed `BENCH_baseline.json`: any governor/workload pair whose
+//! `ns_per_event` exceeds **2x** its baseline fails the run. Full mode
+//! (without `--quick`) also runs the Criterion suite.
+//!
+//! The 2x threshold is deliberately loose: the gate runs on shared CI
+//! runners and must only catch structural regressions (an accidental
+//! allocation or scan in the dispatch loop), not scheduler jitter.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Maximum tolerated `ns_per_event` ratio versus the baseline.
+const MAX_REGRESSION: f64 = 2.0;
+
+/// One `(governor, workload) -> ns/event` measurement from a bench JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub name: String,
+    pub workload: String,
+    pub ns_per_event: f64,
+}
+
+/// Runs the pipeline. `root` is the workspace root; `quick` trims the
+/// probe's per-governor budget and skips the Criterion suite.
+pub fn run_bench(root: &Path, quick: bool) -> Result<(), String> {
+    run_step(
+        "build bench_probe",
+        Command::new("cargo").current_dir(root).args([
+            "build",
+            "--release",
+            "-p",
+            "stadvs-bench",
+            "--bin",
+            "bench_probe",
+        ]),
+    )?;
+    let mut probe = Command::new(root.join("target/release/bench_probe"));
+    probe.current_dir(root);
+    if quick {
+        probe.arg("--quick");
+    }
+    run_step("run bench_probe", &mut probe)?;
+    if !quick {
+        run_step(
+            "run criterion suite",
+            Command::new("cargo")
+                .current_dir(root)
+                .args(["bench", "-p", "stadvs-bench"]),
+        )?;
+    }
+
+    let current_path = root.join("BENCH_sim.json");
+    let current = std::fs::read_to_string(&current_path)
+        .map_err(|e| format!("read {}: {e}", current_path.display()))?;
+    let baseline_path = root.join("BENCH_baseline.json");
+    if !baseline_path.exists() {
+        eprintln!(
+            "bench: no {} — skipping the regression gate (commit one by \
+             copying a trusted BENCH_sim.json)",
+            baseline_path.display()
+        );
+        return Ok(());
+    }
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let report = gate(&parse_records(&baseline), &parse_records(&current));
+    eprint!("{}", report.text);
+    if report.failed {
+        Err("bench regression gate failed".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+fn run_step(what: &str, cmd: &mut Command) -> Result<(), String> {
+    eprintln!("bench: {what}...");
+    let status = cmd.status().map_err(|e| format!("{what}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("{what}: exited with {status}"))
+    }
+}
+
+/// The outcome of comparing current measurements against the baseline.
+pub struct GateReport {
+    pub failed: bool,
+    pub text: String,
+}
+
+/// Compares every baseline record against the current run. A missing
+/// current record fails (the probe lineup must not silently shrink);
+/// records the baseline does not know are reported but pass.
+pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord]) -> GateReport {
+    let mut text = String::new();
+    let mut failed = false;
+    for b in baseline {
+        let cur = current
+            .iter()
+            .find(|c| c.name == b.name && c.workload == b.workload);
+        match cur {
+            None => {
+                failed = true;
+                let _ = writeln!(
+                    text,
+                    "FAIL {:<12} {:<10} missing from the current run",
+                    b.name, b.workload
+                );
+            }
+            Some(c) => {
+                let ratio = c.ns_per_event / b.ns_per_event;
+                let verdict = if ratio > MAX_REGRESSION {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok  "
+                };
+                let _ = writeln!(
+                    text,
+                    "{verdict} {:<12} {:<10} {:>9.1} ns/event vs baseline {:>9.1} ({:.2}x)",
+                    c.name, c.workload, c.ns_per_event, b.ns_per_event, ratio
+                );
+            }
+        }
+    }
+    for c in current {
+        if !baseline
+            .iter()
+            .any(|b| b.name == c.name && b.workload == c.workload)
+        {
+            let _ = writeln!(
+                text,
+                "new  {:<12} {:<10} {:>9.1} ns/event (no baseline)",
+                c.name, c.workload, c.ns_per_event
+            );
+        }
+    }
+    GateReport { failed, text }
+}
+
+/// Extracts the governor records from a bench JSON. Each record sits on
+/// its own line (the probe writes them that way on purpose), so a
+/// line-oriented scan suffices — no JSON dependency.
+pub fn parse_records(json: &str) -> Vec<BenchRecord> {
+    json.lines()
+        .filter(|l| l.contains("\"ns_per_event\""))
+        .filter_map(|l| {
+            Some(BenchRecord {
+                name: field_str(l, "name")?,
+                workload: field_str(l, "workload")?,
+                ns_per_event: field_num(l, "ns_per_event")?,
+            })
+        })
+        .collect()
+}
+
+/// The string value of `"key": "value"` on the line, if present.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// The numeric value of `"key": 123.456` on the line, if present.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    value.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "    { \"name\": \"st-edf\", \"workload\": \"synthetic\", \
+        \"events\": 5566, \"reps\": 4, \"ns_per_event\": 2259.057, \
+        \"events_per_sec\": 442662.501, \"allocs_per_run\": 31, \"bytes_per_run\": 451106 },";
+
+    fn rec(name: &str, workload: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            workload: workload.to_string(),
+            ns_per_event: ns,
+        }
+    }
+
+    #[test]
+    fn parses_probe_output_lines() {
+        let json = format!("{{\n  \"governors\": [\n{LINE}\n  ]\n}}\n");
+        let records = parse_records(&json);
+        assert_eq!(records, vec![rec("st-edf", "synthetic", 2259.057)]);
+    }
+
+    #[test]
+    fn ignores_non_record_lines() {
+        assert!(parse_records("{\n  \"schema\": \"stadvs-bench-sim-v1\",\n}\n").is_empty());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let base = vec![rec("a", "w", 100.0)];
+        let cur = vec![rec("a", "w", 199.0)];
+        let report = gate(&base, &cur);
+        assert!(!report.failed, "{}", report.text);
+        assert!(report.text.contains("ok"));
+    }
+
+    #[test]
+    fn gate_fails_beyond_threshold() {
+        let base = vec![rec("a", "w", 100.0)];
+        let cur = vec![rec("a", "w", 201.0)];
+        let report = gate(&base, &cur);
+        assert!(report.failed);
+        assert!(report.text.contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_record() {
+        let base = vec![rec("a", "w", 100.0)];
+        let report = gate(&base, &[]);
+        assert!(report.failed);
+        assert!(report.text.contains("missing"));
+    }
+
+    #[test]
+    fn new_records_pass_but_are_reported() {
+        let base = vec![rec("a", "w", 100.0)];
+        let cur = vec![rec("a", "w", 100.0), rec("b", "w", 5.0)];
+        let report = gate(&base, &cur);
+        assert!(!report.failed);
+        assert!(report.text.contains("new"));
+    }
+}

@@ -1,12 +1,18 @@
-//! Domain-specific static analysis for the stadvs workspace.
+//! Workspace automation for stadvs: domain lints and the bench pipeline.
 //!
-//! `cargo xtask lint` enforces four invariants that clippy cannot express
+//! `cargo xtask lint` enforces five invariants that clippy cannot express
 //! (see [`rules::RULES`]): epsilon-safe float comparisons, panic-free
-//! guarantee crates, documented governor safety arguments, and cast-free
-//! claims arithmetic. The implementation is dependency-free on purpose —
-//! a hand-rolled lexer ([`lexer`]) rather than a parser crate — so the
-//! gate itself adds nothing to the workspace's supply-chain trust base.
+//! guarantee crates, documented governor safety arguments, cast-free
+//! claims arithmetic, and allocation-free simulator loops. The
+//! implementation is dependency-free on purpose — a hand-rolled lexer
+//! ([`lexer`]) rather than a parser crate — so the gate itself adds
+//! nothing to the workspace's supply-chain trust base.
+//!
+//! `cargo xtask bench` runs the tracked benchmark pipeline ([`bench`]):
+//! the simulator throughput probe, optionally the Criterion suite, and a
+//! regression gate against the committed `BENCH_baseline.json`.
 
+pub mod bench;
 pub mod lexer;
 pub mod lint;
 pub mod report;

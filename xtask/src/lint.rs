@@ -9,7 +9,8 @@
 //! * `float-eq` and `governor-doc` run everywhere scanned;
 //! * `no-panic` runs in the guarantee-critical crates (`sim`, `core`,
 //!   `power`, `analysis`);
-//! * `as-cast` runs in `core` (the claims/ledger arithmetic).
+//! * `as-cast` runs in `core` (the claims/ledger arithmetic);
+//! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops).
 //!
 //! A violation is suppressed by `// xtask:allow(<rule>): <reason>` on the
 //! same or the immediately preceding line, or
@@ -33,6 +34,10 @@ const GUARANTEE_CRATES: &[&str] = &["sim", "core", "power", "analysis", "baselin
 
 /// Crates subject to the `as-cast` rule.
 const CLAIMS_CRATES: &[&str] = &["core"];
+
+/// Crates subject to the `hot-path-alloc` rule: per-event code that the
+/// experiment suite multiplies by millions of simulated events.
+const HOT_PATH_CRATES: &[&str] = &["sim"];
 
 /// A scanned source file, lexed and classified.
 pub struct SourceFile {
@@ -99,6 +104,13 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
         }
         if CLAIMS_CRATES.contains(&s.crate_name.as_str()) {
             found.extend(rules::check_as_cast(&s.rel, &s.lexed.tokens, &s.mask));
+        }
+        if HOT_PATH_CRATES.contains(&s.crate_name.as_str()) {
+            found.extend(rules::check_hot_path_alloc(
+                &s.rel,
+                &s.lexed.tokens,
+                &s.mask,
+            ));
         }
         violations.extend(apply_allows(s, found));
         // Directives naming unknown rules are dead suppressions — report

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::bench::run_bench;
 use xtask::lint::lint_workspace;
 use xtask::rules::RULES;
 
@@ -10,6 +11,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -18,14 +20,52 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: cargo xtask lint [--json] [--list-rules] [--root <dir>]
+usage: cargo xtask lint  [--json] [--list-rules] [--root <dir>]
+       cargo xtask bench [--quick]
 
-Runs the workspace's domain lints. Exits 0 when clean, 1 on violations.
+lint: runs the workspace's domain lints. Exits 0 when clean, 1 on
+violations.
 
   --json        machine-readable report on stdout
   --list-rules  print the rule names and summaries, then exit
   --root <dir>  lint a different workspace root (default: this workspace)
+
+bench: runs the simulator throughput probe (writes BENCH_sim.json), the
+Criterion suite (skipped with --quick), and fails on a >2x ns/event
+regression against the committed BENCH_baseline.json.
+
+  --quick       short per-governor budget, no Criterion suite
 ";
+
+fn bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    match run_bench(&root, quick) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the xtask crate lives one level below it.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
@@ -54,13 +94,7 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
     }
-    // The xtask crate lives one level below the workspace root.
-    let root = root.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .expect("xtask sits inside the workspace")
-            .to_path_buf()
-    });
+    let root = root.unwrap_or_else(workspace_root);
     let report = match lint_workspace(&root) {
         Ok(report) => report,
         Err(err) => {

@@ -1,0 +1,191 @@
+//! Rule `hot-path-alloc`: no fresh heap allocations inside loop bodies of
+//! the simulator crate (`crates/sim`).
+//!
+//! The dispatch loop runs once per simulated event and the whole
+//! experiment suite is a fan-out of millions of events; an allocation per
+//! event dwarfs the O(log n) queue work the engine budgets for. Buffers
+//! are pre-sized at construction and reused via `SimScratch` — an
+//! allocating call (`Vec::new`, `vec![]`, `clone()`, `collect()`, ...)
+//! inside a `loop`/`while`/`for` body is either a regression or a
+//! deliberate cold path that must carry
+//! `// xtask:allow(hot-path-alloc): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::matching_close;
+
+/// Macros that allocate on every expansion.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Methods that allocate when called (method position, `.name(`).
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+
+/// Type constructors that allocate (`Type::name(`).
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+    ("VecDeque", "new"),
+    ("BinaryHeap", "new"),
+];
+
+/// Runs the rule over one file's tokens. `mask[i]` marks test-only tokens.
+pub fn check_hot_path_alloc(file: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    let in_loop = loop_body_mask(tokens);
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || !in_loop[i] {
+            continue;
+        }
+        let name = match &tok.kind {
+            TokenKind::Ident(n) => n.as_str(),
+            _ => continue,
+        };
+        let prev = i.checked_sub(1).map(|p| &tokens[p].kind);
+        let next = tokens.get(i + 1).map(|t| &t.kind);
+        let called = next.is_some_and(|k| *k == TokenKind::Open('('));
+        let what = if ALLOC_MACROS.contains(&name) && next.is_some_and(|k| k.is_punct("!")) {
+            format!("{name}!")
+        } else if ALLOC_METHODS.contains(&name) && called && prev.is_some_and(|k| k.is_punct(".")) {
+            format!(".{name}()")
+        } else if called
+            && prev.is_some_and(|k| k.is_punct("::"))
+            && i >= 2
+            && ALLOC_CTORS
+                .iter()
+                .any(|(ty, m)| *m == name && tokens[i - 2].kind.is_ident(ty))
+        {
+            match &tokens[i - 2].kind {
+                TokenKind::Ident(ty) => format!("{ty}::{name}()"),
+                _ => continue,
+            }
+        } else {
+            continue;
+        };
+        out.push(Violation {
+            rule: "hot-path-alloc",
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{what}` allocates inside a simulator loop body; hoist the \
+                 buffer into the owning struct or `SimScratch` and reuse it, \
+                 or justify with `// xtask:allow(hot-path-alloc): <reason>`"
+            ),
+        });
+    }
+    out
+}
+
+/// For each token, whether it lies inside the body of a `loop`, `while` or
+/// `for` (at any nesting depth).
+///
+/// The body brace is found by scanning from the keyword to the first `{`
+/// while skipping nested delimiter groups in the loop header. `for` is
+/// only a loop when an `in` appears at header depth 0 before the body —
+/// this rules out `impl Trait for Type` and `for<'a>` bounds.
+fn loop_body_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut in_loop = vec![false; tokens.len()];
+    for (i, tok) in tokens.iter().enumerate() {
+        let keyword = match &tok.kind {
+            TokenKind::Ident(n) => n.as_str(),
+            _ => continue,
+        };
+        if !matches!(keyword, "loop" | "while" | "for") {
+            continue;
+        }
+        // Find the body `{` at header depth 0.
+        let mut depth = 0usize;
+        let mut saw_in = false;
+        let mut body_open = None;
+        for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+            match &t.kind {
+                TokenKind::Open('{') if depth == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                TokenKind::Open(_) => depth += 1,
+                TokenKind::Close(_) => match depth.checked_sub(1) {
+                    Some(d) => depth = d,
+                    None => break, // header ended (e.g. `for` in a bound)
+                },
+                TokenKind::Ident(w) if depth == 0 && w == "in" => saw_in = true,
+                TokenKind::Punct(";") if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = body_open else { continue };
+        if keyword == "for" && !saw_in {
+            continue; // `impl Trait for Type` / `for<'a>` bound
+        }
+        if let Some(close) = matching_close(tokens, open) {
+            for flag in in_loop.iter_mut().take(close).skip(open + 1) {
+                *flag = true;
+            }
+        }
+    }
+    in_loop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        check_hot_path_alloc("f.rs", &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn flags_alloc_calls_inside_loops() {
+        let v = run("fn f() { loop { let v = Vec::new(); let w = x.clone(); } }");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("Vec::new()"));
+        assert!(v[1].message.contains(".clone()"));
+    }
+
+    #[test]
+    fn flags_macros_and_collect_in_while_and_for() {
+        let v = run("fn f() { while go() { let v = vec![1]; } \
+             for x in xs { let s: Vec<_> = it.collect(); let t = format!(\"{x}\"); } }");
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn ignores_allocations_outside_loops() {
+        assert!(run("fn f() { let v = Vec::new(); let w = x.clone(); }").is_empty());
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        assert!(run("impl Governor for NoDvs { fn f(&self) { let v = Vec::new(); } }").is_empty());
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        assert!(run("fn f(g: impl for<'a> Fn(&'a str)) { let v = Vec::new(); }").is_empty());
+    }
+
+    #[test]
+    fn nested_blocks_inside_loops_are_covered() {
+        let v = run("fn f() { for x in xs { if c { let v = x.to_vec(); } } }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn clone_as_plain_fn_or_field_is_not_flagged() {
+        assert!(run("fn f() { loop { let c = clone; g(clone(x)); } }").is_empty());
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        assert!(run("#[cfg(test)]\nmod t { fn f() { loop { let v = Vec::new(); } } }").is_empty());
+    }
+}

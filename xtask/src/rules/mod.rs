@@ -1,4 +1,4 @@
-//! The four domain rules, implemented over the token stream.
+//! The five domain rules, implemented over the token stream.
 //!
 //! Shared infrastructure lives here: `#[cfg(test)]` / `#[test]` masking,
 //! delimiter matching, and operand-window extraction for the comparison
@@ -7,11 +7,13 @@
 mod as_cast;
 mod float_eq;
 mod governor_doc;
+mod hot_path_alloc;
 mod no_panic;
 
 pub use as_cast::check_as_cast;
 pub use float_eq::check_float_eq;
 pub use governor_doc::{check_governor_doc, collect_type_docs, TypeDocs};
+pub use hot_path_alloc::check_hot_path_alloc;
 pub use no_panic::check_no_panic;
 
 use crate::lexer::{Token, TokenKind};
@@ -45,6 +47,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no `as` casts between integer and float in claims/ledger \
                   arithmetic (crates/core); use the checked stadvs_core::num \
                   helpers or lossless From conversions",
+    },
+    RuleInfo {
+        name: "hot-path-alloc",
+        summary: "no fresh heap allocations (Vec::new, vec!, clone(), \
+                  collect(), ...) inside loop bodies of the simulator crate \
+                  (crates/sim); hoist buffers into SimScratch and reuse them",
     },
 ];
 
