@@ -1,7 +1,7 @@
 //! Cycle-conserving EDF (Pillai & Shin, SOSP 2001).
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, JobRecord, SchedulerView, TaskSet};
+use stadvs_sim::{ActiveJob, Governor, JobRecord, OverrunPolicy, SchedulerView, TaskSet};
 
 /// Cycle-conserving EDF: maintain a per-task utilization estimate that uses
 /// the *actual* execution time of the last completed job until the next
@@ -63,6 +63,19 @@ impl Governor for CcEdf {
 
     fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
         Speed::clamped(self.total(), view.processor().min_speed())
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        OverrunPolicy::CompleteAtMax
+    }
+
+    fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
+        // The per-task utilization estimate undershot reality; pin it back
+        // at the worst case until the task's completions earn it down.
+        let task = view.tasks().task(job.id.task);
+        if let Some(u) = self.utilization.get_mut(job.id.task.0) {
+            *u = task.utilization();
+        }
     }
 }
 

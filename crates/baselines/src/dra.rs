@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, SchedulerView, TaskSet, TIME_EPS};
+use stadvs_sim::{
+    ActiveJob, Governor, JobId, JobRecord, OverrunPolicy, SchedulerView, TaskSet, TIME_EPS,
+};
 
 /// Dynamic Reclaiming Algorithm (DRA): follow the *canonical* schedule —
 /// EDF statically stretched to speed `U` — and reclaim the earliness of
@@ -170,6 +172,21 @@ impl Governor for Dra {
         // instant means the real schedule is strictly ahead of the
         // canonical one; resetting to the plain canonical state is safe.
         self.queue.clear();
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // DRA's α-queue banks earliness against exact C_i budgets; an
+        // overrunning job's grant is already overdrawn, so the published
+        // recovery is to abandon the offender rather than let it consume
+        // slack that was promised to other deadlines.
+        OverrunPolicy::Abort
+    }
+
+    fn on_overrun(&mut self, _view: &SchedulerView<'_>, job: &ActiveJob) {
+        // The banked canonical service priced this job at C/U; every queue
+        // entry and grant derived from that price is now void.
+        self.queue.clear();
+        self.granted.remove(&job.id);
     }
 }
 

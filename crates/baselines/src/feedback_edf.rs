@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, SchedulerView, TaskSet};
+use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, OverrunPolicy, SchedulerView, TaskSet};
 
 /// Feedback-DVS EDF: predict each task's next actual demand with a PID
 /// controller over past prediction errors, split every job into a
@@ -127,6 +127,27 @@ impl Governor for FeedbackEdf {
         self.prediction[i] =
             (self.prediction[i] + KP * error + KI * self.integral[i] + KD * derivative)
                 .clamp(1.0e-9, record.wcet);
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // Feedback control sheds load to recover: finish the offender at
+        // full speed, then skip the task's next release so the controller
+        // re-converges on an uncongested window.
+        OverrunPolicy::SkipNext
+    }
+
+    fn on_overrun(&mut self, _view: &SchedulerView<'_>, job: &ActiveJob) {
+        // The prediction for this task just failed catastrophically (actual
+        // beyond even the WCET); saturate it so the controller stops
+        // betting on a short A-phase until fresh completions pull it down.
+        let i = job.id.task.0;
+        if let Some(p) = self.prediction.get_mut(i) {
+            *p = job.wcet;
+        }
+        if let Some(int) = self.integral.get_mut(i) {
+            *int = 0.0;
+        }
+        self.granted.remove(&job.id);
     }
 }
 

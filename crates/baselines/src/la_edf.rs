@@ -1,7 +1,7 @@
 //! Look-ahead EDF (Pillai & Shin, SOSP 2001).
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet, TIME_EPS};
+use stadvs_sim::{ActiveJob, Governor, OverrunPolicy, SchedulerView, TaskSet, TIME_EPS};
 
 /// Look-ahead EDF: defer as much work as possible past the earliest current
 /// deadline `d_n`, assuming the deferred work can run at full speed later,
@@ -108,6 +108,13 @@ impl Governor for LaEdf {
     fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
         let requested = self.defer(view);
         Speed::clamped(requested, view.processor().min_speed())
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // The deferral argument is stateless (recomputed from the ready
+        // set each point); finishing the offender at full speed restores
+        // its premises as soon as the backlog drains.
+        OverrunPolicy::CompleteAtMax
     }
 }
 

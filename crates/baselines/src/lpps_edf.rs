@@ -1,7 +1,7 @@
 //! Low-power priority scheduling for EDF (after Shin & Choi, DAC 1999).
 
 use stadvs_power::Speed;
-use stadvs_sim::{ActiveJob, Governor, SchedulerView, TIME_EPS};
+use stadvs_sim::{ActiveJob, Governor, OverrunPolicy, SchedulerView, TIME_EPS};
 
 /// The EDF variant of Shin & Choi's low-power priority scheduling: slow
 /// down **only** when a single job is ready, stretching it to the earlier
@@ -45,6 +45,12 @@ impl Governor for LppsEdf {
             job.remaining_budget() / window,
             view.processor().min_speed(),
         )
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // Stateless stretch-to-NTA: full speed until the backlog drains is
+        // the only certificate-free recovery.
+        OverrunPolicy::CompleteAtMax
     }
 }
 

@@ -1,7 +1,7 @@
 //! The no-DVS baseline.
 
 use stadvs_power::Speed;
-use stadvs_sim::{ActiveJob, Governor, SchedulerView};
+use stadvs_sim::{ActiveJob, Governor, OverrunPolicy, SchedulerView};
 
 /// Always runs at full speed — the energy baseline every DVS algorithm is
 /// normalized against ("normalized energy = 1.0" in every figure).
@@ -26,6 +26,11 @@ impl Governor for NoDvs {
 
     fn select_speed(&mut self, _view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
         Speed::FULL
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // Already at full speed; an overrunning job just keeps running.
+        OverrunPolicy::CompleteAtMax
     }
 }
 

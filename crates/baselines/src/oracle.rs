@@ -1,7 +1,7 @@
 //! The clairvoyant static oracle (a bound, not an on-line algorithm).
 
 use stadvs_power::Speed;
-use stadvs_sim::{ActiveJob, Governor, SchedulerView};
+use stadvs_sim::{ActiveJob, Governor, OverrunPolicy, SchedulerView};
 
 /// Runs everything at one precomputed constant speed — by construction the
 /// *clairvoyant static optimum* when that speed is
@@ -43,6 +43,13 @@ impl Governor for OracleStatic {
 
     fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
         view.processor().quantize_up(self.speed)
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // The clairvoyant speed was solved for the *recorded* demand; an
+        // injected overrun falsifies the recording, so recover at full
+        // speed like every other certificate-based scheme.
+        OverrunPolicy::CompleteAtMax
     }
 }
 

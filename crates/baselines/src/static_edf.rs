@@ -1,7 +1,7 @@
 //! Static (off-line optimal) EDF speed scaling.
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, SchedulerView, TaskSet};
+use stadvs_sim::{ActiveJob, Governor, OverrunPolicy, SchedulerView, TaskSet};
 
 /// Runs every job at the minimum feasible constant speed — the off-line
 /// optimal *static* scaling for EDF (Pillai & Shin's "statically scaled
@@ -42,6 +42,12 @@ impl Governor for StaticEdf {
 
     fn select_speed(&mut self, view: &SchedulerView<'_>, _job: &ActiveJob) -> Speed {
         Speed::clamped(self.speed, view.processor().min_speed())
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // The static speed is certified for C_i budgets only; the overrun
+        // tail runs at full speed until the backlog drains.
+        OverrunPolicy::CompleteAtMax
     }
 }
 

@@ -1,0 +1,6 @@
+//! Regenerates the `faults` experiment (see DESIGN.md §10).
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let _ = stadvs_bench::regenerate("faults", &opts);
+}

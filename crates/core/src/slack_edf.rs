@@ -1,7 +1,7 @@
 //! The slack-time-analysis DVS-EDF governor — the paper's contribution.
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, JobRecord, SchedulerView, TaskSet, TIME_EPS};
+use stadvs_sim::{ActiveJob, Governor, JobRecord, OverrunPolicy, SchedulerView, TaskSet, TIME_EPS};
 
 use crate::config::SlackEdfConfig;
 use crate::sources::{arrival_allowance, DemandAnalysis, ReclaimedPool};
@@ -309,6 +309,21 @@ impl Governor for SlackEdf {
         // Idle time consumes banked canonical service; see
         // [`ReclaimedPool::drain_on_idle`].
         self.pool.drain_on_idle();
+    }
+
+    fn overrun_policy(&self) -> OverrunPolicy {
+        // The slack certificates assume `C_i` budgets; once a budget is
+        // violated the only certificate-free safe action is full speed.
+        OverrunPolicy::CompleteAtMax
+    }
+
+    fn on_overrun(&mut self, _view: &SchedulerView<'_>, _job: &ActiveJob) {
+        // Every banked claim and every committed dispatch speed was
+        // certified against WCET budgets the overrunning job just broke:
+        // void them all. See [`ReclaimedPool::invalidate_on_overrun`].
+        self.committed = None;
+        self.pending_review = None;
+        self.pool.invalidate_on_overrun();
     }
 }
 

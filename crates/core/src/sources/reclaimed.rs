@@ -247,6 +247,20 @@ impl ReclaimedPool {
         self.ledger.clear();
     }
 
+    /// Voids every outstanding certificate after a WCET overrun.
+    ///
+    /// The canonical occupancy argument prices each job at `C_i · κ`; a job
+    /// that executes past `C_i` consumes wall time no claim ever paid for,
+    /// so both the banked ledger and every open grant are built on a broken
+    /// premise. Clearing them forfeits all accumulated slack: subsequent
+    /// dispatches fall back to the base claims, which are re-earned from
+    /// scratch — conservative, and safe by the same argument as a fresh
+    /// start after an idle interval.
+    pub fn invalidate_on_overrun(&mut self) {
+        self.ledger.clear();
+        self.granted.clear();
+    }
+
     /// Total slack currently banked (diagnostic).
     pub fn banked(&self) -> f64 {
         self.ledger.total()

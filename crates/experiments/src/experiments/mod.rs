@@ -1,5 +1,6 @@
 //! One module per reproduced figure/table, plus the experiment registry.
 
+pub mod faults;
 pub mod fig1_util;
 pub mod fig2_bcet;
 pub mod fig3_ntasks;
@@ -141,6 +142,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Constrained deadlines (D < T)",
             run: tab7_constrained::run,
         },
+        Experiment {
+            id: "faults",
+            title: "Graceful degradation under injected faults",
+            run: faults::run,
+        },
     ]
 }
 
@@ -163,7 +169,8 @@ mod tests {
         assert_eq!(ids.len(), before);
         assert!(by_id("fig1_util").is_some());
         assert!(by_id("nope").is_none());
-        assert_eq!(experiments.len(), 14);
+        assert!(by_id("faults").is_some());
+        assert_eq!(experiments.len(), 15);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use stadvs_analysis::{due_within, materialize_jobs, optimal_static_speed, yds_sc
 use stadvs_baselines::{baseline_by_name, OracleStatic};
 use stadvs_core::{SlackEdf, SlackEdfConfig};
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{Governor, SimConfig, SimScratch, Simulator, TaskSet};
+use stadvs_sim::{FaultPlan, Governor, SimConfig, SimOutcome, SimScratch, Simulator, TaskSet};
 use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
 
 /// One reproducible workload: a task set plus its execution-demand model.
@@ -62,8 +62,35 @@ pub struct GovernorOutcome {
     pub switches: u64,
     /// Completed jobs.
     pub jobs: usize,
-    /// Deadline misses (must be zero for every hard-real-time governor).
+    /// Deadline misses (attributed + unattributed; must be zero for every
+    /// hard-real-time governor on fault-free runs).
     pub misses: usize,
+    /// Misses of fault-contaminated jobs. A miss *not* counted here is an
+    /// algorithm bug, never an injection artifact.
+    pub fault_misses: usize,
+    /// Injected WCET overruns detected during the run.
+    pub overruns: u64,
+    /// Completed overrun-recovery episodes (detection → ready set empty).
+    pub recovery_episodes: u64,
+    /// Mean recovery latency over those episodes, in seconds (0 if none).
+    pub mean_recovery_latency: f64,
+}
+
+impl GovernorOutcome {
+    fn from_outcome(name: &str, outcome: &SimOutcome, baseline_energy: f64) -> GovernorOutcome {
+        GovernorOutcome {
+            name: name.to_string(),
+            energy: outcome.total_energy(),
+            normalized: outcome.total_energy() / baseline_energy,
+            switches: outcome.switches,
+            jobs: outcome.completed_jobs(),
+            misses: outcome.miss_count(),
+            fault_misses: outcome.fault_attributed_misses(),
+            overruns: outcome.faults.overruns,
+            recovery_episodes: outcome.faults.recovery_episodes,
+            mean_recovery_latency: outcome.faults.mean_recovery_latency(),
+        }
+    }
 }
 
 /// The standard governor lineup of the evaluation, in comparison order.
@@ -119,6 +146,7 @@ pub struct Comparison {
     processor: Processor,
     horizon: f64,
     governors: Vec<String>,
+    fault_plan: FaultPlan,
 }
 
 impl Comparison {
@@ -128,6 +156,7 @@ impl Comparison {
             processor,
             horizon,
             governors: STANDARD_LINEUP.iter().map(|s| s.to_string()).collect(),
+            fault_plan: FaultPlan::NONE,
         }
     }
 
@@ -140,6 +169,22 @@ impl Comparison {
     {
         self.governors = names.into_iter().map(Into::into).collect();
         self
+    }
+
+    /// Injects `plan` into every simulated run — including the `no-dvs`
+    /// normalization baseline, so normalized energy is measured under the
+    /// *same* degradation, and including the analytic pseudo-governors'
+    /// replays. The clairvoyant [`YDS_BOUND`] stays fault-blind (it is a
+    /// bound on the nominal workload, not a simulation).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Comparison {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The fault plan injected into every run ([`FaultPlan::NONE`] by
+    /// default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The governor lineup.
@@ -194,7 +239,7 @@ impl Comparison {
         let baseline = {
             let mut no_dvs = make_governor("no-dvs").expect("no-dvs exists");
             sims += 1;
-            sim.run_with_scratch(no_dvs.as_mut(), &case.exec, scratch)
+            sim.run_faulted_with_scratch(no_dvs.as_mut(), &case.exec, &self.fault_plan, scratch)
                 .expect("no-dvs simulation succeeds")
         };
         let baseline_energy = baseline.total_energy();
@@ -221,6 +266,10 @@ impl Comparison {
                         switches: sched.blocks.len() as u64,
                         jobs: jobs.len(),
                         misses: 0,
+                        fault_misses: 0,
+                        overruns: 0,
+                        recovery_episodes: 0,
+                        mean_recovery_latency: 0.0,
                     };
                 }
                 let fresh;
@@ -234,24 +283,27 @@ impl Comparison {
                             .clamp(self.processor.min_speed().ratio(), 1.0);
                         let mut oracle =
                             OracleStatic::new(Speed::new(speed).expect("speed in range"));
-                        sim.run_with_scratch(&mut oracle, &case.exec, scratch)
-                            .expect("oracle simulation succeeds")
+                        sim.run_faulted_with_scratch(
+                            &mut oracle,
+                            &case.exec,
+                            &self.fault_plan,
+                            scratch,
+                        )
+                        .expect("oracle simulation succeeds")
                     } else {
                         let mut governor = make_governor(name)
                             .unwrap_or_else(|| panic!("unknown governor {name}"));
-                        sim.run_with_scratch(governor.as_mut(), &case.exec, scratch)
-                            .expect("governor simulation succeeds")
+                        sim.run_faulted_with_scratch(
+                            governor.as_mut(),
+                            &case.exec,
+                            &self.fault_plan,
+                            scratch,
+                        )
+                        .expect("governor simulation succeeds")
                     };
                     &fresh
                 };
-                GovernorOutcome {
-                    name: name.clone(),
-                    energy: outcome.total_energy(),
-                    normalized: outcome.total_energy() / baseline_energy,
-                    switches: outcome.switches,
-                    jobs: outcome.completed_jobs(),
-                    misses: outcome.miss_count(),
-                }
+                GovernorOutcome::from_outcome(name, outcome, baseline_energy)
             })
             .collect();
         (outcomes, sims)
@@ -329,8 +381,17 @@ pub struct AggregatedOutcome {
     pub std_normalized: f64,
     /// Speed switches per completed job, averaged across cases.
     pub switches_per_job: f64,
-    /// Total deadline misses across all cases (must be zero).
+    /// Total deadline misses across all cases (attributed + unattributed;
+    /// must be zero on fault-free runs).
     pub total_misses: usize,
+    /// Misses of fault-contaminated jobs across all cases. Any excess of
+    /// [`AggregatedOutcome::total_misses`] over this is an algorithm bug.
+    pub total_fault_misses: usize,
+    /// Injected WCET overruns detected across all cases.
+    pub total_overruns: u64,
+    /// Mean recovery latency across every completed recovery episode of
+    /// every case, in seconds (0 when no episode ran).
+    pub mean_recovery_latency: f64,
     /// Number of cases aggregated.
     pub cases: usize,
 }
@@ -357,12 +418,24 @@ fn aggregate(governors: &[String], results: &[Vec<GovernorOutcome>]) -> Vec<Aggr
                 .map(|r| r[gi].switches as f64 / r[gi].jobs.max(1) as f64)
                 .sum::<f64>()
                 / n;
+            let episodes: u64 = results.iter().map(|r| r[gi].recovery_episodes).sum();
+            let recovery_time: f64 = results
+                .iter()
+                .map(|r| r[gi].mean_recovery_latency * r[gi].recovery_episodes as f64)
+                .sum();
             AggregatedOutcome {
                 name: name.clone(),
                 mean_normalized: mean,
                 std_normalized: var.sqrt(),
                 switches_per_job: spj,
                 total_misses: results.iter().map(|r| r[gi].misses).sum(),
+                total_fault_misses: results.iter().map(|r| r[gi].fault_misses).sum(),
+                total_overruns: results.iter().map(|r| r[gi].overruns).sum(),
+                mean_recovery_latency: if episodes == 0 {
+                    0.0
+                } else {
+                    recovery_time / episodes as f64
+                },
                 cases: results.len(),
             }
         })
@@ -449,6 +522,31 @@ mod tests {
         let serial: Vec<Vec<GovernorOutcome>> = cases.iter().map(|c| cmp.run_case(c)).collect();
         let parallel = cmp.run_cases_raw(&cases);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fault_plan_threads_through_every_run() {
+        let plan = FaultPlan::new(5).with_overrun(0.5, 1.5).expect("valid");
+        let cmp = Comparison::new(Processor::ideal_continuous(), 2.0)
+            .with_governors(["no-dvs", "st-edf", ORACLE])
+            .with_fault_plan(plan);
+        let case = &quick_cases(1)[0];
+        let outcomes = cmp.run_case(case);
+        let overruns: u64 = outcomes.iter().map(|o| o.overruns).sum();
+        assert!(overruns > 0, "p = 0.5 storm injected nothing");
+        // Every miss under injection must be fault-attributed.
+        for o in &outcomes {
+            assert_eq!(o.misses, o.fault_misses, "{}: unattributed miss", o.name);
+        }
+        // The default plan is quiet.
+        let clean = Comparison::new(Processor::ideal_continuous(), 2.0)
+            .with_governors(["no-dvs", "st-edf"])
+            .run_case(case);
+        for o in &clean {
+            assert_eq!(o.overruns, 0, "{}", o.name);
+            assert_eq!(o.fault_misses, 0, "{}", o.name);
+            assert_eq!(o.misses, 0, "{}", o.name);
+        }
     }
 
     #[test]

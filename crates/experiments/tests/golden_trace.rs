@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 use stadvs_experiments::{make_governor, WorkloadCase};
 use stadvs_power::Processor;
-use stadvs_sim::{SegmentKind, SimConfig, SimOutcome, Simulator};
+use stadvs_sim::{audit_outcome, FaultPlan, SegmentKind, SimConfig, SimOutcome, Simulator};
 use stadvs_workload::DemandPattern;
 
 const FIXTURE: &str = concat!(
@@ -132,6 +132,11 @@ fn corpus_digests() -> String {
             let outcome = sim
                 .run(governor.as_mut(), &case.exec)
                 .expect("run succeeds");
+            // Beyond matching the digest, every corpus run must satisfy
+            // the fault-aware audit (with the empty plan: no overruns, no
+            // unattributed misses, exact periodic releases).
+            let audit = audit_outcome(&outcome, &case.tasks, &FaultPlan::NONE);
+            assert!(audit.is_clean(), "{name}/{seed} failed the audit: {audit}");
             writeln!(
                 out,
                 "seed={seed} governor={name} {}",

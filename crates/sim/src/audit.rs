@@ -1,0 +1,532 @@
+//! Fault-aware post-hoc audit of simulation outcomes.
+//!
+//! The analysis crate's `validate_outcome` referees *fault-free* runs: it
+//! insists on zero misses and an exactly periodic release pattern, both of
+//! which injected faults legitimately break. [`audit_outcome`] is the
+//! referee for runs produced by [`Simulator::run_faulted`]
+//! (crate::Simulator::run_faulted): it knows which degradations the
+//! [`FaultPlan`] licenses and flags everything else —
+//!
+//! * a deadline miss by a job the fault report does **not** mark as
+//!   contaminated is an algorithm bug, never an excusable fault;
+//! * release instants must follow the plan's pattern: exactly periodic
+//!   without jitter, delay-only with sporadic separation (`r_{k+1} ≥ r_k +
+//!   T`) with it;
+//! * every deadline must stay anchored to its (possibly jittered) release;
+//! * demand above WCET is only legal when the plan has an overrun channel,
+//!   and every such job must be contaminated;
+//! * per-task job indices must be contiguous from zero — the engine may
+//!   shed a release under `SkipNext`, but it must still *record* it.
+//!
+//! With [`FaultPlan::none`] the audit degenerates to the strict hard
+//! real-time check (any miss at all is an issue), so the same checker backs
+//! both the fault differential tests and the classic guarantee proptests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
+use crate::job::JobId;
+use crate::outcome::SimOutcome;
+use crate::simulator::TIME_EPS;
+use crate::task::TaskSet;
+
+const TOL: f64 = 1.0e-6;
+
+/// One problem found while auditing a (possibly fault-injected) outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditIssue {
+    /// A job missed its deadline without being contaminated by an injected
+    /// fault — an algorithm bug, not an excusable degradation.
+    UnattributedMiss {
+        /// The offending job.
+        job: JobId,
+        /// Completion time (the horizon if it never completed).
+        completed: f64,
+        /// The job's absolute deadline.
+        deadline: f64,
+    },
+    /// A release instant does not follow the plan's release pattern
+    /// (early release, or a drifted instant without a jitter channel).
+    ReleasePatternViolation {
+        /// The offending job.
+        job: JobId,
+        /// The nominal (unjittered) release instant.
+        nominal: f64,
+        /// The recorded release instant.
+        found: f64,
+    },
+    /// Two consecutive releases of one task are closer than the period —
+    /// jitter may only *delay*, never compress.
+    SeparationViolation {
+        /// The offending (later) job.
+        job: JobId,
+        /// The observed inter-release gap.
+        gap: f64,
+        /// The task's period.
+        period: f64,
+    },
+    /// A job's deadline is not anchored at `release + D`.
+    DeadlineAnchorViolation {
+        /// The offending job.
+        job: JobId,
+        /// `release + D` for the recorded release.
+        expected: f64,
+        /// The recorded absolute deadline.
+        found: f64,
+    },
+    /// Per-task job indices are not contiguous from zero.
+    IndexGap {
+        /// The task whose record stream has the gap.
+        task: usize,
+        /// The first missing index.
+        missing: u64,
+    },
+    /// A job's demand exceeds its WCET although the plan's own overrun
+    /// draw for that job does not license one.
+    IllegalOverrun {
+        /// The offending job.
+        job: JobId,
+        /// The recorded actual demand.
+        actual: f64,
+        /// The job's WCET.
+        wcet: f64,
+    },
+    /// The fault report's counters disagree with its event list.
+    InconsistentReport {
+        /// Which counter disagrees.
+        counter: &'static str,
+        /// The counter's value.
+        counted: u64,
+        /// The value recomputed from the event list.
+        recomputed: u64,
+    },
+}
+
+impl fmt::Display for AuditIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditIssue::UnattributedMiss {
+                job,
+                completed,
+                deadline,
+            } => write!(
+                f,
+                "job {job} missed deadline {deadline} (done {completed}) without fault attribution"
+            ),
+            AuditIssue::ReleasePatternViolation {
+                job,
+                nominal,
+                found,
+            } => write!(
+                f,
+                "job {job} released at {found}, violating the plan's pattern (nominal {nominal})"
+            ),
+            AuditIssue::SeparationViolation { job, gap, period } => {
+                write!(
+                    f,
+                    "job {job} released {gap} after its predecessor (< period {period})"
+                )
+            }
+            AuditIssue::DeadlineAnchorViolation {
+                job,
+                expected,
+                found,
+            } => write!(
+                f,
+                "job {job} deadline {found} not anchored at release + D = {expected}"
+            ),
+            AuditIssue::IndexGap { task, missing } => {
+                write!(f, "task T{task} record stream skips index {missing}")
+            }
+            AuditIssue::IllegalOverrun { job, actual, wcet } => {
+                write!(
+                    f,
+                    "job {job} demand {actual} > WCET {wcet} without a licensed overrun"
+                )
+            }
+            AuditIssue::InconsistentReport {
+                counter,
+                counted,
+                recomputed,
+            } => write!(
+                f,
+                "fault counter {counter} = {counted} but the event list says {recomputed}"
+            ),
+        }
+    }
+}
+
+/// The result of auditing one outcome against its fault plan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// All problems found (empty for a clean run).
+    pub issues: Vec<AuditIssue>,
+    /// Number of job records audited.
+    pub jobs_checked: usize,
+    /// Number of fault-attributed (excused) deadline misses observed.
+    pub attributed_misses: usize,
+}
+
+impl AuditReport {
+    /// Whether the outcome passed every check. Fault-attributed misses do
+    /// **not** make a run unclean — that is the point of attribution.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "clean ({} jobs audited, {} fault-attributed misses)",
+                self.jobs_checked, self.attributed_misses
+            )
+        } else {
+            writeln!(
+                f,
+                "{} issue(s) over {} jobs ({} attributed misses):",
+                self.issues.len(),
+                self.jobs_checked,
+                self.attributed_misses
+            )?;
+            for i in &self.issues {
+                writeln!(f, "  - {i}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Audits `outcome` against the task set and the fault plan that produced
+/// it. See the module docs for the exact checks.
+pub fn audit_outcome(outcome: &SimOutcome, tasks: &TaskSet, plan: &FaultPlan) -> AuditReport {
+    let mut report = AuditReport {
+        issues: Vec::new(),
+        jobs_checked: outcome.jobs.len(),
+        attributed_misses: 0,
+    };
+    let horizon = outcome.horizon;
+    let jittered = plan.has_jitter();
+
+    // 1. Miss attribution: every miss must be contaminated (with the
+    //    no-fault plan the contaminated set is empty, so this degenerates
+    //    to "no miss at all").
+    for r in &outcome.jobs {
+        if r.missed(horizon) {
+            if outcome.faults.is_contaminated(r.id) {
+                report.attributed_misses += 1;
+            } else {
+                report.issues.push(AuditIssue::UnattributedMiss {
+                    job: r.id,
+                    completed: r.completion.unwrap_or(horizon),
+                    deadline: r.deadline,
+                });
+            }
+        }
+    }
+
+    // 2. Per-task release pattern, deadlines, index contiguity, and
+    //    overrun licensing. Records are sorted by (task, index).
+    for (tid, task) in tasks.iter() {
+        let mut expected_index = 0u64;
+        let mut prev_release: Option<f64> = None;
+        for r in outcome.jobs.iter().filter(|r| r.id.task == tid) {
+            if r.id.index != expected_index {
+                report.issues.push(AuditIssue::IndexGap {
+                    task: tid.0,
+                    missing: expected_index,
+                });
+                expected_index = r.id.index;
+            }
+            let nominal = task.release_of(r.id.index);
+            let tol = TOL.max(TIME_EPS * (r.id.index + 1) as f64);
+            if jittered {
+                // Jitter is delay-only: never early.
+                if r.release < nominal - tol {
+                    report.issues.push(AuditIssue::ReleasePatternViolation {
+                        job: r.id,
+                        nominal,
+                        found: r.release,
+                    });
+                }
+                if let Some(prev) = prev_release {
+                    let gap = r.release - prev;
+                    if gap < task.period() - tol {
+                        report.issues.push(AuditIssue::SeparationViolation {
+                            job: r.id,
+                            gap,
+                            period: task.period(),
+                        });
+                    }
+                }
+            } else if (r.release - nominal).abs() > tol {
+                report.issues.push(AuditIssue::ReleasePatternViolation {
+                    job: r.id,
+                    nominal,
+                    found: r.release,
+                });
+            }
+            let anchored = r.release + task.deadline();
+            if (r.deadline - anchored).abs() > tol {
+                report.issues.push(AuditIssue::DeadlineAnchorViolation {
+                    job: r.id,
+                    expected: anchored,
+                    found: r.deadline,
+                });
+            }
+            // A demand above WCET is licensed by *recomputing the plan's
+            // own draw* — not by the run's contamination marks, which only
+            // appear once the job executes past its budget (a job drained
+            // at the horizon may carry an injected overrun it never
+            // reached).
+            if r.actual > r.wcet + TOL && plan.overrun_factor(r.id.task, r.id.index) <= 1.0 {
+                report.issues.push(AuditIssue::IllegalOverrun {
+                    job: r.id,
+                    actual: r.actual,
+                    wcet: r.wcet,
+                });
+            }
+            prev_release = Some(r.release);
+            expected_index += 1;
+        }
+    }
+
+    // 3. Internal consistency of the fault report: counters must match the
+    //    event list they summarize.
+    for (counter, counted, recomputed) in [
+        (
+            "overruns",
+            outcome.faults.overruns,
+            count_events(outcome, |k| {
+                matches!(k, crate::fault::FaultKind::WcetOverrun { .. })
+            }),
+        ),
+        (
+            "aborted",
+            outcome.faults.aborted,
+            count_events(outcome, |k| matches!(k, crate::fault::FaultKind::Aborted)),
+        ),
+        (
+            "skipped_releases",
+            outcome.faults.skipped_releases,
+            count_events(outcome, |k| {
+                matches!(k, crate::fault::FaultKind::SkippedRelease)
+            }),
+        ),
+        (
+            "forced_full_speed",
+            outcome.faults.forced_full_speed,
+            count_events(outcome, |k| {
+                matches!(k, crate::fault::FaultKind::ForcedFullSpeed)
+            }),
+        ),
+        (
+            "dropped_switches",
+            outcome.faults.dropped_switches,
+            count_events(outcome, |k| {
+                matches!(k, crate::fault::FaultKind::DroppedSwitch)
+            }),
+        ),
+        (
+            "jittered_releases",
+            outcome.faults.jittered_releases,
+            count_events(outcome, |k| {
+                matches!(k, crate::fault::FaultKind::JitteredRelease { .. })
+            }),
+        ),
+    ] {
+        if counted != recomputed {
+            report.issues.push(AuditIssue::InconsistentReport {
+                counter,
+                counted,
+                recomputed,
+            });
+        }
+    }
+
+    report
+}
+
+fn count_events(outcome: &SimOutcome, pred: impl Fn(&crate::fault::FaultKind) -> bool) -> u64 {
+    outcome
+        .faults
+        .events
+        .iter()
+        .filter(|e| pred(&e.kind))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ConstantRatio, WorstCase};
+    use crate::fault::OverrunPolicy;
+    use crate::governor::{Governor, SchedulerView};
+    use crate::job::ActiveJob;
+    use crate::simulator::{SimConfig, Simulator};
+    use crate::task::Task;
+    use stadvs_power::{Processor, Speed};
+
+    struct FullSpeed;
+    impl Governor for FullSpeed {
+        fn name(&self) -> &str {
+            "full"
+        }
+        fn select_speed(&mut self, _: &SchedulerView<'_>, _: &ActiveJob) -> Speed {
+            Speed::FULL
+        }
+    }
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(2.0, 8.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn sim(horizon: f64) -> Simulator {
+        Simulator::new(
+            tasks(),
+            Processor::ideal_continuous(),
+            SimConfig::new(horizon).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_no_fault_run_audits_clean() {
+        let out = sim(32.0)
+            .run(&mut FullSpeed, &ConstantRatio::new(0.6))
+            .unwrap();
+        let report = audit_outcome(&out, &tasks(), &FaultPlan::NONE);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.jobs_checked, 12);
+        assert_eq!(report.attributed_misses, 0);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn unattributed_miss_is_flagged() {
+        // Force a miss by hand: no fault plan, so no contamination.
+        let mut out = sim(32.0).run(&mut FullSpeed, &WorstCase).unwrap();
+        out.jobs[0].completion = Some(out.jobs[0].deadline + 1.0);
+        let report = audit_outcome(&out, &tasks(), &FaultPlan::NONE);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AuditIssue::UnattributedMiss { .. })));
+    }
+
+    #[test]
+    fn overrun_run_audits_clean_and_attributes() {
+        let plan = FaultPlan::new(11)
+            .with_overrun(0.5, 3.0)
+            .unwrap()
+            .with_policy_override(OverrunPolicy::CompleteAtMax);
+        let out = sim(64.0)
+            .run_faulted(&mut FullSpeed, &WorstCase, &plan)
+            .unwrap();
+        assert!(out.faults.overruns > 0, "seed must inject at least once");
+        let report = audit_outcome(&out, &tasks(), &plan);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.attributed_misses, out.fault_attributed_misses());
+        assert_eq!(out.unattributed_misses(), 0);
+    }
+
+    #[test]
+    fn jittered_run_audits_clean() {
+        let plan = FaultPlan::new(5).with_release_jitter(0.6, 0.4).unwrap();
+        let out = sim(64.0)
+            .run_faulted(&mut FullSpeed, &WorstCase, &plan)
+            .unwrap();
+        assert!(out.faults.jittered_releases > 0, "seed must jitter");
+        let report = audit_outcome(&out, &tasks(), &plan);
+        assert!(report.is_clean(), "{report}");
+        // Jitter alone must never cause a miss under a full-speed governor.
+        assert!(out.all_deadlines_met());
+    }
+
+    #[test]
+    fn early_release_is_flagged_under_jitter() {
+        let plan = FaultPlan::new(5).with_release_jitter(0.6, 0.4).unwrap();
+        let mut out = sim(64.0)
+            .run_faulted(&mut FullSpeed, &WorstCase, &plan)
+            .unwrap();
+        out.jobs[1].release -= 1.0; // earlier than nominal: illegal
+        let report = audit_outcome(&out, &tasks(), &plan);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn drifted_release_is_flagged_without_jitter() {
+        let mut out = sim(32.0).run(&mut FullSpeed, &WorstCase).unwrap();
+        out.jobs[1].release += 0.5;
+        let report = audit_outcome(&out, &tasks(), &FaultPlan::NONE);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AuditIssue::ReleasePatternViolation { .. })));
+    }
+
+    #[test]
+    fn unlicensed_overrun_is_flagged() {
+        let mut out = sim(32.0).run(&mut FullSpeed, &WorstCase).unwrap();
+        out.jobs[0].actual = out.jobs[0].wcet * 2.0;
+        let report = audit_outcome(&out, &tasks(), &FaultPlan::NONE);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AuditIssue::IllegalOverrun { .. })));
+    }
+
+    #[test]
+    fn index_gap_is_flagged() {
+        let mut out = sim(32.0).run(&mut FullSpeed, &WorstCase).unwrap();
+        out.jobs.remove(1); // drop T0#1: indices 0, 2, 3, ...
+        let report = audit_outcome(&out, &tasks(), &FaultPlan::NONE);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AuditIssue::IndexGap { .. })));
+    }
+
+    #[test]
+    fn inconsistent_counters_are_flagged() {
+        let plan = FaultPlan::new(11).with_overrun(0.5, 3.0).unwrap();
+        let mut out = sim(64.0)
+            .run_faulted(&mut FullSpeed, &WorstCase, &plan)
+            .unwrap();
+        out.faults.overruns += 1;
+        let report = audit_outcome(&out, &tasks(), &plan);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AuditIssue::InconsistentReport { .. })));
+    }
+
+    #[test]
+    fn issue_display_nonempty() {
+        let issues = [
+            AuditIssue::IndexGap {
+                task: 0,
+                missing: 2,
+            },
+            AuditIssue::SeparationViolation {
+                job: JobId {
+                    task: crate::task::TaskId(0),
+                    index: 1,
+                },
+                gap: 1.0,
+                period: 4.0,
+            },
+        ];
+        for i in issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

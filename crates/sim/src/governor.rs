@@ -3,6 +3,7 @@
 
 use stadvs_power::{Processor, Speed};
 
+use crate::fault::OverrunPolicy;
 use crate::job::{ActiveJob, JobRecord};
 use crate::task::{TaskId, TaskSet};
 
@@ -178,6 +179,25 @@ pub trait Governor {
     fn on_idle(&mut self, view: &SchedulerView<'_>) {
         let _ = view;
     }
+
+    /// The degradation mode this governor declares for WCET overruns (see
+    /// [`OverrunPolicy`]). Only consulted under fault injection, at the
+    /// instant a job's executed work crosses its WCET with demand still
+    /// remaining — the moment any slack certificate derived from that WCET
+    /// is invalidated. The default is the conservative
+    /// [`OverrunPolicy::CompleteAtMax`].
+    fn overrun_policy(&self) -> OverrunPolicy {
+        OverrunPolicy::CompleteAtMax
+    }
+
+    /// Called once per overrun, at the detection instant, before the
+    /// resolved policy is applied. `job` is the overrunning job (still in
+    /// the view's ready set, [`ActiveJob::in_overrun`] already true).
+    /// Governors holding cross-job slack state (banked ledgers, reclaimed
+    /// pools) must invalidate anything the overrun job's budget backed.
+    fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
+        let _ = (view, job);
+    }
 }
 
 impl<G: Governor + ?Sized> Governor for &mut G {
@@ -202,6 +222,12 @@ impl<G: Governor + ?Sized> Governor for &mut G {
     fn on_idle(&mut self, view: &SchedulerView<'_>) {
         (**self).on_idle(view);
     }
+    fn overrun_policy(&self) -> OverrunPolicy {
+        (**self).overrun_policy()
+    }
+    fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
+        (**self).on_overrun(view, job);
+    }
 }
 
 impl<G: Governor + ?Sized> Governor for Box<G> {
@@ -225,6 +251,12 @@ impl<G: Governor + ?Sized> Governor for Box<G> {
     }
     fn on_idle(&mut self, view: &SchedulerView<'_>) {
         (**self).on_idle(view);
+    }
+    fn overrun_policy(&self) -> OverrunPolicy {
+        (**self).overrun_policy()
+    }
+    fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
+        (**self).on_overrun(view, job);
     }
 }
 
@@ -320,9 +352,13 @@ mod tests {
         let by_ref: &mut dyn Governor = &mut g;
         assert_eq!(by_ref.name(), "fixed");
         assert_eq!(by_ref.select_speed(&view, &ready[0]), Speed::FULL);
+        assert_eq!(by_ref.overrun_policy(), OverrunPolicy::CompleteAtMax);
+        by_ref.on_overrun(&view, &ready[0]); // default no-op delegates
 
         let mut boxed: Box<dyn Governor> = Box::new(Fixed(Speed::FULL));
         assert_eq!(boxed.name(), "fixed");
         assert_eq!(boxed.select_speed(&view, &ready[0]), Speed::FULL);
+        assert_eq!(boxed.overrun_policy(), OverrunPolicy::CompleteAtMax);
+        boxed.on_overrun(&view, &ready[0]);
     }
 }

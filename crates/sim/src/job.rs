@@ -41,6 +41,16 @@ pub struct ActiveJob {
     pub(crate) wall_used: f64,
     pub(crate) actual: f64,
     pub(crate) preemptions: u32,
+    /// Set by the fault-injecting engine when this job's executed work
+    /// crossed its WCET with demand still remaining.
+    pub(crate) overrun: bool,
+    /// Set under [`OverrunPolicy::CompleteAtMax`](crate::OverrunPolicy):
+    /// the simulator dispatches this job at full speed, bypassing the
+    /// governor whose certificate the overrun invalidated.
+    pub(crate) forced_max: bool,
+    /// Whether an injected overrun may have affected this job's outcome
+    /// (shared a busy interval with overrun backlog).
+    pub(crate) contaminated: bool,
 }
 
 impl ActiveJob {
@@ -59,7 +69,17 @@ impl ActiveJob {
             wall_used: 0.0,
             actual: actual.clamp(0.0, wcet),
             preemptions: 0,
+            overrun: false,
+            forced_max: false,
+            contaminated: false,
         }
+    }
+
+    /// Whether this job has been detected overrunning its WCET (only ever
+    /// true under fault injection; see
+    /// [`Governor::on_overrun`](crate::Governor::on_overrun)).
+    pub fn in_overrun(&self) -> bool {
+        self.overrun
     }
 
     /// Work executed so far (full-speed-normalized units).

@@ -41,8 +41,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod error;
 mod exec;
+mod fault;
 mod governor;
 mod job;
 mod outcome;
@@ -52,8 +54,10 @@ mod simulator;
 mod task;
 mod trace;
 
+pub use audit::{audit_outcome, AuditIssue, AuditReport};
 pub use error::SimError;
 pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
 pub use outcome::SimOutcome;

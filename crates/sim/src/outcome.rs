@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use stadvs_power::EnergyBreakdown;
 
+use crate::fault::FaultReport;
 use crate::job::JobRecord;
 use crate::trace::Trace;
 
@@ -27,6 +28,10 @@ pub struct SimOutcome {
     pub idle_time: f64,
     /// Total time spent in speed transitions.
     pub transition_time: f64,
+    /// Injected faults and the resulting degradation (quiet for runs
+    /// without fault injection).
+    #[serde(default)]
+    pub faults: FaultReport,
     /// The full execution trace, if recording was enabled.
     pub trace: Option<Trace>,
 }
@@ -72,6 +77,25 @@ impl SimOutcome {
             .filter_map(|j| j.completion.map(|c| j.deadline - c))
             .min_by(f64::total_cmp)
     }
+
+    /// Number of deadline misses attributable to injected faults (the
+    /// missing job was contaminated by an overrun, aborted, or shed).
+    pub fn fault_attributed_misses(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.missed(self.horizon) && self.faults.is_contaminated(j.id))
+            .count()
+    }
+
+    /// Number of deadline misses **not** attributable to injected faults.
+    /// Under fault injection, a non-zero count is an algorithm bug: the
+    /// governor lost a deadline no injected fault can excuse.
+    pub fn unattributed_misses(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.missed(self.horizon) && !self.faults.is_contaminated(j.id))
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +135,7 @@ mod tests {
             busy_time: 1.0,
             idle_time: 99.0,
             transition_time: 0.0,
+            faults: FaultReport::default(),
             trace: None,
         }
     }

@@ -93,6 +93,11 @@ impl ReadySet {
         self.jobs.is_empty()
     }
 
+    /// Mutable access to all ready jobs (overrun contamination marking).
+    pub(crate) fn jobs_mut(&mut self) -> &mut [ActiveJob] {
+        &mut self.jobs
+    }
+
     /// The most recently released job, if any.
     pub(crate) fn last(&self) -> Option<&ActiveJob> {
         self.jobs.last()

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use stadvs_power::{Processor, Speed};
 
 use crate::exec::ExecutionSource;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 use crate::governor::{Governor, SchedulerView};
 use crate::job::{ActiveJob, JobId, JobRecord};
 use crate::outcome::SimOutcome;
@@ -124,6 +125,10 @@ pub struct SimScratch {
     releases: ReleaseQueue,
     next_index: Vec<u64>,
     due: Vec<usize>,
+    /// Per-task flag set by [`OverrunPolicy::SkipNext`]: the task's next
+    /// release is suppressed. Fully reset at the start of each run — a
+    /// stale flag would silently shed a job of the *next* workload.
+    skip_next: Vec<bool>,
 }
 
 impl SimScratch {
@@ -244,17 +249,88 @@ impl Simulator {
         G: Governor + ?Sized,
         E: ExecutionSource + ?Sized,
     {
+        self.run_faulted_with_scratch(governor, exec, &FaultPlan::NONE, scratch)
+    }
+
+    /// Runs one simulation under the fault-injection recipe `plan`.
+    ///
+    /// Injected faults and the resulting degradation are reported in
+    /// [`SimOutcome::faults`]. Deadline misses of *contaminated* jobs (jobs
+    /// that shared a busy interval with overrun backlog, were aborted, or
+    /// were shed) are fault-attributed: they are recorded but never trip
+    /// [`MissPolicy::Fail`] — a miss that *does* trip it under fault
+    /// injection is an algorithm bug, not an injected fault.
+    ///
+    /// With [`FaultPlan::none`] this is bit-for-bit identical to
+    /// [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DeadlineMiss`] under [`MissPolicy::Fail`] when an
+    ///   **uncontaminated** job completes after its deadline;
+    /// * [`SimError::EventLimitExceeded`] if the runaway guard trips.
+    pub fn run_faulted<G, E>(
+        &self,
+        governor: &mut G,
+        exec: &E,
+        plan: &FaultPlan,
+    ) -> Result<SimOutcome, SimError>
+    where
+        G: Governor + ?Sized,
+        E: ExecutionSource + ?Sized,
+    {
+        self.run_faulted_with_scratch(governor, exec, plan, &mut SimScratch::new())
+    }
+
+    /// [`Simulator::run_faulted`], reusing `scratch`'s buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run_faulted`].
+    pub fn run_faulted_with_scratch<G, E>(
+        &self,
+        governor: &mut G,
+        exec: &E,
+        plan: &FaultPlan,
+        scratch: &mut SimScratch,
+    ) -> Result<SimOutcome, SimError>
+    where
+        G: Governor + ?Sized,
+        E: ExecutionSource + ?Sized,
+    {
         let tasks = &self.tasks;
         let processor = &self.processor;
         let horizon = self.config.horizon;
         let n = tasks.len();
 
+        // Fault-injection state. `faults_on` is checked once per gate so the
+        // no-fault path stays branch-predictable; `jittered` additionally
+        // gates the sporadic release recurrence, which is float-identical to
+        // the periodic one only in the absence of delays.
+        let faults_on = !plan.is_none();
+        let jittered = faults_on && plan.has_jitter();
+        let mut report = FaultReport::default();
+        let mut contaminated_ids: Vec<JobId> = Vec::new();
+        let mut contamination_active = false;
+        let mut recovery_start: Option<f64> = None;
+        let mut switch_ordinal: u64 = 0;
+
         let mut now = 0.0_f64;
         scratch.ready.reset(n);
-        scratch.releases.reset(tasks.iter().map(|(_, t)| t.phase()));
+        if jittered {
+            scratch.releases.reset(
+                tasks
+                    .iter()
+                    .map(|(id, t)| t.phase() + plan.release_delay(id, 0, t.period())),
+            );
+        } else {
+            scratch.releases.reset(tasks.iter().map(|(_, t)| t.phase()));
+        }
         scratch.next_index.clear();
         scratch.next_index.resize(n, 0);
         scratch.due.clear();
+        scratch.skip_next.clear();
+        scratch.skip_next.resize(n, false);
         // Pre-size for the jobs this horizon generates (capped: the records
         // move into the outcome, so a hostile horizon must not pre-book
         // unbounded memory).
@@ -322,33 +398,93 @@ impl Simulator {
                         index: scratch.next_index[i],
                     };
                     let release = scratch.releases.time(i);
-                    let actual = exec.actual_work(id.task, task, id.index);
-                    scratch.ready.push(ActiveJob::new(
-                        id,
-                        release,
-                        release + task.deadline(),
-                        task.wcet(),
-                        actual,
-                    ));
+                    let skipped = faults_on && scratch.skip_next[i];
+                    if skipped {
+                        // OverrunPolicy::SkipNext sheds this release: the
+                        // job is recorded as never run and fault-attributed.
+                        scratch.skip_next[i] = false;
+                        report.skipped_releases += 1;
+                        report.events.push(FaultEvent {
+                            job: id,
+                            at: release,
+                            kind: FaultKind::SkippedRelease,
+                        });
+                        contaminated_ids.push(id);
+                        records.push(JobRecord {
+                            id,
+                            release,
+                            deadline: release + task.deadline(),
+                            wcet: task.wcet(),
+                            actual: 0.0,
+                            completion: None,
+                            wall_time: 0.0,
+                            preemptions: 0,
+                        });
+                    } else {
+                        let actual = exec.actual_work(id.task, task, id.index);
+                        let mut job = ActiveJob::new(
+                            id,
+                            release,
+                            release + task.deadline(),
+                            task.wcet(),
+                            actual,
+                        );
+                        if faults_on {
+                            // Multiplying by exactly 1.0 (the not-selected
+                            // case) is a bit-exact no-op, so no branch.
+                            job.actual *= plan.overrun_factor(id.task, id.index);
+                            if jittered && release > task.release_of(id.index) + TIME_EPS {
+                                report.jittered_releases += 1;
+                                report.events.push(FaultEvent {
+                                    job: id,
+                                    at: release,
+                                    kind: FaultKind::JitteredRelease {
+                                        delay: release - task.release_of(id.index),
+                                    },
+                                });
+                            }
+                            if contamination_active {
+                                job.contaminated = true;
+                            }
+                        }
+                        scratch.ready.push(job);
+                    }
                     scratch.next_index[i] += 1;
-                    scratch
-                        .releases
-                        .set_time(i, task.release_of(scratch.next_index[i]));
-                    // Due tasks from `d` on are still staged out of the
-                    // release heap; fold their instants back in so the
-                    // view's next-arrival query stays exact mid-release.
-                    let next_arrival = scratch.releases.min_with_pending(&scratch.due[d..]);
-                    let view = SchedulerView::new(
-                        now,
-                        tasks,
-                        processor,
-                        scratch.ready.jobs(),
-                        scratch.releases.times(),
-                        next_arrival,
-                        current_speed,
-                    );
-                    if let Some(released) = scratch.ready.last() {
-                        governor.on_release(&view, released);
+                    if jittered {
+                        // Sporadic recurrence: delay the nominal release but
+                        // never compress inter-arrival times below the
+                        // period — compression could overload even a
+                        // full-speed EDF schedule, which would make the
+                        // injected jitter indistinguishable from an
+                        // algorithm bug.
+                        let nominal = task.release_of(scratch.next_index[i]);
+                        let delay =
+                            plan.release_delay(id.task, scratch.next_index[i], task.period());
+                        scratch
+                            .releases
+                            .set_time(i, (nominal + delay).max(release + task.period()));
+                    } else {
+                        scratch
+                            .releases
+                            .set_time(i, task.release_of(scratch.next_index[i]));
+                    }
+                    if !skipped {
+                        // Due tasks from `d` on are still staged out of the
+                        // release heap; fold their instants back in so the
+                        // view's next-arrival query stays exact mid-release.
+                        let next_arrival = scratch.releases.min_with_pending(&scratch.due[d..]);
+                        let view = SchedulerView::new(
+                            now,
+                            tasks,
+                            processor,
+                            scratch.ready.jobs(),
+                            scratch.releases.times(),
+                            next_arrival,
+                            current_speed,
+                        );
+                        if let Some(released) = scratch.ready.last() {
+                            governor.on_release(&view, released);
+                        }
                     }
                 }
                 scratch.releases.requeue(i);
@@ -362,8 +498,21 @@ impl Simulator {
             let next_arrival = scratch.releases.next_arrival();
 
             // 2. Idle until the next arrival (or the horizon) if nothing is
-            //    ready.
+            //    ready. An empty ready set also ends any overrun recovery
+            //    episode: backlog contamination cannot cross an idle
+            //    instant.
             if scratch.ready.is_empty() {
+                if faults_on && contamination_active {
+                    contamination_active = false;
+                    if let Some(start) = recovery_start.take() {
+                        let recovery = now - start;
+                        report.recovery_episodes += 1;
+                        report.recovery_time += recovery;
+                        if recovery > report.max_recovery_latency {
+                            report.max_recovery_latency = recovery;
+                        }
+                    }
+                }
                 {
                     let view = SchedulerView::new(
                         now,
@@ -410,10 +559,15 @@ impl Simulator {
             last_running = Some(cur_id);
 
             // 4. Select (and if needed transition to) the execution speed,
-            //    and ask for an optional intra-job review point.
+            //    and ask for an optional intra-job review point. A job
+            //    forced to full speed by an overrun policy bypasses the
+            //    governor entirely — its certificate is already invalid.
             let committed = committed_for.take() == Some(cur_id);
+            let forced = faults_on && scratch.ready.job(ji).forced_max;
             let mut review: Option<f64> = None;
-            let requested = if committed {
+            let requested = if forced {
+                Speed::FULL
+            } else if committed {
                 current_speed
             } else {
                 let view = SchedulerView::new(
@@ -429,7 +583,35 @@ impl Simulator {
                 review = governor.review_after(&view, scratch.ready.job(ji));
                 speed
             };
-            let speed = processor.quantize_up(requested);
+            let mut speed = processor.quantize_up(requested);
+            if faults_on && !forced {
+                // Level-floor clamp: the platform's lowest operating points
+                // are unavailable, so every selection is raised to the
+                // floor (deadline-safe: speeds only ever increase).
+                if let Some(floor) = plan.level_floor() {
+                    if speed.ratio() < floor {
+                        speed = processor.quantize_up(Speed::clamped(floor, processor.min_speed()));
+                        report.clamped_selections += 1;
+                    }
+                }
+                // Switch-drop channel: each candidate *downward* switch may
+                // be dropped (the DVS command was lost; the processor keeps
+                // its previous, faster speed). Upward switches always go
+                // through — dropping those could cause unattributed misses.
+                if speed.ratio() < current_speed.ratio() && !speed.same_point(current_speed) {
+                    let ordinal = switch_ordinal;
+                    switch_ordinal += 1;
+                    if plan.drops_switch(ordinal) {
+                        report.dropped_switches += 1;
+                        report.events.push(FaultEvent {
+                            job: cur_id,
+                            at: now,
+                            kind: FaultKind::DroppedSwitch,
+                        });
+                        speed = current_speed;
+                    }
+                }
+            }
             if !speed.same_point(current_speed) {
                 acc.add_transition(current_speed, speed);
                 current_speed = speed;
@@ -463,10 +645,19 @@ impl Simulator {
             // Governor-requested power-management point (floored to keep
             // progress even against a misbehaving governor).
             let dt_review = review.map_or(f64::INFINITY, |r| r.max(1.0e-6));
+            // Budget bound: a job whose injected demand exceeds its WCET
+            // must stop *at* the WCET crossing so the overrun is detected
+            // at the exact instant the certificate becomes invalid.
+            let dt_budget = if faults_on && !job.overrun && job.actual > job.wcet + WORK_EPS {
+                (job.wcet - job.executed).max(0.0) / speed.ratio()
+            } else {
+                f64::INFINITY
+            };
             let dt = dt_complete
                 .min(dt_arrival)
                 .min(dt_horizon)
                 .min(dt_review)
+                .min(dt_budget)
                 .max(0.0);
             if dt > 0.0 {
                 debug_assert!(dt.is_finite(), "non-finite execution step at {now}");
@@ -491,9 +682,101 @@ impl Simulator {
                 now += dt;
             }
 
+            // 5b. Overrun detection: the instant executed work crosses the
+            //     WCET with demand still remaining, the governor's budget
+            //     certificate is invalid. Everything currently ready (and
+            //     everything released until the backlog drains) is
+            //     contaminated: its misses are fault-attributed.
+            if faults_on {
+                let j = scratch.ready.job(ji);
+                let detected = !j.overrun
+                    && j.actual > j.wcet + WORK_EPS
+                    && j.executed >= j.wcet - WORK_EPS
+                    && j.remaining_actual() > WORK_EPS;
+                let factor = j.actual / j.wcet;
+                if detected {
+                    report.overruns += 1;
+                    report.events.push(FaultEvent {
+                        job: cur_id,
+                        at: now,
+                        kind: FaultKind::WcetOverrun { factor },
+                    });
+                    contamination_active = true;
+                    if recovery_start.is_none() {
+                        recovery_start = Some(now);
+                    }
+                    for ready_job in scratch.ready.jobs_mut() {
+                        ready_job.contaminated = true;
+                    }
+                    scratch.ready.job_mut(ji).overrun = true;
+                    {
+                        let view = SchedulerView::new(
+                            now,
+                            tasks,
+                            processor,
+                            scratch.ready.jobs(),
+                            scratch.releases.times(),
+                            next_arrival,
+                            current_speed,
+                        );
+                        governor.on_overrun(&view, scratch.ready.job(ji));
+                    }
+                    // Exhaustive on purpose (no `_` arm): a new policy
+                    // variant must force a decision at this exact point
+                    // (enforced by the `fault-policy-exhaustive` lint).
+                    match plan.resolve_policy(governor.overrun_policy()) {
+                        OverrunPolicy::Abort => {
+                            let job = scratch.ready.complete(ji);
+                            report.aborted += 1;
+                            report.events.push(FaultEvent {
+                                job: job.id,
+                                at: now,
+                                kind: FaultKind::Aborted,
+                            });
+                            contaminated_ids.push(job.id);
+                            last_running = None;
+                            records.push(JobRecord {
+                                id: job.id,
+                                release: job.release,
+                                deadline: job.deadline,
+                                wcet: job.wcet,
+                                actual: job.actual,
+                                completion: None,
+                                wall_time: job.wall_used,
+                                preemptions: job.preemptions,
+                            });
+                        }
+                        OverrunPolicy::CompleteAtMax => {
+                            scratch.ready.job_mut(ji).forced_max = true;
+                            report.forced_full_speed += 1;
+                            report.events.push(FaultEvent {
+                                job: cur_id,
+                                at: now,
+                                kind: FaultKind::ForcedFullSpeed,
+                            });
+                        }
+                        OverrunPolicy::SkipNext => {
+                            scratch.ready.job_mut(ji).forced_max = true;
+                            report.forced_full_speed += 1;
+                            report.events.push(FaultEvent {
+                                job: cur_id,
+                                at: now,
+                                kind: FaultKind::ForcedFullSpeed,
+                            });
+                            scratch.skip_next[cur_id.task.0] = true;
+                        }
+                    }
+                    continue;
+                }
+            }
+
             // 6. Completion handling.
             if scratch.ready.job(ji).remaining_actual() <= WORK_EPS {
                 let job = scratch.ready.complete(ji);
+                let fault_attributed = faults_on && job.contaminated;
+                if fault_attributed {
+                    contaminated_ids.push(job.id);
+                }
                 let record = JobRecord {
                     id: job.id,
                     release: job.release,
@@ -504,7 +787,10 @@ impl Simulator {
                     wall_time: job.wall_used,
                     preemptions: job.preemptions,
                 };
-                if self.config.miss_policy == MissPolicy::Fail && now > record.deadline + TIME_EPS {
+                if self.config.miss_policy == MissPolicy::Fail
+                    && now > record.deadline + TIME_EPS
+                    && !fault_attributed
+                {
                     return Err(SimError::DeadlineMiss {
                         job: record.id,
                         deadline: record.deadline,
@@ -528,6 +814,10 @@ impl Simulator {
 
         // Jobs still incomplete when the horizon ended.
         for job in scratch.ready.drain_jobs() {
+            let fault_attributed = faults_on && job.contaminated;
+            if fault_attributed {
+                contaminated_ids.push(job.id);
+            }
             let record = JobRecord {
                 id: job.id,
                 release: job.release,
@@ -538,7 +828,10 @@ impl Simulator {
                 wall_time: job.wall_used,
                 preemptions: job.preemptions,
             };
-            if self.config.miss_policy == MissPolicy::Fail && record.missed(horizon) {
+            if self.config.miss_policy == MissPolicy::Fail
+                && record.missed(horizon)
+                && !fault_attributed
+            {
                 return Err(SimError::DeadlineMiss {
                     job: record.id,
                     deadline: record.deadline,
@@ -548,6 +841,22 @@ impl Simulator {
             records.push(record);
         }
         records.sort_by_key(|r| (r.id.task, r.id.index));
+
+        // A recovery episode still open at the horizon is closed there: the
+        // latency lower-bounds what a longer horizon would have measured.
+        if let Some(start) = recovery_start.take() {
+            let recovery = now - start;
+            report.recovery_episodes += 1;
+            report.recovery_time += recovery;
+            if recovery > report.max_recovery_latency {
+                report.max_recovery_latency = recovery;
+            }
+        }
+        if faults_on {
+            contaminated_ids.sort_unstable();
+            contaminated_ids.dedup();
+            report.contaminated = contaminated_ids;
+        }
 
         let (busy, idle, transition) = match trace.as_ref() {
             Some(tr) => (tr.busy_time(), tr.idle_time(), tr.transition_time()),
@@ -567,6 +876,7 @@ impl Simulator {
             busy_time: busy,
             idle_time: idle,
             transition_time: transition,
+            faults: report,
             trace,
         })
     }

@@ -1,0 +1,222 @@
+//! Serializable fault-injection recipes.
+//!
+//! [`FaultPlanSpec`] is the configuration-file counterpart of
+//! [`stadvs_sim::FaultPlan`]: a plain-old-data recipe that can live in an
+//! experiment description (serde round-trip, diffable defaults) and is
+//! validated into an executable plan with [`FaultPlanSpec::build`]. The
+//! named presets are the fault regimes the `faults` experiment family
+//! sweeps.
+
+use serde::{Deserialize, Serialize};
+use stadvs_sim::{FaultPlan, OverrunPolicy};
+
+use crate::error::WorkloadError;
+
+/// WCET-overrun channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverrunSpec {
+    /// Per-job overrun probability in `[0, 1]`.
+    pub probability: f64,
+    /// Demand multiplier applied to selected jobs (finite, positive;
+    /// `> 1` violates the WCET budget).
+    pub factor: f64,
+}
+
+/// Release-jitter channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Per-release jitter probability in `[0, 1]`.
+    pub probability: f64,
+    /// Maximum delay as a fraction of the task period (finite, ≥ 0).
+    pub max_fraction: f64,
+}
+
+/// A deterministic, seed-driven fault-injection recipe in configuration
+/// form. Channels left `None` are not injected; an all-`None` spec builds
+/// [`FaultPlan::NONE`].
+///
+/// ```
+/// use stadvs_workload::FaultPlanSpec;
+///
+/// # fn main() -> Result<(), stadvs_workload::WorkloadError> {
+/// let plan = FaultPlanSpec::overrun_storm(7).build()?;
+/// assert!(!plan.is_none());
+/// assert!(FaultPlanSpec::none().build()?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlanSpec {
+    /// Seed for every per-channel deterministic draw.
+    pub seed: u64,
+    /// WCET-overrun channel, if injected.
+    #[serde(default)]
+    pub overrun: Option<OverrunSpec>,
+    /// Release-jitter channel, if injected.
+    #[serde(default)]
+    pub jitter: Option<JitterSpec>,
+    /// Probability of dropping each candidate downward speed switch.
+    #[serde(default)]
+    pub switch_drop_probability: Option<f64>,
+    /// Clamp every selected speed up to this floor (coarsened level set).
+    #[serde(default)]
+    pub level_floor: Option<f64>,
+    /// Force this overrun policy on every governor (differential tests).
+    #[serde(default)]
+    pub policy: Option<OverrunPolicy>,
+}
+
+impl FaultPlanSpec {
+    /// The no-fault spec.
+    pub fn none() -> FaultPlanSpec {
+        FaultPlanSpec::default()
+    }
+
+    /// Preset: frequent, large WCET overruns (the stress arm of the
+    /// `faults` experiment family).
+    pub fn overrun_storm(seed: u64) -> FaultPlanSpec {
+        FaultPlanSpec {
+            seed,
+            overrun: Some(OverrunSpec {
+                probability: 0.1,
+                factor: 1.5,
+            }),
+            ..FaultPlanSpec::default()
+        }
+    }
+
+    /// Preset: a degraded platform — lost downward switch commands plus a
+    /// coarsened level set. Deadline-safe by construction (speeds only
+    /// ever stay higher), so any miss under this preset is an algorithm
+    /// bug.
+    pub fn degraded_platform(seed: u64) -> FaultPlanSpec {
+        FaultPlanSpec {
+            seed,
+            switch_drop_probability: Some(0.2),
+            level_floor: Some(0.5),
+            ..FaultPlanSpec::default()
+        }
+    }
+
+    /// Preset: noisy release timing (delay-only jitter with sporadic
+    /// separation). Also deadline-safe by construction.
+    pub fn noisy_releases(seed: u64) -> FaultPlanSpec {
+        FaultPlanSpec {
+            seed,
+            jitter: Some(JitterSpec {
+                probability: 0.3,
+                max_fraction: 0.25,
+            }),
+            ..FaultPlanSpec::default()
+        }
+    }
+
+    /// Preset: every channel at once — the kitchen-sink degradation run.
+    pub fn combined(seed: u64) -> FaultPlanSpec {
+        FaultPlanSpec {
+            seed,
+            overrun: Some(OverrunSpec {
+                probability: 0.05,
+                factor: 1.25,
+            }),
+            jitter: Some(JitterSpec {
+                probability: 0.2,
+                max_fraction: 0.15,
+            }),
+            switch_drop_probability: Some(0.1),
+            level_floor: None,
+            policy: None,
+        }
+    }
+
+    /// Validates the recipe into an executable [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Task`] wrapping the plan builder's
+    /// rejection when any channel parameter is out of range.
+    pub fn build(&self) -> Result<FaultPlan, WorkloadError> {
+        let mut plan = FaultPlan::new(self.seed);
+        if let Some(o) = self.overrun {
+            plan = plan.with_overrun(o.probability, o.factor)?;
+        }
+        if let Some(j) = self.jitter {
+            plan = plan.with_release_jitter(j.probability, j.max_fraction)?;
+        }
+        if let Some(p) = self.switch_drop_probability {
+            plan = plan.with_switch_drops(p)?;
+        }
+        if let Some(floor) = self.level_floor {
+            plan = plan.with_level_floor(floor)?;
+        }
+        if let Some(policy) = self.policy {
+            plan = plan.with_policy_override(policy);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_builds_to_none() {
+        assert!(FaultPlanSpec::none().build().unwrap().is_none());
+    }
+
+    #[test]
+    fn presets_build_and_carry_their_channels() {
+        let storm = FaultPlanSpec::overrun_storm(7).build().unwrap();
+        assert!(!storm.is_none());
+        assert!(!storm.has_jitter());
+        let degraded = FaultPlanSpec::degraded_platform(7).build().unwrap();
+        assert_eq!(degraded.level_floor(), Some(0.5));
+        let noisy = FaultPlanSpec::noisy_releases(7).build().unwrap();
+        assert!(noisy.has_jitter());
+        let combined = FaultPlanSpec::combined(7).build().unwrap();
+        assert!(combined.has_jitter());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let bad = FaultPlanSpec {
+            overrun: Some(OverrunSpec {
+                probability: 1.5,
+                factor: 1.2,
+            }),
+            ..FaultPlanSpec::default()
+        };
+        assert!(bad.build().is_err());
+        let bad_floor = FaultPlanSpec {
+            level_floor: Some(0.0),
+            ..FaultPlanSpec::default()
+        };
+        assert!(bad_floor.build().is_err());
+    }
+
+    #[test]
+    fn policy_override_is_threaded() {
+        let spec = FaultPlanSpec {
+            policy: Some(OverrunPolicy::Abort),
+            overrun: Some(OverrunSpec {
+                probability: 0.1,
+                factor: 2.0,
+            }),
+            ..FaultPlanSpec::default()
+        };
+        let plan = spec.build().unwrap();
+        assert_eq!(plan.policy_override(), Some(OverrunPolicy::Abort));
+        assert_eq!(
+            plan.resolve_policy(OverrunPolicy::CompleteAtMax),
+            OverrunPolicy::Abort
+        );
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlanSpec::combined(42).build().unwrap();
+        let b = FaultPlanSpec::combined(42).build().unwrap();
+        assert_eq!(a, b);
+    }
+}

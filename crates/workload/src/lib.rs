@@ -33,6 +33,7 @@
 mod builder;
 mod error;
 mod exec_model;
+mod faults;
 mod periods;
 mod recorded;
 pub mod reference;
@@ -42,6 +43,7 @@ mod uunifast;
 pub use builder::TaskSetBuilder;
 pub use error::WorkloadError;
 pub use exec_model::{DemandPattern, ExecutionModel};
+pub use faults::{FaultPlanSpec, JitterSpec, OverrunSpec};
 pub use periods::PeriodGenerator;
 pub use recorded::RecordedDemand;
 pub use spec::TaskSetSpec;

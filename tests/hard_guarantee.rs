@@ -11,7 +11,9 @@ use proptest::prelude::*;
 use stadvs::analysis::validate_outcome;
 use stadvs::experiments::{make_governor, WorkloadCase};
 use stadvs::power::Processor;
-use stadvs::sim::{MissPolicy, SimConfig, Simulator};
+use stadvs::sim::{
+    audit_outcome, FaultPlan, MissPolicy, SimConfig, SimOutcome, Simulator, TaskSet,
+};
 use stadvs::workload::DemandPattern;
 
 const GOVERNORS: &[&str] = &[
@@ -30,6 +32,31 @@ const GOVERNORS: &[&str] = &[
     "st-edf-pace",
     "st-edf-cs",
 ];
+
+/// Default case count, raised in CI's full (non-quick) job via
+/// `STADVS_PROPTEST_CASES`.
+fn cases() -> u32 {
+    std::env::var("STADVS_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// The shared referee: the fault-unaware trace validator (deadlines, trace
+/// tiling, energy recomputation) *and* the fault-aware release/attribution
+/// audit, here with the empty plan — on fault-free runs any overrun or
+/// unattributed miss it finds is an engine bug.
+fn referee(outcome: &SimOutcome, tasks: &TaskSet, processor: &Processor) -> Result<(), String> {
+    let report = validate_outcome(outcome, tasks, processor);
+    if !report.is_clean() {
+        return Err(format!("{report}"));
+    }
+    let audit = audit_outcome(outcome, tasks, &FaultPlan::NONE);
+    if !audit.is_clean() {
+        return Err(format!("{audit}"));
+    }
+    Ok(())
+}
 
 fn pattern_strategy() -> impl Strategy<Value = DemandPattern> {
     prop_oneof![
@@ -56,7 +83,7 @@ fn pattern_strategy() -> impl Strategy<Value = DemandPattern> {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 48,
+        cases: cases(),
         max_shrink_iters: 64,
         ..ProptestConfig::default()
     })]
@@ -86,10 +113,11 @@ proptest! {
             let outcome = sim
                 .run(governor.as_mut(), &case.exec)
                 .unwrap_or_else(|e| panic!("{name} violated the hard guarantee: {e}"));
-            let report = validate_outcome(&outcome, &case.tasks, &processor);
+            let verdict = referee(&outcome, &case.tasks, &processor);
             prop_assert!(
-                report.is_clean(),
-                "{name} failed the audit: {report}"
+                verdict.is_ok(),
+                "{name} failed the audit: {}",
+                verdict.unwrap_err()
             );
         }
     }
@@ -122,6 +150,8 @@ proptest! {
             let mut governor = make_governor(name).expect("resolves");
             let out = sim.run(governor.as_mut(), &case.exec);
             prop_assert!(out.is_ok(), "{name} missed on {levels}-level platform");
+            let audit = audit_outcome(&out.unwrap(), &case.tasks, &FaultPlan::NONE);
+            prop_assert!(audit.is_clean(), "{name} failed the audit: {audit}");
         }
     }
 
@@ -184,8 +214,12 @@ proptest! {
             let outcome = sim
                 .run(governor.as_mut(), &base.exec)
                 .unwrap_or_else(|e| panic!("{name} missed under constrained deadlines: {e}"));
-            let report = validate_outcome(&outcome, &tasks, &processor);
-            prop_assert!(report.is_clean(), "{name} failed the audit: {report}");
+            let verdict = referee(&outcome, &tasks, &processor);
+            prop_assert!(
+                verdict.is_ok(),
+                "{name} failed the audit: {}",
+                verdict.unwrap_err()
+            );
         }
     }
 
@@ -225,8 +259,12 @@ proptest! {
             let outcome = sim
                 .run(governor.as_mut(), &exec)
                 .unwrap_or_else(|e| panic!("{name} missed with phases: {e}"));
-            let report = validate_outcome(&outcome, &tasks, &processor);
-            prop_assert!(report.is_clean(), "{name} failed the audit: {report}");
+            let verdict = referee(&outcome, &tasks, &processor);
+            prop_assert!(
+                verdict.is_ok(),
+                "{name} failed the audit: {}",
+                verdict.unwrap_err()
+            );
         }
     }
 
@@ -267,5 +305,7 @@ proptest! {
             "st-edf-oa missed at {latency_us} µs: {:?}",
             out.err()
         );
+        let audit = audit_outcome(&out.unwrap(), &case.tasks, &FaultPlan::NONE);
+        prop_assert!(audit.is_clean(), "st-edf-oa failed the audit: {audit}");
     }
 }

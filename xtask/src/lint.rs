@@ -7,8 +7,9 @@
 //!
 //! * scanned roots: `crates/*/src`, `src`, `xtask/src`;
 //! * `float-eq` and `governor-doc` run everywhere scanned;
-//! * `no-panic` runs in the guarantee-critical crates (`sim`, `core`,
-//!   `power`, `analysis`);
+//! * `no-panic` and `fault-policy-exhaustive` run in the
+//!   guarantee-critical crates (`sim`, `core`, `power`, `analysis`,
+//!   `baselines`);
 //! * `as-cast` runs in `core` (the claims/ledger arithmetic);
 //! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops).
 //!
@@ -101,6 +102,7 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
         ));
         if GUARANTEE_CRATES.contains(&s.crate_name.as_str()) {
             found.extend(rules::check_no_panic(&s.rel, &s.lexed.tokens, &s.mask));
+            found.extend(rules::check_fault_policy(&s.rel, &s.lexed.tokens, &s.mask));
         }
         if CLAIMS_CRATES.contains(&s.crate_name.as_str()) {
             found.extend(rules::check_as_cast(&s.rel, &s.lexed.tokens, &s.mask));
@@ -226,6 +228,13 @@ mod tests {
         let src = "fn f() { x.unwrap(); }";
         assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
         assert!(one("crates/cli/src/a.rs", "cli", src).is_clean());
+    }
+
+    #[test]
+    fn fault_policy_scoped_to_guarantee_crates() {
+        let src = "fn f(p: OverrunPolicy) -> u8 { match p { OverrunPolicy::Abort => 0, _ => 1 } }";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
+        assert!(one("crates/experiments/src/a.rs", "experiments", src).is_clean());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Rule `fault-policy-exhaustive`: every `match` on an [`OverrunPolicy`]
+//! value in the guarantee-critical crates must name all of its variants —
+//! no `_` wildcard and no catch-all binding arm.
+//!
+//! The overrun policy is the single point where the simulator decides what
+//! a broken WCET contract *means* (abort, complete at full speed, shed the
+//! next release). A wildcard arm at such a site silently absorbs any
+//! future policy variant into whichever behaviour the author happened to
+//! write last — the one class of bug that the compiler's own
+//! exhaustiveness check exists to prevent. With no wildcard, adding a
+//! variant to `OverrunPolicy` fails the build at every dispatch site and
+//! forces an explicit decision; this rule keeps that property.
+//!
+//! Detection is token-level and deliberately narrow: a `match` counts as a
+//! *policy match* when its scrutinee mentions `OverrunPolicy`,
+//! `overrun_policy`, or `resolve_policy`, or when any of its arm
+//! *patterns* (not arm bodies) names `OverrunPolicy` or one of its
+//! variants. Inside a policy match, an arm whose pattern is exactly `_` or
+//! a single lower-case binding identifier is flagged.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+
+/// The `OverrunPolicy` variants; arm patterns naming any of these mark the
+/// surrounding `match` as a policy match.
+const VARIANTS: &[&str] = &["Abort", "CompleteAtMax", "SkipNext"];
+
+/// Scrutinee identifiers that mark a policy match even when every arm is
+/// (wrongly) a catch-all.
+const SCRUTINEE_HINTS: &[&str] = &["OverrunPolicy", "overrun_policy", "resolve_policy"];
+
+/// Runs the rule over one file's tokens. `mask[i]` marks test-only tokens.
+pub fn check_fault_policy(file: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i] || !tokens[i].kind.is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // The match body is the first `{` at depth 0 after the scrutinee.
+        let mut scrutinee_hit = false;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let open = loop {
+            match tokens.get(j).map(|t| &t.kind) {
+                None => break None,
+                Some(TokenKind::Open('{')) if depth == 0 => break Some(j),
+                Some(TokenKind::Open(_)) => depth += 1,
+                Some(TokenKind::Close(_)) => {
+                    if depth == 0 {
+                        break None;
+                    }
+                    depth -= 1;
+                }
+                Some(TokenKind::Ident(w)) if SCRUTINEE_HINTS.contains(&w.as_str()) => {
+                    scrutinee_hit = true;
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = super::matching_close(tokens, open) else {
+            i += 1;
+            continue;
+        };
+        let arms = collect_arms(tokens, open, close);
+        let policy_match = scrutinee_hit
+            || arms.iter().any(|&(start, arrow)| {
+                tokens[start..arrow].iter().any(|t| match &t.kind {
+                    TokenKind::Ident(w) => w == "OverrunPolicy" || VARIANTS.contains(&w.as_str()),
+                    _ => false,
+                })
+            });
+        if policy_match {
+            for &(start, arrow) in &arms {
+                if let Some(bad) = catch_all(tokens, start, arrow) {
+                    let tok = &tokens[bad];
+                    let what = match &tok.kind {
+                        TokenKind::Ident(w) if w == "_" => "`_` wildcard arm".to_string(),
+                        TokenKind::Ident(w) => format!("catch-all binding arm `{w}`"),
+                        _ => "catch-all arm".to_string(),
+                    };
+                    out.push(Violation {
+                        rule: "fault-policy-exhaustive",
+                        file: file.to_string(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "{what} in a `match` on OverrunPolicy; name every \
+                             variant (Abort, CompleteAtMax, SkipNext) so a new \
+                             policy forces a decision at this site, or justify \
+                             with `// xtask:allow(fault-policy-exhaustive): \
+                             <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+        // Resume just past the keyword so nested matches are also scanned.
+        i = open + 1;
+    }
+    out
+}
+
+/// The arms of the match body `tokens[open..=close]`, as
+/// `(pattern_start, arrow_index)` pairs. Arm bodies are skipped by
+/// delimiter depth, so nested matches never confuse the outer walk.
+fn collect_arms(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut arms = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        // Find this arm's `=>` at depth 0 relative to the body.
+        let mut depth = 0usize;
+        let mut arrow = None;
+        let mut p = k;
+        while p < close {
+            match &tokens[p].kind {
+                TokenKind::Open(_) => depth += 1,
+                TokenKind::Close(_) => depth = depth.saturating_sub(1),
+                kind if depth == 0 && kind.is_punct("=>") => {
+                    arrow = Some(p);
+                    break;
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        arms.push((k, arrow));
+        // Skip the arm body: a brace block (plus optional trailing comma),
+        // or everything up to the next comma at depth 0.
+        if tokens
+            .get(arrow + 1)
+            .is_some_and(|t| t.kind == TokenKind::Open('{'))
+        {
+            let end = super::matching_close(tokens, arrow + 1).unwrap_or(close);
+            k = end + 1;
+            if tokens.get(k).is_some_and(|t| t.kind.is_punct(",")) {
+                k += 1;
+            }
+        } else {
+            let mut depth = 0usize;
+            let mut p = arrow + 1;
+            while p < close {
+                match &tokens[p].kind {
+                    TokenKind::Open(_) => depth += 1,
+                    TokenKind::Close(_) => depth = depth.saturating_sub(1),
+                    kind if depth == 0 && kind.is_punct(",") => break,
+                    _ => {}
+                }
+                p += 1;
+            }
+            k = p + 1;
+        }
+    }
+    arms
+}
+
+/// If the arm pattern `tokens[start..arrow]` is a catch-all — exactly `_`
+/// or a single lower-case binding identifier, with an optional `if` guard —
+/// returns the index of the offending token.
+fn catch_all(tokens: &[Token], start: usize, arrow: usize) -> Option<usize> {
+    // Strip the guard: tokens from the first depth-0 `if` onward.
+    let mut depth = 0usize;
+    let mut end = arrow;
+    for (p, tok) in tokens.iter().enumerate().take(arrow).skip(start) {
+        match &tok.kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.saturating_sub(1),
+            TokenKind::Ident(w) if depth == 0 && w == "if" => {
+                end = p;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if end != start + 1 {
+        return None;
+    }
+    match &tokens[start].kind {
+        TokenKind::Ident(w) if w == "_" => Some(start),
+        // A lone lower-case identifier pattern is a binding that swallows
+        // every variant (upper-case singletons are unit variants/consts).
+        TokenKind::Ident(w)
+            if w.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && !matches!(w.as_str(), "true" | "false") =>
+        {
+            Some(start)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        check_fault_policy("f.rs", &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn flags_wildcard_arm_on_qualified_variants() {
+        let v = run("fn f(p: OverrunPolicy) -> u8 {\n    match p {\n        \
+             OverrunPolicy::Abort => 0,\n        _ => 1,\n    }\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`_` wildcard"));
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn flags_binding_arm_and_guarded_wildcard() {
+        let v = run(
+            "fn f(x: T) {\n    match plan.resolve_policy(declared) {\n        \
+             Abort => a(),\n        other => b(other),\n        \
+             _ if cfg!(debug_assertions) => c(),\n    }\n}\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("catch-all binding arm `other`"));
+        assert!(v[1].message.contains("`_` wildcard"));
+    }
+
+    #[test]
+    fn exhaustive_match_passes() {
+        assert!(run("fn f(p: OverrunPolicy) {\n    match p {\n        \
+             OverrunPolicy::Abort => a(),\n        \
+             OverrunPolicy::CompleteAtMax => { b(); }\n        \
+             OverrunPolicy::SkipNext => c(),\n    }\n}\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn unrelated_matches_are_ignored() {
+        // Wildcards over other enums stay legal, even when an arm *body*
+        // mentions the policy type.
+        assert!(
+            run("fn f(m: Mode) -> OverrunPolicy {\n    match m {\n        \
+             Mode::Strict => OverrunPolicy::Abort,\n        _ => fallback(),\n    }\n}\n",)
+            .is_empty()
+        );
+    }
+
+    #[test]
+    fn nested_policy_match_is_found() {
+        let v = run(
+            "fn f(m: Mode, p: OverrunPolicy) {\n    match m {\n        _ => {\n            \
+             match p {\n                OverrunPolicy::Abort => a(),\n                \
+             rest => b(rest),\n            }\n        }\n    }\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("catch-all binding arm `rest`"));
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        assert!(run(
+            "#[cfg(test)]\nmod tests {\n    fn t(p: OverrunPolicy) -> u8 {\n        \
+             match p { OverrunPolicy::Abort => 0, _ => 1 }\n    }\n}\n",
+        )
+        .is_empty());
+    }
+}

@@ -1,16 +1,18 @@
-//! The five domain rules, implemented over the token stream.
+//! The six domain rules, implemented over the token stream.
 //!
 //! Shared infrastructure lives here: `#[cfg(test)]` / `#[test]` masking,
 //! delimiter matching, and operand-window extraction for the comparison
 //! rule.
 
 mod as_cast;
+mod fault_policy;
 mod float_eq;
 mod governor_doc;
 mod hot_path_alloc;
 mod no_panic;
 
 pub use as_cast::check_as_cast;
+pub use fault_policy::check_fault_policy;
 pub use float_eq::check_float_eq;
 pub use governor_doc::{check_governor_doc, collect_type_docs, TypeDocs};
 pub use hot_path_alloc::check_hot_path_alloc;
@@ -47,6 +49,13 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no `as` casts between integer and float in claims/ledger \
                   arithmetic (crates/core); use the checked stadvs_core::num \
                   helpers or lossless From conversions",
+    },
+    RuleInfo {
+        name: "fault-policy-exhaustive",
+        summary: "every `match` on an OverrunPolicy value in the \
+                  guarantee-critical crates must name all variants — no `_` \
+                  or catch-all binding arm; a new overrun policy must force \
+                  a decision at every dispatch site",
     },
     RuleInfo {
         name: "hot-path-alloc",

@@ -1,0 +1,45 @@
+//! Seeded violations for the `fault-policy-exhaustive` rule. This file is
+//! lint-test data, never compiled into the workspace.
+
+/// VIOLATION (line 8): the `_` arm swallows future policy variants.
+pub fn dispatch(policy: OverrunPolicy) -> u8 {
+    match policy {
+        OverrunPolicy::Abort => 0,
+        _ => 1,
+    }
+}
+
+/// VIOLATION (line 16): a lone binding is a catch-all in disguise.
+pub fn resolve(plan: &FaultPlan, declared: OverrunPolicy) -> Action {
+    match plan.resolve_policy(declared) {
+        OverrunPolicy::Abort => Action::Drop,
+        fallback => Action::Keep(fallback),
+    }
+}
+
+/// NOT a violation: every variant named, no wildcard.
+pub fn exhaustive(policy: OverrunPolicy) -> u8 {
+    match policy {
+        OverrunPolicy::Abort => 0,
+        OverrunPolicy::CompleteAtMax => 1,
+        OverrunPolicy::SkipNext => 2,
+    }
+}
+
+/// NOT a violation: a wildcard over some *other* enum stays legal even
+/// when an arm body mentions the policy type.
+pub fn unrelated(mode: Mode) -> OverrunPolicy {
+    match mode {
+        Mode::Strict => OverrunPolicy::Abort,
+        _ => OverrunPolicy::CompleteAtMax,
+    }
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn sanctioned(policy: OverrunPolicy) -> bool {
+    match policy {
+        OverrunPolicy::Abort => true,
+        // xtask:allow(fault-policy-exhaustive): predicate only cares about Abort
+        _ => false,
+    }
+}

@@ -13,6 +13,7 @@ const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
 const NO_PANIC: &str = include_str!("fixtures/no_panic.rs");
 const GOVERNOR_DOC: &str = include_str!("fixtures/governor_doc.rs");
 const AS_CAST: &str = include_str!("fixtures/as_cast.rs");
+const FAULT_POLICY: &str = include_str!("fixtures/fault_policy.rs");
 
 /// 1-based column of the `occurrence`-th `needle` on 1-based `line`.
 fn col_of(src: &str, line: usize, needle: &str, occurrence: usize) -> usize {
@@ -123,6 +124,36 @@ fn as_cast_fixture_is_flagged_with_spans() {
     );
     // `f64::from` and the allowed cast must stay clean.
     assert_eq!(report.violations.len(), 3, "{report:?}");
+}
+
+#[test]
+fn fault_policy_fixture_is_flagged_with_spans() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/sim/src/fixture.rs",
+        "sim",
+        FAULT_POLICY,
+    )]);
+    assert_eq!(
+        spans(&report.violations, "fault-policy-exhaustive"),
+        vec![
+            (8, col_of(FAULT_POLICY, 8, "_", 1)),
+            (16, col_of(FAULT_POLICY, 16, "fallback", 1)),
+        ],
+        "{report:?}"
+    );
+    // The exhaustive match, the unrelated-enum wildcard, and the allowed
+    // arm must all stay clean — two violations total.
+    assert_eq!(report.violations.len(), 2, "{report:?}");
+}
+
+#[test]
+fn fault_policy_rule_is_scoped_to_guarantee_crates() {
+    let report = analyze(&[SourceFile::from_source(
+        "crates/experiments/src/fixture.rs",
+        "experiments",
+        FAULT_POLICY,
+    )]);
+    assert!(report.is_clean(), "{report:?}");
 }
 
 #[test]
