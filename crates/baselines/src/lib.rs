@@ -13,7 +13,11 @@
 //! * [`LaEdf`] — look-ahead work deferral (Pillai & Shin),
 //! * [`OracleStatic`] — the clairvoyant constant-speed bound (not on-line).
 //!
-//! [`baseline_suite`] returns them boxed in comparison order.
+//! The [`registry`] module holds the single table describing every
+//! baseline (name, fresh-instance factory, jitter-support flag);
+//! [`baseline_suite`] returns them boxed in comparison order and
+//! [`registry::make`] builds one fresh instance per call (one per core in
+//! multiprocessor runs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +29,7 @@ mod la_edf;
 mod lpps_edf;
 mod no_dvs;
 mod oracle;
-mod registry;
+pub mod registry;
 mod static_edf;
 
 pub use cc_edf::CcEdf;
@@ -35,5 +39,5 @@ pub use la_edf::LaEdf;
 pub use lpps_edf::LppsEdf;
 pub use no_dvs::NoDvs;
 pub use oracle::OracleStatic;
-pub use registry::{baseline_by_name, baseline_suite};
+pub use registry::{baseline_by_name, baseline_suite, BaselineEntry};
 pub use static_edf::StaticEdf;

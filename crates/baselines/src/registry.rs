@@ -1,39 +1,111 @@
-//! The standard baseline suite, boxed for heterogeneous comparison runs.
+//! The baseline governor registry: one table, fresh boxed instances.
+//!
+//! Every baseline is described by a single [`BaselineEntry`] — its stable
+//! name, a factory producing a *fresh* boxed instance (governors carry
+//! per-run state; a multiprocessor run needs one instance per core), and
+//! the `supports_jitter` capability flag. The flag is the single source of
+//! truth for the laEDF jitter exclusion: laEDF's deferral argument
+//! requires strictly periodic arrivals (DESIGN.md §10), so tests and
+//! experiments derive "safe under release jitter" from the table instead
+//! of keeping ad-hoc name lists.
 
 use stadvs_sim::Governor;
 
 use crate::{CcEdf, Dra, FeedbackEdf, LaEdf, LppsEdf, NoDvs, StaticEdf};
 
+/// One row of the baseline registry.
+pub struct BaselineEntry {
+    /// Stable governor name (what [`make`] resolves).
+    pub name: &'static str,
+    /// Whether the governor's hard-real-time argument survives bounded
+    /// release jitter (delayed, sporadic-separated arrivals). `false` only
+    /// for laEDF, whose lookahead defers work against *future periodic*
+    /// releases.
+    pub supports_jitter: bool,
+    factory: fn() -> Box<dyn Governor>,
+}
+
+impl BaselineEntry {
+    /// Builds a fresh instance of this entry's governor (per-run,
+    /// per-core: never share one instance across runs or cores).
+    pub fn make(&self) -> Box<dyn Governor> {
+        (self.factory)()
+    }
+}
+
+/// The registry, in conventional comparison order (weakest energy saver
+/// first).
+static BASELINES: &[BaselineEntry] = &[
+    BaselineEntry {
+        name: "no-dvs",
+        supports_jitter: true,
+        factory: || Box::new(NoDvs::new()),
+    },
+    BaselineEntry {
+        name: "static-edf",
+        supports_jitter: true,
+        factory: || Box::new(StaticEdf::new()),
+    },
+    BaselineEntry {
+        name: "lpps-edf",
+        supports_jitter: true,
+        factory: || Box::new(LppsEdf::new()),
+    },
+    BaselineEntry {
+        name: "cc-edf",
+        supports_jitter: true,
+        factory: || Box::new(CcEdf::new()),
+    },
+    BaselineEntry {
+        name: "dra",
+        supports_jitter: true,
+        factory: || Box::new(Dra::new()),
+    },
+    BaselineEntry {
+        name: "dra-ote",
+        supports_jitter: true,
+        factory: || Box::new(Dra::with_one_task_extension()),
+    },
+    BaselineEntry {
+        name: "feedback-edf",
+        supports_jitter: true,
+        factory: || Box::new(FeedbackEdf::new()),
+    },
+    BaselineEntry {
+        name: "la-edf",
+        supports_jitter: false,
+        factory: || Box::new(LaEdf::new()),
+    },
+];
+
+/// All registry entries, in comparison order.
+pub fn entries() -> &'static [BaselineEntry] {
+    BASELINES
+}
+
+/// Constructs a fresh baseline governor by its stable name, or `None` for
+/// an unknown name. Each call returns a new instance — safe to call once
+/// per core of a multiprocessor run.
+pub fn make(name: &str) -> Option<Box<dyn Governor>> {
+    BASELINES.iter().find(|e| e.name == name).map(|e| e.make())
+}
+
+/// The registry entry for `name`, if any (capability lookups).
+pub fn entry(name: &str) -> Option<&'static BaselineEntry> {
+    BASELINES.iter().find(|e| e.name == name)
+}
+
 /// All on-line baseline governors in their conventional comparison order
 /// (weakest energy saver first). Fresh instances — each run should use its
 /// own state.
 pub fn baseline_suite() -> Vec<Box<dyn Governor>> {
-    vec![
-        Box::new(NoDvs::new()),
-        Box::new(StaticEdf::new()),
-        Box::new(LppsEdf::new()),
-        Box::new(CcEdf::new()),
-        Box::new(Dra::new()),
-        Box::new(Dra::with_one_task_extension()),
-        Box::new(FeedbackEdf::new()),
-        Box::new(LaEdf::new()),
-    ]
+    BASELINES.iter().map(BaselineEntry::make).collect()
 }
 
 /// Constructs a fresh baseline governor by its stable name, or `None` for
-/// an unknown name.
+/// an unknown name (alias of [`make`], kept for existing call sites).
 pub fn baseline_by_name(name: &str) -> Option<Box<dyn Governor>> {
-    match name {
-        "no-dvs" => Some(Box::new(NoDvs::new())),
-        "static-edf" => Some(Box::new(StaticEdf::new())),
-        "lpps-edf" => Some(Box::new(LppsEdf::new())),
-        "cc-edf" => Some(Box::new(CcEdf::new())),
-        "dra" => Some(Box::new(Dra::new())),
-        "dra-ote" => Some(Box::new(Dra::with_one_task_extension())),
-        "feedback-edf" => Some(Box::new(FeedbackEdf::new())),
-        "la-edf" => Some(Box::new(LaEdf::new())),
-        _ => None,
-    }
+    make(name)
 }
 
 #[cfg(test)]
@@ -53,5 +125,36 @@ mod tests {
             assert_eq!(g.name(), n);
         }
         assert!(baseline_by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn table_names_match_governor_names() {
+        // The table's `name` must be the governor's own `name()` — row
+        // lookups and outcome labels would silently diverge otherwise.
+        for e in entries() {
+            assert_eq!(e.make().name(), e.name);
+        }
+    }
+
+    #[test]
+    fn make_returns_fresh_instances() {
+        let a = make("st-edf");
+        assert!(a.is_none(), "st-edf lives in stadvs-core, not here");
+        let b = make("cc-edf").expect("exists");
+        let c = make("cc-edf").expect("exists");
+        // Boxed instances must be distinct allocations (fresh state).
+        assert!(!std::ptr::eq(b.as_ref(), c.as_ref()));
+    }
+
+    #[test]
+    fn only_la_edf_lacks_jitter_support() {
+        let unsafe_names: Vec<&str> = entries()
+            .iter()
+            .filter(|e| !e.supports_jitter)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(unsafe_names, ["la-edf"]);
+        assert!(entry("la-edf").is_some());
+        assert!(entry("bogus").is_none());
     }
 }

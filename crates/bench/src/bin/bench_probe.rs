@@ -16,9 +16,9 @@ use std::time::Instant;
 
 use stadvs_experiments::experiments::{by_id, RunOptions};
 use stadvs_experiments::{make_governor, WorkloadCase};
-use stadvs_power::Processor;
-use stadvs_sim::{SimConfig, SimScratch, Simulator};
-use stadvs_workload::{reference, DemandPattern};
+use stadvs_power::{Platform, Processor};
+use stadvs_sim::{FaultPlan, PlatformScratch, PlatformSim, SimConfig, SimScratch, Simulator};
+use stadvs_workload::{partitioner_by_name, reference, DemandPattern};
 
 /// A counting wrapper around the system allocator: lets the probe report
 /// allocations per simulation run (the hot path is designed to make zero).
@@ -128,6 +128,74 @@ fn probe_governor(
     }
 }
 
+/// The multiprocessor probe: the standard slack-analysis governor on a
+/// 4-core platform (WFD-partitioned union workload, one fresh governor
+/// and demand stream per core), reported as workload `platform4`.
+/// `ns_per_event` counts events summed across all cores, so the number is
+/// directly comparable to the uniprocessor records.
+fn probe_platform(budget_secs: f64) -> GovernorRecord {
+    const CORES: usize = 4;
+    const HORIZON: f64 = 20.0;
+    let case = WorkloadCase::synthetic_union(
+        CORES,
+        5,
+        0.5,
+        DemandPattern::Uniform { min: 0.2, max: 1.0 },
+        42,
+    );
+    let report = partitioner_by_name("wfd")
+        .expect("wfd is registered")
+        .partition(&case.tasks, CORES)
+        .expect("positive core count");
+    assert!(report.admitted(), "probe workload must fully admit");
+    let assignments: Vec<_> = (0..CORES)
+        .map(|c| report.core_task_set(&case.tasks, c))
+        .collect();
+    let sim = PlatformSim::new(
+        Platform::homogeneous(CORES, Processor::ideal_continuous()).expect("positive core count"),
+        assignments,
+        SimConfig::new(HORIZON).expect("probe horizon is valid"),
+    )
+    .expect("admitted partitions are per-core feasible");
+    let execs: Vec<_> = (0..CORES)
+        .map(|c| report.core_demand(&case.exec, c))
+        .collect();
+    let mut scratch = PlatformScratch::new();
+
+    let make = |_core: usize| make_governor("st-edf").expect("probe lineup resolves");
+    let (a0, b0) = alloc_snapshot();
+    let warm = sim
+        .run_faulted_with_scratch(make, &execs, &FaultPlan::NONE, &mut scratch)
+        .expect("probe simulation succeeds");
+    let (a1, b1) = alloc_snapshot();
+    let events = warm.events();
+
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        let out = sim
+            .run_faulted_with_scratch(make, &execs, &FaultPlan::NONE, &mut scratch)
+            .expect("probe simulation succeeds");
+        assert_eq!(out.events(), events, "probe runs must be deterministic");
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_events = events as f64 * f64::from(reps);
+    GovernorRecord {
+        name: "st-edf".to_string(),
+        workload: "platform4",
+        events,
+        reps,
+        ns_per_event: elapsed * 1.0e9 / total_events,
+        events_per_sec: total_events / elapsed,
+        allocs_per_run: a1 - a0,
+        bytes_per_run: b1 - b0,
+    }
+}
+
 /// Formats an f64 for JSON: finite, shortest-ish representation.
 fn jnum(v: f64) -> String {
     if v.is_finite() {
@@ -214,6 +282,18 @@ fn main() {
             );
         }
     }
+
+    // The multiprocessor stepping-loop probe (4 cores, WFD partition).
+    let platform = probe_platform(budget_secs);
+    eprintln!(
+        "{:<12} {:<10} {:>9.1} ns/event  {:>12.0} events/s  {:>6} allocs/run",
+        platform.name,
+        platform.workload,
+        platform.ns_per_event,
+        platform.events_per_sec,
+        platform.allocs_per_run
+    );
+    records.push(platform);
 
     // End-to-end probe: one full quick fig1 sweep, in-process (no file
     // writes — regeneration is `cargo xtask bench`'s job, not the probe's).

@@ -1,0 +1,6 @@
+//! Regenerates the `fig8_cores` experiment (see DESIGN.md §11).
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let _ = stadvs_bench::regenerate("fig8_cores", &opts);
+}

@@ -22,7 +22,7 @@ use stadvs_power::Processor;
 use stadvs_workload::{DemandPattern, FaultPlanSpec};
 
 use crate::experiments::RunOptions;
-use crate::runner::{Comparison, WorkloadCase, STANDARD_LINEUP};
+use crate::runner::{jitter_safe_lineup, Comparison, WorkloadCase, STANDARD_LINEUP};
 use crate::table::Table;
 
 /// Tasks per synthetic set.
@@ -67,12 +67,9 @@ pub fn run(opts: &RunOptions) -> Table {
     for (label, spec) in regimes() {
         let plan = spec.build().expect("named regimes are valid");
         // laEDF's safety argument does not extend to jittered releases
-        // (module docs); run it only on regimes with periodic arrivals.
-        let lineup: Vec<&str> = STANDARD_LINEUP
-            .iter()
-            .copied()
-            .filter(|name| !(plan.has_jitter() && *name == "la-edf"))
-            .collect();
+        // (module docs); the registry's `supports_jitter` flag keeps it
+        // off regimes without periodic arrivals.
+        let lineup = jitter_safe_lineup(STANDARD_LINEUP, &plan);
         let comparison = Comparison::new(Processor::ideal_continuous(), opts.horizon)
             .with_governors(lineup.iter().copied())
             .with_fault_plan(plan);

@@ -8,6 +8,7 @@ pub mod fig4_levels;
 pub mod fig5_overhead;
 pub mod fig6_patterns;
 pub mod fig7_leakage;
+pub mod fig8_cores;
 pub mod tab1_refsets;
 pub mod tab2_bound;
 pub mod tab3_misses;
@@ -108,6 +109,11 @@ pub fn all() -> Vec<Experiment> {
             run: fig7_leakage::run,
         },
         Experiment {
+            id: "fig8_cores",
+            title: "Normalized energy vs core count (partitioned EDF-DVS)",
+            run: fig8_cores::run,
+        },
+        Experiment {
             id: "tab1_refsets",
             title: "Reference embedded task sets (CNC, INS, avionics)",
             run: tab1_refsets::run,
@@ -170,7 +176,7 @@ mod tests {
         assert!(by_id("fig1_util").is_some());
         assert!(by_id("nope").is_none());
         assert!(by_id("faults").is_some());
-        assert_eq!(experiments.len(), 15);
+        assert_eq!(experiments.len(), 16);
     }
 
     #[test]

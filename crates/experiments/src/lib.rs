@@ -6,6 +6,9 @@
 //! * [`WorkloadCase`] / [`Comparison`] — run many governors on identical,
 //!   seeded workloads (in parallel across cases) and aggregate normalized
 //!   energy, switch counts, and deadline misses,
+//! * [`PlatformWorkload`] / [`PlatformComparison`] — the multiprocessor
+//!   siblings: partitioned union workloads on an N-core platform, one
+//!   fresh governor instance per core,
 //! * [`experiments`] — one module per figure/table, each returning a
 //!   [`Table`]; [`experiments::all`] is the registry the bench binaries
 //!   iterate,
@@ -30,7 +33,8 @@ mod table;
 
 pub use csv::{write_csv, write_markdown};
 pub use runner::{
-    make_governor, AggregatedOutcome, Comparison, GovernorOutcome, WorkloadCase, ORACLE,
-    STANDARD_LINEUP, YDS_BOUND,
+    governor_supports_jitter, jitter_safe_lineup, make_governor, AggregatedOutcome, Comparison,
+    GovernorOutcome, PlatformComparison, PlatformWorkload, WorkloadCase, ORACLE, STANDARD_LINEUP,
+    YDS_BOUND,
 };
 pub use table::Table;

@@ -1,11 +1,14 @@
 //! The comparison machinery: run many governors on identical workloads.
 
 use stadvs_analysis::{due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind};
-use stadvs_baselines::{baseline_by_name, OracleStatic};
+use stadvs_baselines::{registry, OracleStatic};
 use stadvs_core::{SlackEdf, SlackEdfConfig};
-use stadvs_power::{Processor, Speed};
-use stadvs_sim::{FaultPlan, Governor, SimConfig, SimOutcome, SimScratch, Simulator, TaskSet};
-use stadvs_workload::{DemandPattern, ExecutionModel, TaskSetSpec};
+use stadvs_power::{Platform, Processor, Speed};
+use stadvs_sim::{
+    FaultPlan, Governor, PlatformOutcome, PlatformScratch, PlatformSim, SimConfig, SimOutcome,
+    SimScratch, Simulator, TaskSet,
+};
+use stadvs_workload::{DemandPattern, ExecutionModel, PartitionReport, Partitioner, TaskSetSpec};
 
 /// One reproducible workload: a task set plus its execution-demand model.
 #[derive(Debug, Clone)]
@@ -45,6 +48,41 @@ impl WorkloadCase {
         let exec = ExecutionModel::new(pattern)
             .expect("experiment pattern is valid")
             .with_seed(seed);
+        WorkloadCase { tasks, exec }
+    }
+
+    /// A multiprocessor-scale case: the union of `cores` independently
+    /// seeded synthetic sets of `n_tasks` tasks at `utilization` each —
+    /// total utilization `cores · utilization` over `cores · n_tasks`
+    /// tasks, to be re-partitioned by a [`Partitioner`]. Task ids are
+    /// global across the union; one [`ExecutionModel`] keyed on those
+    /// global ids supplies demand, so a task keeps its demand stream no
+    /// matter which core a partitioner assigns it to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec or pattern parameters are out of range (callers
+    /// pass experiment constants).
+    pub fn synthetic_union(
+        cores: usize,
+        n_tasks: usize,
+        utilization: f64,
+        pattern: DemandPattern,
+        seed: u64,
+    ) -> WorkloadCase {
+        let mut tasks = Vec::with_capacity(cores * n_tasks);
+        for c in 0..cores as u64 {
+            let sub = TaskSetSpec::new(n_tasks, utilization)
+                .expect("experiment parameters are valid")
+                .with_seed(seed ^ (c.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .generate()
+                .expect("generation succeeds for valid parameters");
+            tasks.extend(sub.tasks().iter().cloned());
+        }
+        let tasks = TaskSet::new(tasks).expect("union of non-empty sets is non-empty");
+        let exec = ExecutionModel::new(pattern)
+            .expect("experiment pattern is valid")
+            .with_seed(seed ^ 0x5EED_5EED_5EED_5EED);
         WorkloadCase { tasks, exec }
     }
 }
@@ -91,6 +129,39 @@ impl GovernorOutcome {
             mean_recovery_latency: outcome.faults.mean_recovery_latency(),
         }
     }
+
+    fn from_platform(
+        name: &str,
+        outcome: &PlatformOutcome,
+        baseline_energy: f64,
+    ) -> GovernorOutcome {
+        let episodes: u64 = outcome
+            .cores
+            .iter()
+            .map(|c| c.faults.recovery_episodes)
+            .sum();
+        let recovery_time: f64 = outcome
+            .cores
+            .iter()
+            .map(|c| c.faults.mean_recovery_latency() * c.faults.recovery_episodes as f64)
+            .sum();
+        GovernorOutcome {
+            name: name.to_string(),
+            energy: outcome.total_energy(),
+            normalized: outcome.total_energy() / baseline_energy,
+            switches: outcome.switches(),
+            jobs: outcome.completed_jobs(),
+            misses: outcome.miss_count(),
+            fault_misses: outcome.fault_attributed_misses(),
+            overruns: outcome.cores.iter().map(|c| c.faults.overruns).sum(),
+            recovery_episodes: episodes,
+            mean_recovery_latency: if episodes == 0 {
+                0.0
+            } else {
+                recovery_time / episodes as f64
+            },
+        }
+    }
 }
 
 /// The standard governor lineup of the evaluation, in comparison order.
@@ -111,33 +182,87 @@ pub const ORACLE: &str = "oracle-static";
 /// The clairvoyant YDS lower bound (not a governor at all).
 pub const YDS_BOUND: &str = "yds-bound";
 
+/// One row of the `st-edf` variant table (the experiments-layer complement
+/// of `baselines::registry`: same shape — name, fresh-instance factory,
+/// jitter-support flag).
+struct StEdfVariant {
+    name: &'static str,
+    factory: fn() -> Box<dyn Governor>,
+}
+
+/// The paper governor and its configuration variants. Every variant's
+/// slack analysis re-derives bounds from *actual* release instants, so all
+/// of them keep their guarantee under bounded release jitter.
+static ST_EDF_VARIANTS: &[StEdfVariant] = &[
+    StEdfVariant {
+        name: "st-edf",
+        factory: || Box::new(SlackEdf::new()),
+    },
+    StEdfVariant {
+        name: "st-edf-oa",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::overhead_aware())),
+    },
+    StEdfVariant {
+        name: "st-edf[r]",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::reclaiming_only())),
+    },
+    StEdfVariant {
+        name: "st-edf[a]",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::arrival_only())),
+    },
+    StEdfVariant {
+        name: "st-edf[d]",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::demand_only())),
+    },
+    StEdfVariant {
+        name: "st-edf-cs",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::critical_speed())),
+    },
+    StEdfVariant {
+        name: "st-edf-pace",
+        factory: || Box::new(SlackEdf::with_config(SlackEdfConfig::pacing(8))),
+    },
+];
+
 /// Builds a fresh governor by name: the baseline registry names, `st-edf`
-/// and its variants (`st-edf-oa`, `st-edf[r]`, `st-edf[a]`, `st-edf[d]`).
+/// and its variants (`st-edf-oa`, `st-edf[r]`, `st-edf[a]`, `st-edf[d]`,
+/// `st-edf-cs`, `st-edf-pace`). Each call returns a new instance — one
+/// per run, and one per core in multiprocessor runs.
 ///
 /// Returns `None` for unknown names and for the analytic pseudo-governors
 /// ([`ORACLE`], [`YDS_BOUND`]), which [`Comparison::run_case`] resolves
 /// itself.
 pub fn make_governor(name: &str) -> Option<Box<dyn Governor>> {
-    match name {
-        "st-edf" => Some(Box::new(SlackEdf::new())),
-        "st-edf-oa" => Some(Box::new(SlackEdf::with_config(
-            SlackEdfConfig::overhead_aware(),
-        ))),
-        "st-edf[r]" => Some(Box::new(SlackEdf::with_config(
-            SlackEdfConfig::reclaiming_only(),
-        ))),
-        "st-edf[a]" => Some(Box::new(SlackEdf::with_config(
-            SlackEdfConfig::arrival_only(),
-        ))),
-        "st-edf[d]" => Some(Box::new(SlackEdf::with_config(
-            SlackEdfConfig::demand_only(),
-        ))),
-        "st-edf-cs" => Some(Box::new(SlackEdf::with_config(
-            SlackEdfConfig::critical_speed(),
-        ))),
-        "st-edf-pace" => Some(Box::new(SlackEdf::with_config(SlackEdfConfig::pacing(8)))),
-        other => baseline_by_name(other),
+    ST_EDF_VARIANTS
+        .iter()
+        .find(|v| v.name == name)
+        .map(|v| (v.factory)())
+        .or_else(|| registry::make(name))
+}
+
+/// Whether `name`'s hard-real-time argument survives bounded release
+/// jitter, derived from the governor tables (the baseline registry's
+/// `supports_jitter` flag; every `st-edf` variant supports jitter).
+/// `None` for unknown names and pseudo-governors.
+///
+/// This is the single source of truth behind the laEDF jitter exclusion —
+/// tests and experiments filter lineups through it instead of hard-coding
+/// name lists.
+pub fn governor_supports_jitter(name: &str) -> Option<bool> {
+    if ST_EDF_VARIANTS.iter().any(|v| v.name == name) {
+        return Some(true);
     }
+    registry::entry(name).map(|e| e.supports_jitter)
+}
+
+/// Filters a lineup down to the governors safe to run under a plan with
+/// release jitter (no-op for plans without a jitter channel).
+pub fn jitter_safe_lineup<'a>(names: &[&'a str], plan: &FaultPlan) -> Vec<&'a str> {
+    names
+        .iter()
+        .copied()
+        .filter(|name| !plan.has_jitter() || governor_supports_jitter(name).unwrap_or(false))
+        .collect()
 }
 
 /// A configured comparison: platform, horizon, and governor lineup.
@@ -370,6 +495,233 @@ impl Comparison {
     }
 }
 
+/// One multiprocessor workload: a union case plus its task-to-core
+/// partition.
+#[derive(Debug, Clone)]
+pub struct PlatformWorkload {
+    /// The union task set and its (global-id) demand model.
+    pub case: WorkloadCase,
+    /// The task-to-core assignment driving the per-core simulators.
+    pub partition: PartitionReport,
+}
+
+impl PlatformWorkload {
+    /// Partitions `case` onto `cores` cores with `partitioner`.
+    ///
+    /// Rejected tasks are *not* a panic — callers decide whether an
+    /// incomplete admission is acceptable via
+    /// [`PartitionReport::admitted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero (an experiment-constant error).
+    pub fn partitioned(
+        case: WorkloadCase,
+        partitioner: &dyn Partitioner,
+        cores: usize,
+    ) -> PlatformWorkload {
+        let partition = partitioner
+            .partition(&case.tasks, cores)
+            .expect("experiment core counts are positive");
+        PlatformWorkload { case, partition }
+    }
+}
+
+/// A configured multiprocessor comparison: platform, horizon, and governor
+/// lineup. The multiprocessor sibling of [`Comparison`] — every governor
+/// runs through [`PlatformSim`] with a fresh instance per core, and
+/// normalized energy is measured against `no-dvs` on the *same* platform
+/// and partition.
+///
+/// The analytic pseudo-governors ([`ORACLE`], [`YDS_BOUND`]) are
+/// uniprocessor constructions and are not accepted here.
+#[derive(Debug, Clone)]
+pub struct PlatformComparison {
+    platform: Platform,
+    horizon: f64,
+    governors: Vec<String>,
+    fault_plan: FaultPlan,
+}
+
+impl PlatformComparison {
+    /// Creates a comparison with the [`STANDARD_LINEUP`].
+    pub fn new(platform: Platform, horizon: f64) -> PlatformComparison {
+        PlatformComparison {
+            platform,
+            horizon,
+            governors: STANDARD_LINEUP.iter().map(|s| s.to_string()).collect(),
+            fault_plan: FaultPlan::NONE,
+        }
+    }
+
+    /// Replaces the governor lineup (names resolved by [`make_governor`]).
+    pub fn with_governors<I, S>(mut self, names: I) -> PlatformComparison
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.governors = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Injects `plan` into every core of every simulated run, including
+    /// the `no-dvs` normalization baseline.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> PlatformComparison {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The governor lineup.
+    pub fn governors(&self) -> &[String] {
+        &self.governors
+    }
+
+    /// The simulated horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Runs every governor on `workload` and returns outcomes in lineup
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lineup name is unknown or not platform-simulable, if
+    /// the partition put more cores' worth of work on a core than is
+    /// feasible, or if a simulation errors.
+    pub fn run_case(&self, workload: &PlatformWorkload) -> Vec<GovernorOutcome> {
+        self.run_case_with(workload, &mut PlatformScratch::new())
+    }
+
+    /// Like [`PlatformComparison::run_case`] but threading reusable
+    /// per-core scratch memory.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`PlatformComparison::run_case`].
+    pub fn run_case_with(
+        &self,
+        workload: &PlatformWorkload,
+        scratch: &mut PlatformScratch,
+    ) -> Vec<GovernorOutcome> {
+        let cores = self.platform.len();
+        assert_eq!(
+            workload.partition.cores().len(),
+            cores,
+            "partition was made for {} cores, platform has {}",
+            workload.partition.cores().len(),
+            cores
+        );
+        let assignments: Vec<Option<TaskSet>> = (0..cores)
+            .map(|c| workload.partition.core_task_set(&workload.case.tasks, c))
+            .collect();
+        let sim = PlatformSim::new(
+            self.platform.clone(),
+            assignments,
+            SimConfig::new(self.horizon).expect("horizon is valid"),
+        )
+        .expect("admitted partitions are feasible per core");
+        let execs: Vec<_> = (0..cores)
+            .map(|c| workload.partition.core_demand(&workload.case.exec, c))
+            .collect();
+
+        // The normalization baseline runs once, on the same partition.
+        let baseline = sim
+            .run_faulted_with_scratch(
+                |_| make_governor("no-dvs").expect("no-dvs exists"),
+                &execs,
+                &self.fault_plan,
+                scratch,
+            )
+            .expect("no-dvs platform simulation succeeds");
+        let baseline_energy = baseline.total_energy();
+
+        self.governors
+            .iter()
+            .map(|name| {
+                let fresh;
+                let outcome = if name == "no-dvs" {
+                    &baseline
+                } else {
+                    fresh = sim
+                        .run_faulted_with_scratch(
+                            |_| {
+                                make_governor(name).unwrap_or_else(|| {
+                                    panic!("governor {name} is not platform-simulable")
+                                })
+                            },
+                            &execs,
+                            &self.fault_plan,
+                            scratch,
+                        )
+                        .expect("governor platform simulation succeeds");
+                    &fresh
+                };
+                GovernorOutcome::from_platform(name, outcome, baseline_energy)
+            })
+            .collect()
+    }
+
+    /// Runs all `workloads` (in parallel across worker threads) and
+    /// aggregates per-governor means, mirroring [`Comparison::run_cases`].
+    pub fn run_cases(&self, workloads: &[PlatformWorkload]) -> Vec<AggregatedOutcome> {
+        let results = self.run_cases_raw(workloads);
+        aggregate(&self.governors, &results)
+    }
+
+    /// Runs all `workloads` in parallel and returns raw per-case outcomes
+    /// (work-stealing over an atomic cursor, one [`PlatformScratch`] per
+    /// worker — the same structure as [`Comparison::run_cases_raw`]).
+    pub fn run_cases_raw(&self, workloads: &[PlatformWorkload]) -> Vec<Vec<GovernorOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(workloads.len().max(1));
+        if threads <= 1 || workloads.len() <= 1 {
+            let mut scratch = PlatformScratch::new();
+            return workloads
+                .iter()
+                .map(|w| self.run_case_with(w, &mut scratch))
+                .collect();
+        }
+        let mut results: Vec<Option<Vec<GovernorOutcome>>> = vec![None; workloads.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = &next;
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<GovernorOutcome>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut scratch = PlatformScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= workloads.len() {
+                            break;
+                        }
+                        let outcome = self.run_case_with(&workloads[i], &mut scratch);
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (i, outcome) in rx {
+                results[i] = Some(outcome);
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every workload was processed"))
+            .collect()
+    }
+}
+
 /// Aggregated per-governor statistics over many cases.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregatedOutcome {
@@ -547,6 +899,74 @@ mod tests {
             assert_eq!(o.fault_misses, 0, "{}", o.name);
             assert_eq!(o.misses, 0, "{}", o.name);
         }
+    }
+
+    #[test]
+    fn jitter_support_is_table_derived() {
+        assert_eq!(governor_supports_jitter("la-edf"), Some(false));
+        assert_eq!(governor_supports_jitter("cc-edf"), Some(true));
+        assert_eq!(governor_supports_jitter("st-edf"), Some(true));
+        assert_eq!(governor_supports_jitter("st-edf[r]"), Some(true));
+        assert_eq!(governor_supports_jitter(ORACLE), None);
+        assert_eq!(governor_supports_jitter("bogus"), None);
+
+        let jittery = stadvs_workload::FaultPlanSpec::noisy_releases(0xA1)
+            .build()
+            .unwrap();
+        let filtered = jitter_safe_lineup(STANDARD_LINEUP, &jittery);
+        assert!(!filtered.contains(&"la-edf"));
+        assert_eq!(filtered.len(), STANDARD_LINEUP.len() - 1);
+        let quiet = jitter_safe_lineup(STANDARD_LINEUP, &FaultPlan::NONE);
+        assert_eq!(quiet, STANDARD_LINEUP);
+    }
+
+    #[test]
+    fn platform_comparison_runs_and_normalizes() {
+        let case = WorkloadCase::synthetic_union(
+            2,
+            4,
+            0.5,
+            DemandPattern::Uniform { min: 0.4, max: 1.0 },
+            7,
+        );
+        assert_eq!(case.tasks.len(), 8);
+        let w = PlatformWorkload::partitioned(case, &stadvs_workload::WorstFitDecreasing, 2);
+        assert!(w.partition.admitted());
+        let platform = Platform::homogeneous(2, Processor::ideal_continuous()).expect("2 cores");
+        let cmp = PlatformComparison::new(platform, 1.0).with_governors([
+            "no-dvs",
+            "static-edf",
+            "st-edf",
+        ]);
+        let outcomes = cmp.run_case(&w);
+        assert_eq!(outcomes.len(), 3);
+        assert!((outcomes[0].normalized - 1.0).abs() < 1e-12);
+        assert!(outcomes[2].normalized < outcomes[1].normalized);
+        for o in &outcomes {
+            assert_eq!(o.misses, 0, "{} missed on some core", o.name);
+            assert!(o.jobs > 0, "{} completed nothing", o.name);
+        }
+    }
+
+    #[test]
+    fn platform_parallel_and_serial_agree() {
+        let platform = Platform::homogeneous(2, Processor::ideal_continuous()).expect("2 cores");
+        let cmp = PlatformComparison::new(platform, 0.5).with_governors(["no-dvs", "st-edf"]);
+        let workloads: Vec<PlatformWorkload> = (0..4)
+            .map(|seed| {
+                let case = WorkloadCase::synthetic_union(
+                    2,
+                    3,
+                    0.5,
+                    DemandPattern::Uniform { min: 0.4, max: 1.0 },
+                    seed,
+                );
+                PlatformWorkload::partitioned(case, &stadvs_workload::FirstFitDecreasing, 2)
+            })
+            .collect();
+        let serial: Vec<Vec<GovernorOutcome>> = workloads.iter().map(|w| cmp.run_case(w)).collect();
+        let parallel = cmp.run_cases_raw(&workloads);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

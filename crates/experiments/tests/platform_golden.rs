@@ -1,0 +1,58 @@
+//! Golden fixture for the `fig8_cores` multiprocessor experiment.
+//!
+//! Pins the quick-run artifact — the {1, 2, 4, 8}-core × {ffd, wfd} CSV
+//! grid *and* the per-platform admission notes — byte-for-byte. The
+//! platform pipeline is deterministic end to end (seeded union workloads,
+//! deterministic partitioning, one fresh governor per core, lockstep
+//! per-core simulation), so any change to partitioner semantics, per-core
+//! energy accounting, or the union seeding shows up here as a readable
+//! CSV diff.
+//!
+//! Regenerate (after an intentional semantic change) with:
+//!
+//! ```text
+//! STADVS_BLESS=1 cargo test -p stadvs-experiments --test platform_golden
+//! ```
+
+use stadvs_experiments::experiments::{by_id, RunOptions};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig8_cores.csv");
+
+/// The committed artifact: CSV grid first, then the notes as `# `-prefixed
+/// trailer lines (CSV-comment convention, so the file still loads as CSV).
+fn render() -> String {
+    let experiment = by_id("fig8_cores").expect("fig8_cores is registered");
+    let table = (experiment.run)(&RunOptions::quick());
+    let mut out = table.to_csv();
+    for note in &table.notes {
+        out.push_str("# ");
+        out.push_str(note);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fig8_cores_matches_committed_csv() {
+    let actual = render();
+    if std::env::var("STADVS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+            .expect("create golden dir");
+        std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; run with STADVS_BLESS=1 to create it");
+    assert_eq!(
+        expected, actual,
+        "fig8_cores output diverged from the golden CSV"
+    );
+}
+
+/// Two consecutive in-process runs must agree byte-for-byte — the
+/// acceptance bar for the platform pipeline's determinism.
+#[test]
+fn fig8_cores_is_deterministic_across_consecutive_runs() {
+    assert_eq!(render(), render());
+}

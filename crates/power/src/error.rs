@@ -30,6 +30,8 @@ pub enum PowerError {
         /// The rejected value.
         value: f64,
     },
+    /// A multiprocessor platform needs at least one core.
+    EmptyPlatform,
 }
 
 impl fmt::Display for PowerError {
@@ -59,6 +61,9 @@ impl fmt::Display for PowerError {
             PowerError::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` has invalid value {value}")
             }
+            PowerError::EmptyPlatform => {
+                write!(f, "platform must contain at least one core")
+            }
         }
     }
 }
@@ -82,6 +87,7 @@ mod tests {
                 value: -2.0,
             }
             .to_string(),
+            PowerError::EmptyPlatform.to_string(),
         ];
         for m in messages {
             assert!(!m.is_empty());

@@ -39,6 +39,7 @@ mod energy;
 mod error;
 mod freq_model;
 mod overhead;
+mod platform;
 mod power_model;
 mod processor;
 mod speed;
@@ -48,6 +49,7 @@ pub use energy::{EnergyAccumulator, EnergyBreakdown};
 pub use error::PowerError;
 pub use freq_model::{FrequencyModel, OperatingPoint};
 pub use overhead::{TransitionEnergy, TransitionOverhead};
+pub use platform::{Platform, PlatformEnergy};
 pub use power_model::{PowerKind, PowerModel};
 pub use processor::Processor;
 pub use speed::Speed;

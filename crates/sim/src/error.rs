@@ -49,6 +49,14 @@ pub enum SimError {
         /// The configured event limit.
         limit: u64,
     },
+    /// A platform-level input (task assignment, demand sources, …) does not
+    /// have one entry per core.
+    PlatformMismatch {
+        /// Number of cores in the platform.
+        cores: usize,
+        /// Number of per-core entries actually provided.
+        provided: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -81,6 +89,10 @@ impl fmt::Display for SimError {
             SimError::EventLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the event limit of {limit}")
             }
+            SimError::PlatformMismatch { cores, provided } => write!(
+                f,
+                "platform has {cores} cores but {provided} per-core entries were provided"
+            ),
         }
     }
 }

@@ -13,7 +13,10 @@
 //!   preempts, applies speed changes (with optional transition latency and
 //!   energy), integrates energy, and records [`JobRecord`]s and an optional
 //!   [`Trace`],
-//! * [`SimOutcome`] — energy breakdown, deadline audit, switch counts.
+//! * [`SimOutcome`] — energy breakdown, deadline audit, switch counts,
+//! * [`PlatformSim`] — N per-core simulators under partitioned
+//!   multiprocessor EDF (fresh governor, scratch, and energy account per
+//!   core; no migration), aggregated into a [`PlatformOutcome`].
 //!
 //! ```
 //! use stadvs_power::{Processor, Speed};
@@ -48,6 +51,7 @@ mod fault;
 mod governor;
 mod job;
 mod outcome;
+mod platform_sim;
 mod queue;
 mod render;
 mod simulator;
@@ -61,6 +65,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
 pub use outcome::SimOutcome;
+pub use platform_sim::{PlatformOutcome, PlatformScratch, PlatformSim};
 pub use render::render_gantt;
 pub use simulator::{MissPolicy, SimConfig, SimScratch, Simulator, TIME_EPS, WORK_EPS};
 pub use task::{Task, TaskId, TaskSet};

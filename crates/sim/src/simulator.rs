@@ -39,31 +39,54 @@ pub struct SimConfig {
     max_events: u64,
 }
 
+impl Default for SimConfig {
+    /// The canonical defaults shared by every construction path: a 1 s
+    /// horizon, no trace recording, [`MissPolicy::Record`], and a
+    /// 20-million-event runaway guard. All call sites (including
+    /// [`crate::PlatformSim`]) build on this single definition via the
+    /// builder methods — the literals live nowhere else.
+    fn default() -> SimConfig {
+        SimConfig {
+            horizon: 1.0,
+            record_trace: false,
+            miss_policy: MissPolicy::Record,
+            max_events: 20_000_000,
+        }
+    }
+}
+
 impl SimConfig {
     /// Creates a configuration simulating `[0, horizon)` seconds.
     ///
     /// Jobs released strictly before the horizon are simulated; releases at
     /// or after it are not generated. For fair cross-governor comparisons
     /// choose the horizon as a multiple of the hyperperiod (or much larger
-    /// than the largest period).
+    /// than the largest period). Everything else takes the
+    /// [`SimConfig::default`] values.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if `horizon` is not finite and
     /// positive.
     pub fn new(horizon: f64) -> Result<SimConfig, SimError> {
+        SimConfig::default().with_horizon(horizon)
+    }
+
+    /// Replaces the simulated horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `horizon` is not finite and
+    /// positive.
+    pub fn with_horizon(mut self, horizon: f64) -> Result<SimConfig, SimError> {
         if !horizon.is_finite() || horizon <= 0.0 {
             return Err(SimError::InvalidConfig {
                 field: "horizon",
                 value: horizon,
             });
         }
-        Ok(SimConfig {
-            horizon,
-            record_trace: false,
-            miss_policy: MissPolicy::Record,
-            max_events: 20_000_000,
-        })
+        self.horizon = horizon;
+        Ok(self)
     }
 
     /// Enables or disables full trace recording (off by default; job records
@@ -1089,6 +1112,22 @@ mod tests {
         assert_eq!(c.horizon(), 2.0);
         assert!(c.records_trace());
         assert_eq!(c.miss_policy(), MissPolicy::Record);
+    }
+
+    #[test]
+    fn config_default_is_the_single_construction_path() {
+        // `new` must be exactly `default` + `with_horizon`: same defaults,
+        // one source of truth for the literals.
+        let d = SimConfig::default();
+        assert_eq!(d.horizon(), 1.0);
+        assert!(!d.records_trace());
+        assert_eq!(d.miss_policy(), MissPolicy::Record);
+        assert_eq!(SimConfig::new(1.0).unwrap(), d);
+        assert_eq!(
+            SimConfig::new(3.5).unwrap(),
+            d.clone().with_horizon(3.5).unwrap()
+        );
+        assert!(d.with_horizon(-1.0).is_err());
     }
 
     /// A two-phase governor: run the first half of each job at `low`, then

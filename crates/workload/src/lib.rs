@@ -9,6 +9,8 @@
 //!   demand (uniform BCET/WCET, clamped normal, bimodal, sinusoidal drift,
 //!   bursty phases),
 //! * [`RecordedDemand`] — replay of captured per-job demand traces,
+//! * [`Partitioner`] ([`FirstFitDecreasing`] / [`WorstFitDecreasing`]) —
+//!   partitioned-EDF task-to-core assignment with [`PartitionReport`],
 //! * [`mod@reference`] — the CNC, INS, and generic-avionics task sets,
 //! * [`TaskSetBuilder`] — hand-crafted sets with utilization rescaling.
 //!
@@ -34,6 +36,7 @@ mod builder;
 mod error;
 mod exec_model;
 mod faults;
+mod partition;
 mod periods;
 mod recorded;
 pub mod reference;
@@ -44,6 +47,10 @@ pub use builder::TaskSetBuilder;
 pub use error::WorkloadError;
 pub use exec_model::{DemandPattern, ExecutionModel};
 pub use faults::{FaultPlanSpec, JitterSpec, OverrunSpec};
+pub use partition::{
+    partitioner_by_name, CoreAssignment, CoreDemand, FirstFitDecreasing, PartitionReport,
+    Partitioner, WorstFitDecreasing, EDF_BOUND,
+};
 pub use periods::PeriodGenerator;
 pub use recorded::RecordedDemand;
 pub use spec::TaskSetSpec;

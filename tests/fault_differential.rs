@@ -54,23 +54,19 @@ const GOVERNORS: &[&str] = &[
 ];
 
 /// The governors whose safety arguments are arrival-time-agnostic and so
-/// extend to jittered (sporadic) releases — everything except `la-edf`
-/// (see the module docs).
-const JITTER_SAFE_GOVERNORS: &[&str] = &[
-    "no-dvs",
-    "static-edf",
-    "lpps-edf",
-    "cc-edf",
-    "dra",
-    "dra-ote",
-    "feedback-edf",
-    "st-edf",
-    "st-edf[r]",
-    "st-edf[a]",
-    "st-edf[d]",
-    "st-edf-pace",
-    "st-edf-cs",
-];
+/// extend to jittered (sporadic) releases — derived from the registry's
+/// `supports_jitter` capability flag (everything except `la-edf`; see the
+/// module docs), so this harness and the experiments can never disagree
+/// about who is jitter-safe.
+fn jitter_safe_governors() -> Vec<&'static str> {
+    GOVERNORS
+        .iter()
+        .copied()
+        .filter(|name| {
+            stadvs::experiments::governor_supports_jitter(name).expect("lineup names are known")
+        })
+        .collect()
+}
 
 const HORIZON: f64 = 1.2;
 
@@ -157,7 +153,7 @@ proptest! {
             .map_err(TestCaseError::fail)?;
         let ref_sig = job_signature(&reference);
 
-        for name in JITTER_SAFE_GOVERNORS {
+        for name in jitter_safe_governors() {
             let outcome = run_governor(&case, &plan, name)
                 .map_err(TestCaseError::fail)?;
             prop_assert_eq!(outcome.miss_count(), 0, "{} missed in-contract", name);
@@ -212,7 +208,7 @@ proptest! {
         // injection contaminated.
         prop_assert_eq!(reference.unattributed_misses(), 0, "no-dvs unattributed miss");
 
-        for name in JITTER_SAFE_GOVERNORS {
+        for name in jitter_safe_governors() {
             let outcome = run_governor(&case, &plan, name)
                 .map_err(TestCaseError::fail)?;
             prop_assert_eq!(

@@ -245,6 +245,17 @@ mod tests {
     }
 
     #[test]
+    fn hot_path_alloc_covers_the_platform_stepping_loop() {
+        // The multiprocessor engine's per-core stepping loop lives in
+        // `crates/sim/src/platform_sim.rs` and is subject to the same
+        // allocation discipline as the uniprocessor dispatch loop.
+        let src = "fn f() { for core in cores { let o = outcome.clone(); } }";
+        let report = one("crates/sim/src/platform_sim.rs", "sim", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "hot-path-alloc");
+    }
+
+    #[test]
     fn same_line_allow_suppresses() {
         let src = "fn f() { x.unwrap(); // xtask:allow(no-panic): infallible by construction\n}";
         assert!(one("crates/sim/src/a.rs", "sim", src).is_clean());

@@ -1,8 +1,10 @@
 //! Rule `hot-path-alloc`: no fresh heap allocations inside loop bodies of
 //! the simulator crate (`crates/sim`).
 //!
-//! The dispatch loop runs once per simulated event and the whole
-//! experiment suite is a fan-out of millions of events; an allocation per
+//! The dispatch loop runs once per simulated event — and the
+//! multiprocessor engine's per-core stepping loop (`platform_sim.rs`)
+//! multiplies that by the core count — while the whole experiment suite
+//! is a fan-out of millions of events; an allocation per
 //! event dwarfs the O(log n) queue work the engine budgets for. Buffers
 //! are pre-sized at construction and reused via `SimScratch` — an
 //! allocating call (`Vec::new`, `vec![]`, `clone()`, `collect()`, ...)
