@@ -14,10 +14,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use stadvs_core::sources::{DemandAnalysis, ReclaimedPool};
 use stadvs_experiments::experiments::{by_id, RunOptions};
 use stadvs_experiments::{make_governor, WorkloadCase};
-use stadvs_power::{Platform, Processor};
-use stadvs_sim::{FaultPlan, PlatformScratch, PlatformSim, SimConfig, SimScratch, Simulator};
+use stadvs_power::{Platform, Processor, Speed};
+use stadvs_sim::{
+    ActiveJob, FaultPlan, Governor, JobRecord, PlatformScratch, PlatformSim, SchedulerView,
+    SimConfig, SimScratch, Simulator, TaskSet,
+};
 use stadvs_workload::{partitioner_by_name, reference, DemandPattern};
 
 /// A counting wrapper around the system allocator: lets the probe report
@@ -128,6 +132,128 @@ fn probe_governor(
     }
 }
 
+/// One row of the slack-analysis microbench (the `analysis` array in
+/// `BENCH_sim.json`). The keys are distinct from the governor records on
+/// purpose: the xtask regression gate greps for `ns_per_event`, and these
+/// rows are informational (the tightened st-edf governor rows gate the
+/// same code path end to end).
+struct AnalysisRecord {
+    workload: &'static str,
+    reps: u32,
+    analyses: u64,
+    ns_per_analysis: f64,
+    events_per_analysis: f64,
+    allocs_per_analysis: f64,
+}
+
+/// In-situ probe governor for the analysis microbench: replays the exact
+/// st-edf hook sequence around [`DemandAnalysis::analyze`] (allowance
+/// grant before the sweep, settle on completion, drain on idle) but wraps
+/// each `analyze` call in its own stopwatch, so the measurement isolates
+/// the per-dispatch analysis cost from the rest of the simulator loop.
+/// Runs at full speed so the schedule — and therefore the dispatch
+/// sequence being measured — is deterministic across reps.
+///
+/// Deadline safety: always returns [`Speed::FULL`], the no-DVS schedule —
+/// a feasible task set cannot miss at full speed.
+struct AnalysisProbe {
+    pool: ReclaimedPool,
+    demand: DemandAnalysis,
+    spent_ns: u64,
+    slack_sum: f64,
+}
+
+impl Governor for AnalysisProbe {
+    fn name(&self) -> &str {
+        "analysis-probe"
+    }
+
+    fn on_start(&mut self, tasks: &TaskSet, _processor: &Processor) {
+        self.pool.reset(tasks);
+        self.demand.invalidate();
+        self.demand.reset_stats();
+    }
+
+    fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
+        let _allowance = self.pool.allowance(view, job);
+        let start = Instant::now();
+        let analysis = self.demand.analyze(view, job, &self.pool);
+        self.spent_ns += start.elapsed().as_nanos() as u64;
+        // Fold the result into a sink so the call cannot be optimised out.
+        self.slack_sum += analysis.slack.min(1.0e9);
+        Speed::FULL
+    }
+
+    fn on_completion(&mut self, _view: &SchedulerView<'_>, record: &JobRecord) {
+        self.pool.settle(record, true);
+    }
+
+    fn on_idle(&mut self, _view: &SchedulerView<'_>) {
+        self.pool.drain_on_idle();
+    }
+
+    fn on_overrun(&mut self, _view: &SchedulerView<'_>, _job: &ActiveJob) {
+        self.pool.invalidate_on_overrun();
+    }
+}
+
+fn probe_analysis(
+    workload: &'static str,
+    case: &WorkloadCase,
+    horizon: f64,
+    budget_secs: f64,
+) -> AnalysisRecord {
+    let sim = Simulator::new(
+        case.tasks.clone(),
+        Processor::ideal_continuous(),
+        SimConfig::new(horizon).expect("probe horizon is valid"),
+    )
+    .expect("probe task sets are feasible");
+    let mut scratch = SimScratch::new();
+    let mut probe = AnalysisProbe {
+        pool: ReclaimedPool::new(),
+        demand: DemandAnalysis::new(1.0),
+        spent_ns: 0,
+        slack_sum: 0.0,
+    };
+
+    // Warm-up run: grows the analysis caches, the merge tree and the sim
+    // scratch. The timed reps after it must not allocate at all.
+    sim.run_with_scratch(&mut probe, &case.exec, &mut scratch)
+        .expect("probe simulation succeeds");
+
+    let mut reps = 0u32;
+    let mut spent_ns = 0u64;
+    let mut analyses = 0u64;
+    let mut events_swept = 0u64;
+    let (a0, _) = alloc_snapshot();
+    let start = Instant::now();
+    loop {
+        probe.spent_ns = 0;
+        sim.run_with_scratch(&mut probe, &case.exec, &mut scratch)
+            .expect("probe simulation succeeds");
+        let stats = probe.demand.stats();
+        spent_ns += probe.spent_ns;
+        analyses += stats.analyses;
+        events_swept += stats.events_swept;
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
+            break;
+        }
+    }
+    let (a1, _) = alloc_snapshot();
+    assert!(probe.slack_sum.is_finite(), "probe slack sink overflowed");
+    let n = analyses as f64;
+    AnalysisRecord {
+        workload,
+        reps,
+        analyses: analyses / u64::from(reps),
+        ns_per_analysis: spent_ns as f64 / n,
+        events_per_analysis: events_swept as f64 / n,
+        allocs_per_analysis: (a1 - a0) as f64 / n,
+    }
+}
+
 /// The multiprocessor probe: the standard slack-analysis governor on a
 /// 4-core platform (WFD-partitioned union workload, one fresh governor
 /// and demand stream per core), reported as workload `platform4`.
@@ -205,7 +331,12 @@ fn jnum(v: f64) -> String {
     }
 }
 
-fn render_json(records: &[GovernorRecord], quick: bool, end_to_end_secs: f64) -> String {
+fn render_json(
+    records: &[GovernorRecord],
+    analysis: &[AnalysisRecord],
+    quick: bool,
+    end_to_end_secs: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"stadvs-bench-sim-v1\",\n");
@@ -225,6 +356,22 @@ fn render_json(records: &[GovernorRecord], quick: bool, end_to_end_secs: f64) ->
             jnum(r.events_per_sec),
             r.allocs_per_run,
             r.bytes_per_run,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"analysis\": [\n");
+    for (i, r) in analysis.iter().enumerate() {
+        let comma = if i + 1 < analysis.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"st-edf\", \"workload\": \"{}\", \"reps\": {}, \
+             \"analyses_per_run\": {}, \"ns_per_analysis\": {}, \
+             \"events_per_analysis\": {}, \"allocs_per_analysis\": {} }}{comma}\n",
+            r.workload,
+            r.reps,
+            r.analyses,
+            jnum(r.ns_per_analysis),
+            jnum(r.events_per_analysis),
+            jnum(r.allocs_per_analysis),
         ));
     }
     out.push_str("  ],\n");
@@ -295,6 +442,23 @@ fn main() {
     );
     records.push(platform);
 
+    // The slack-analysis microbench: per-analysis cost in isolation, on
+    // the same two workloads the governor rows use.
+    let analysis_rows = vec![
+        probe_analysis("synthetic", &synthetic, 20.0, budget_secs),
+        probe_analysis("avionics", &avionics, avionics_horizon, budget_secs),
+    ];
+    for r in &analysis_rows {
+        eprintln!(
+            "{:<12} {:<10} {:>9.1} ns/analysis  {:>7.1} events/analysis  {:>6.2} allocs/analysis",
+            "st-edf-anal",
+            r.workload,
+            r.ns_per_analysis,
+            r.events_per_analysis,
+            r.allocs_per_analysis
+        );
+    }
+
     // End-to-end probe: one full quick fig1 sweep, in-process (no file
     // writes — regeneration is `cargo xtask bench`'s job, not the probe's).
     let fig1 = by_id("fig1_util").expect("fig1_util is registered");
@@ -304,7 +468,7 @@ fn main() {
     assert!(!table.rows.is_empty(), "fig1 probe produced no rows");
     eprintln!("fig1_util --quick end-to-end: {end_to_end_secs:.3} s");
 
-    let json = render_json(&records, quick, end_to_end_secs);
+    let json = render_json(&records, &analysis_rows, quick, end_to_end_secs);
     // The compile-time manifest dir pins the workspace root regardless of
     // the invoking process's environment or working directory.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

@@ -25,9 +25,20 @@ use stadvs_sim::TIME_EPS;
 /// assert_eq!(ledger.take_up_to(6.0), 1.0);       // ...which is now consumed
 /// assert_eq!(ledger.total(), 2.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SlackLedger {
     entries: Vec<(f64, f64)>,
+    /// Bumped on every mutation that changes the entries, so incremental
+    /// consumers can key snapshots on it instead of comparing contents.
+    revision: u64,
+}
+
+/// Equality compares the banked entries only — the [`revision`]
+/// (`SlackLedger::revision`) is a change counter, not state.
+impl PartialEq for SlackLedger {
+    fn eq(&self, other: &SlackLedger) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl SlackLedger {
@@ -51,6 +62,7 @@ impl SlackLedger {
         if amount <= TIME_EPS {
             return;
         }
+        self.revision += 1;
         match self
             .entries
             .binary_search_by(|&(tag, _)| tag.total_cmp(&deadline))
@@ -73,6 +85,7 @@ impl SlackLedger {
 
     /// Removes and returns all slack with tags at or before `deadline`.
     pub fn take_up_to(&mut self, deadline: f64) -> f64 {
+        let before = self.entries.len();
         let mut taken = 0.0;
         self.entries.retain(|&(tag, amount)| {
             if tag <= deadline + TIME_EPS {
@@ -82,6 +95,9 @@ impl SlackLedger {
                 true
             }
         });
+        if self.entries.len() != before {
+            self.revision += 1;
+        }
         taken
     }
 
@@ -97,6 +113,7 @@ impl SlackLedger {
     /// Drops entries whose tag is at or before `now` (their time has
     /// passed) and returns the expired total.
     pub fn expire(&mut self, now: f64) -> f64 {
+        let before = self.entries.len();
         let mut expired = 0.0;
         self.entries.retain(|&(tag, amount)| {
             if tag <= now + TIME_EPS {
@@ -106,6 +123,9 @@ impl SlackLedger {
                 true
             }
         });
+        if self.entries.len() != before {
+            self.revision += 1;
+        }
         expired
     }
 
@@ -126,7 +146,20 @@ impl SlackLedger {
 
     /// Removes everything.
     pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.revision += 1;
+        }
         self.entries.clear();
+    }
+
+    /// A counter bumped by every mutation that changed the entries
+    /// ([`donate`](SlackLedger::donate) of a non-negligible amount,
+    /// [`take_up_to`](SlackLedger::take_up_to)/[`expire`](SlackLedger::expire)
+    /// that removed something, non-empty [`clear`](SlackLedger::clear)).
+    /// Equal revisions on the same ledger ⇒ identical entries, so
+    /// incremental consumers can reuse a snapshot without rescanning.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Iterates over `(tag, amount)` entries in tag order.
@@ -193,6 +226,31 @@ mod tests {
         let mut sorted = tags.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(tags, sorted);
+    }
+
+    #[test]
+    fn revision_tracks_mutations_only() {
+        let mut l = SlackLedger::new();
+        let r0 = l.revision();
+        l.donate(5.0, 1e-12); // negligible: ignored, no bump
+        l.clear(); // already empty: no bump
+        assert_eq!(l.take_up_to(10.0), 0.0); // nothing removed: no bump
+        assert_eq!(l.expire(10.0), 0.0);
+        assert_eq!(l.revision(), r0);
+        l.donate(5.0, 1.0);
+        assert!(l.revision() > r0);
+        let r1 = l.revision();
+        assert!((l.take_up_to(6.0) - 1.0).abs() < 1e-12);
+        assert!(l.revision() > r1);
+        // Equality ignores the revision counter.
+        let mut a = SlackLedger::new();
+        let mut b = SlackLedger::new();
+        a.donate(3.0, 1.0);
+        a.donate(4.0, 1.0);
+        assert!((a.take_up_to(3.5) - 1.0).abs() < 1e-12);
+        b.donate(4.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a.revision(), b.revision());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The slack-time-analysis DVS-EDF governor — the paper's contribution.
 
 use stadvs_power::{Processor, Speed};
-use stadvs_sim::{ActiveJob, Governor, JobRecord, OverrunPolicy, SchedulerView, TaskSet, TIME_EPS};
+use stadvs_sim::{
+    ActiveJob, AnalysisStats, Governor, JobRecord, OverrunPolicy, SchedulerView, TaskSet, TIME_EPS,
+};
 
 use crate::config::SlackEdfConfig;
 use crate::sources::{arrival_allowance, DemandAnalysis, ReclaimedPool};
@@ -194,6 +196,10 @@ impl Governor for SlackEdf {
         } else {
             self.pool.reset(tasks);
         }
+        // The pool reset changes the canonical stretch behind the cached
+        // per-task claims; drop every cached analysis layer with it.
+        self.demand.invalidate();
+        self.demand.reset_stats();
         self.profiles = if self.config.pace_steps > 0 {
             (0..tasks.len())
                 .map(|_| crate::pace::SurvivalEstimator::new(64))
@@ -324,6 +330,10 @@ impl Governor for SlackEdf {
         self.committed = None;
         self.pending_review = None;
         self.pool.invalidate_on_overrun();
+    }
+
+    fn analysis_stats(&self) -> Option<AnalysisStats> {
+        self.config.demand_analysis.then(|| self.demand.stats())
     }
 }
 

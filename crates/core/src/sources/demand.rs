@@ -1,8 +1,18 @@
 //! Look-ahead demand (claims) slack analysis.
 
-use stadvs_sim::{ActiveJob, SchedulerView, TIME_EPS};
+use stadvs_sim::{ActiveJob, AnalysisStats, SchedulerView, TIME_EPS};
 
 use crate::sources::ReclaimedPool;
+
+/// Claim sentinel marking a tombstoned sequence event (real claims are
+/// never negative). The sweep skips these wholesale.
+const TOMBSTONE: f64 = -1.0;
+
+/// Tombstone count that triggers a compaction pass on the next repair.
+/// Low enough that the sweep's dead-event overhead stays negligible
+/// (each skip is one compare against a just-loaded claim), high enough
+/// to amortize the three-array copy-down.
+const STALE_COMPACT: usize = 32;
 
 /// Look-ahead slack analysis over the **canonical claims** of everything in
 /// the system.
@@ -42,20 +52,182 @@ use crate::sources::ReclaimedPool;
 /// no job can greedily hog the phase slack that later jobs need — while
 /// still discovering slack the ledger cannot represent (release phasing,
 /// alignment gaps, slack stranded behind too-late tags).
+///
+/// # Incremental evaluation
+///
+/// The analysis runs at every dispatch, so four layers keep the per-call
+/// cost proportional to what actually changed (see `DESIGN.md` §9):
+///
+/// * **cross-dispatch caching** — the per-task descriptors (claims,
+///   periods, relative deadlines), the release outlook (next deadlines,
+///   horizon floor, prune validity point) and the ledger snapshot are
+///   cached between calls and refreshed only when their inputs move:
+///   the task table on [`invalidate`](DemandAnalysis::invalidate) (pool
+///   reset), the release outlook on
+///   [`SchedulerView::release_epoch`] advancing (job release), and the
+///   ledger snapshot on [`SlackLedger::revision`](crate::SlackLedger::revision)
+///   advancing (donate on completion, take/expire on re-grant, clear on
+///   overrun or idle drain). Ready-job streams depend on continuously
+///   varying per-job state (`wall_used`, fresh grants), so they are
+///   rebuilt every call — which also subsumes "pool re-grant" as an
+///   invalidation key for the ready portion.
+/// * **the cached event sequence** — the merged periodic (task-stream)
+///   events are kept between dispatches in exactly tournament-merge
+///   order and *repaired* when the release outlook moves (tombstoned
+///   slide drops on-lattice, a regenerate-and-splice merge off-lattice;
+///   see [`ensure_seq`](DemandAnalysis::ensure_seq) and
+///   [`repair_seq`](DemandAnalysis::repair_seq)). The per-dispatch sweep
+///   then merges only the few ready/ledger singletons over this
+///   sequence ([`sweep_overlay`](DemandAnalysis::sweep_overlay)) instead
+///   of re-running the full tournament merge.
+/// * **early-exit pruning** — the checkpoint sweep stops as soon as no
+///   later checkpoint can change the result (soundness argued at
+///   [`prune_safety`]); a non-positive tail bound skips the sweep
+///   entirely.
+/// * **scratch layout** — the sweep reads dense per-event `f64` arrays
+///   (times and denormalized claims); the from-scratch path's merge loop
+///   touches a dense `claims` array keyed by stream index, its
+///   tournament tree persists between calls (only the shrunk pad range
+///   is re-written), and nothing is re-zeroed.
+///
+/// In debug builds every pruned, cached analysis is re-checked against a
+/// from-scratch unpruned sweep and must match **bit-identically**.
 #[derive(Debug, Clone)]
 pub struct DemandAnalysis {
     horizon_periods: f64,
-    /// Scratch: one lazily-enumerated event source per ready job, task and
-    /// ledger entry, reused across dispatches.
-    streams: Vec<Stream>,
     /// Scratch: tournament **loser** tree over the stream heads, with keys
     /// packed as `(time bits, stream index)` in a `u128` (see [`pack`]).
-    /// `tree[0]` holds the overall winner (earliest head), `tree[1..P]`
-    /// the loser of each internal match, `tree[P..2P]` the leaf keys
-    /// (used during the build only). Replaying a path after a pop touches
-    /// exactly one stored loser per level — half the loads of a winner
-    /// tree — and the packed keys compare with a single `u128` compare.
+    /// `tree[0]` holds the overall winner (earliest head),
+    /// `tree[1..cap]` the loser of each internal match,
+    /// `tree[cap..2·cap]` the leaf keys (used during the build only).
+    /// Replaying a path after a pop touches exactly one stored loser per
+    /// level — half the loads of a winner tree — and the packed keys
+    /// compare with a single `u128` compare. The buffer persists across
+    /// calls; [`build_tree`](DemandAnalysis::build_tree) re-pads only the
+    /// slots a shrinking stream count exposes.
     tree: Vec<u128>,
+    /// Scratch: the claim attached to every event of stream `i`, split out
+    /// of the step descriptors so the merge loop reads one dense `f64`
+    /// array.
+    claims: Vec<f64>,
+    /// Scratch: per-stream event generator state (task streams step by
+    /// their period; `period == 0` marks singletons).
+    steps: Vec<StreamStep>,
+    /// Scratch: initial event time per stream (input to the tree build).
+    heads: Vec<f64>,
+    /// Logical tree capacity of the current build (`live` rounded up to a
+    /// power of two); `tree.len() ≥ 2·cap`.
+    cap: usize,
+    /// Live stream count of the previous build at this `cap` — slots
+    /// `cap+live..cap+prev_live` are the only leaves that can hold stale
+    /// finite keys (a pruned sweep leaves consumed streams mid-flight).
+    prev_live: usize,
+    cache: DispatchCache,
+    /// Cached merged **periodic** event sequence (see [`ensure_seq`]
+    /// (DemandAnalysis::ensure_seq)): event times and owning task indices
+    /// of every in-window task-stream event, in exactly the order the
+    /// tournament merge emits them. Valid for `seq_epoch`; covers events
+    /// up to `seq_horizon` (+ [`TIME_EPS`]).
+    seq_times: Vec<f64>,
+    seq_task: Vec<usize>,
+    /// Claim attached to each cached event (`cache.claim[seq_task[i]]`,
+    /// denormalized so the sweep reads one dense array; task claims are
+    /// fixed between cache rebuilds, which also invalidate the sequence).
+    /// A **negative** claim marks a tombstone: an event the slide repair
+    /// dropped in place (real claims are never negative). The sweep skips
+    /// tombstones wholesale — no group roll, no accumulation — so the
+    /// swept stream is exactly the compacted one. [`compact_seq`]
+    /// (DemandAnalysis::compact_seq) reclaims them once `seq_stale` grows.
+    seq_claim: Vec<f64>,
+    /// Double buffers for the in-place-impossible repair merge.
+    seq_times_spare: Vec<f64>,
+    seq_task_spare: Vec<usize>,
+    seq_claim_spare: Vec<f64>,
+    /// Per-task generator state at the **end** of the cached sequence —
+    /// extending the horizon resumes these chains.
+    chains: Vec<TaskChain>,
+    /// Release basis (bits) each task's cached chain was generated from;
+    /// a repair regenerates exactly the tasks whose basis moved.
+    seq_release: Vec<f64>,
+    seq_epoch: u64,
+    seq_valid: bool,
+    seq_horizon: f64,
+    /// Number of tombstoned events currently parked in the sequence.
+    seq_stale: usize,
+    /// Scratch: ready-job singletons sorted by `(deadline, position)`.
+    ready_sorted: Vec<ReadyEvent>,
+    /// Scratch: per-task changed flags for the repair merge.
+    changed: Vec<bool>,
+    /// Scratch: indices of the changed tasks (the repair merge's argmin
+    /// only competes these — untouched chains are pending beyond the old
+    /// coverage bound and cannot precede any kept event).
+    changed_idx: Vec<usize>,
+    /// Scratch: per-task lead-event drop counts for the slide fast path.
+    drops: Vec<u32>,
+    /// Scratch: regenerated `(time, task)` events of the general repair.
+    new_events: Vec<(f64, usize)>,
+    analyses: u64,
+    events_swept: u64,
+}
+
+/// Generator state of one task's deadline chain in the cached sequence.
+///
+/// Steps exactly like a task stream in [`DemandAnalysis::advance`]
+/// (`release += period; next = release + deadline_rel`), so resumed chain
+/// events are bit-identical to a from-scratch enumeration.
+#[derive(Debug, Clone, Copy)]
+struct TaskChain {
+    release: f64,
+    /// Next not-yet-emitted event time (`release + deadline_rel`).
+    next: f64,
+}
+
+/// A ready-job singleton in the overlay merge: deadline, registration
+/// position (the tie-break the packed stream index provided) and claim.
+#[derive(Debug, Clone, Copy)]
+struct ReadyEvent {
+    deadline: f64,
+    pos: usize,
+    claim: f64,
+}
+
+/// Cached between-dispatch state, each layer keyed on the event source
+/// that can change it. All values are stored exactly as the from-scratch
+/// sweep would recompute them, so cache hits are bit-identical by
+/// construction.
+#[derive(Debug, Clone, Default)]
+struct DispatchCache {
+    /// Task-descriptor layer valid (cleared by
+    /// [`DemandAnalysis::invalidate`], i.e. on pool reset).
+    valid: bool,
+    /// Release-outlook layer valid for `release_epoch`.
+    releases_valid: bool,
+    /// Ledger snapshot valid for `ledger_revision`.
+    ledger_valid: bool,
+    n_tasks: usize,
+    release_epoch: u64,
+    ledger_revision: u64,
+    /// Per-task canonical claim `C_i/U` (fixed between pool resets).
+    claim: Vec<f64>,
+    period: Vec<f64>,
+    /// Per-task relative deadline.
+    drel: Vec<f64>,
+    max_period: f64,
+    /// Per-task next release instant (refreshed per release epoch).
+    release: Vec<f64>,
+    /// Per-task next absolute deadline `release + drel`.
+    next_deadline: Vec<f64>,
+    /// `max_i next_deadline_i` — structural floor of the horizon.
+    first_deadlines: f64,
+    /// `max_i (next_deadline_i − T_i)` — earliest checkpoint from which
+    /// the tail bound dominates all later checkpoints (see
+    /// [`prune_safety`]).
+    vmax: f64,
+    /// Ledger entries `(tag, amount)` split into dense arrays, plus their
+    /// total, snapshot at `ledger_revision`.
+    ledger_tags: Vec<f64>,
+    ledger_amounts: Vec<f64>,
+    ledger_total: f64,
 }
 
 /// Packs an event key: `u128` ordering is lexicographic on
@@ -89,44 +261,30 @@ fn key_stream(key: u128) -> usize {
     key as u64 as usize
 }
 
-/// One source of checkpoint events in the claims analysis.
+/// Event generator state for one stream.
 ///
 /// Ready jobs and ledger entries are singletons; a task stream yields one
 /// event per in-window release, generated on demand by stepping `release`
 /// by the period — the same float accumulation a materialized enumeration
-/// performs, so event times are bit-identical. An exhausted stream parks
-/// at `time = ∞`.
-#[derive(Debug, Clone, Copy)]
-struct Stream {
-    /// Next event time (absolute deadline, or clamped ledger tag).
-    time: f64,
-    /// The claim attached to every event of this stream.
-    claim: f64,
-    /// Release period for task streams; `0.0` marks a singleton.
-    period: f64,
+/// performs, so event times are bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamStep {
     /// Current release instant (task streams only).
     release: f64,
+    /// Release period for task streams; `0.0` marks a singleton.
+    period: f64,
     /// Relative deadline (task streams only).
     deadline_rel: f64,
 }
 
-impl Stream {
-    /// A singleton event source (ready-job deadline or ledger tag).
-    fn singleton(time: f64, claim: f64) -> Stream {
-        Stream {
-            time,
-            claim,
-            period: 0.0,
-            release: 0.0,
-            deadline_rel: 0.0,
-        }
-    }
-
-    /// An exhausted placeholder (pads the tournament tree to a power of
-    /// two and never wins against a live stream).
-    fn exhausted() -> Stream {
-        Stream::singleton(f64::INFINITY, 0.0)
-    }
+impl StreamStep {
+    /// A singleton event source (ready-job deadline or ledger tag): one
+    /// event, then exhausted.
+    const SINGLETON: StreamStep = StreamStep {
+        release: 0.0,
+        period: 0.0,
+        deadline_rel: 0.0,
+    };
 }
 
 /// The result of one demand analysis.
@@ -139,7 +297,81 @@ pub struct DemandSlack {
     /// slack: handing all of it to whoever dispatches first is safe but
     /// greedy, and the convex power curve punishes the resulting speed
     /// asymmetry (measurably so at worst-case demand).
+    ///
+    /// Canonicalized to `0.0` whenever `slack == 0.0`: a zero grant has no
+    /// shares, and pinning the representation lets the pruned sweep stop
+    /// the moment slack hits zero while staying bit-identical to the full
+    /// sweep.
     pub binding_claims: f64,
+}
+
+/// Conservative envelope on the accumulated floating-point error of the
+/// checkpoint sweep, used by the early-exit prune.
+///
+/// # Prune soundness
+///
+/// The sweep may stop at a checkpoint `d` and return the current
+/// `(min_slack, binding_claims)` when **no later checkpoint and not the
+/// final tail-bound comparison can change them**. In exact arithmetic:
+///
+/// * For any checkpoint `D > d ≥ vmax` (with `vmax = max_i (nd_i − T_i)`,
+///   `nd_i` task `i`'s next absolute deadline), every task satisfies
+///   `D ≥ nd_i − T_i`, so its event count up to `D` obeys
+///   `count_i(D) ≤ (D − nd_i)/T_i + 1` (zero events while `D < nd_i`,
+///   where the right side is still ≥ 0). Singletons (ready jobs, ledger
+///   entries) are subtracted **in full** by the tail bound, so
+///   `claims(D) ≤ ready + ledger + Σ_i count_i(D)·claim_i` gives
+///
+///   ```text
+///   slack(D) = (D − t) − claims(D) ≥ tail_bound + (D − t)·(1 − ρ)
+///            ≥ tail_bound,
+///   ```
+///
+///   because the canonical claim density `ρ = Σ claim_i/T_i ≤ 1` and
+///   `D ≥ t`. Hence once `min_slack ≤ tail_bound`, no later checkpoint
+///   can *strictly* undercut `min_slack`, and the sweep's strict `<`
+///   update never fires again.
+/// * The final `tail_bound < min_slack` update cannot fire either, for
+///   the same reason.
+///
+/// Floating point makes both `min_slack` and `tail_bound` approximate.
+/// Every quantity in play is a sum/difference of `events + O(n_tasks)`
+/// non-negative terms bounded by `window + claims + tail_abs` (`claims`
+/// is itself the abs-sum of the claim prefix; `tail_abs` the abs-sum of
+/// the tail accumulation), so the classic summation bound
+/// `|err| ≤ ε · ops · Σ|terms|` covers the drift of both sides. Pruning
+/// therefore requires `min_slack ≤ tail_bound − prune_safety(...)`: if
+/// the margin holds in floats it holds in reals, and the unpruned sweep
+/// would return the identical `(min_slack, binding_claims)` bits.
+///
+/// The prune changes **which events are visited, never the result** —
+/// enforced bit-exactly by the debug re-check in
+/// [`DemandAnalysis::analyze`] and the differential proptests.
+#[inline]
+fn prune_safety(events: u64, n_tasks: usize, window: f64, claims: f64, tail_abs: f64) -> f64 {
+    // xtask:allow(as-cast): exact widening of small operation counts
+    let ops = (events + 2 * n_tasks as u64 + 16) as f64;
+    f64::EPSILON * ops * (window + claims + tail_abs + 1.0)
+}
+
+/// Canonical result assembly shared by the pruned and unpruned paths:
+/// clamp non-finite/negative slack to zero and pin `binding_claims = 0`
+/// whenever no slack is granted (see [`DemandSlack::binding_claims`]).
+#[inline]
+fn finish(min_slack: f64, binding_claims: f64) -> DemandSlack {
+    let slack = if min_slack.is_finite() {
+        min_slack.max(0.0)
+    } else {
+        0.0
+    };
+    DemandSlack {
+        slack,
+        binding_claims: if slack > 0.0 && binding_claims.is_finite() {
+            binding_claims
+        } else {
+            0.0
+        },
+    }
 }
 
 impl DemandAnalysis {
@@ -156,8 +388,32 @@ impl DemandAnalysis {
         );
         DemandAnalysis {
             horizon_periods,
-            streams: Vec::new(),
             tree: Vec::new(),
+            claims: Vec::new(),
+            steps: Vec::new(),
+            heads: Vec::new(),
+            cap: 0,
+            prev_live: 0,
+            cache: DispatchCache::default(),
+            seq_times: Vec::new(),
+            seq_task: Vec::new(),
+            seq_claim: Vec::new(),
+            seq_times_spare: Vec::new(),
+            seq_task_spare: Vec::new(),
+            seq_claim_spare: Vec::new(),
+            chains: Vec::new(),
+            seq_release: Vec::new(),
+            seq_epoch: 0,
+            seq_valid: false,
+            seq_horizon: 0.0,
+            seq_stale: 0,
+            ready_sorted: Vec::new(),
+            changed: Vec::new(),
+            changed_idx: Vec::new(),
+            drops: Vec::new(),
+            new_events: Vec::new(),
+            analyses: 0,
+            events_swept: 0,
         }
     }
 
@@ -166,92 +422,436 @@ impl DemandAnalysis {
         self.horizon_periods
     }
 
+    /// Drops every cached between-dispatch layer. Call when the pool is
+    /// reset (new run, new canonical stretch) — within a run the cache
+    /// keys itself on [`SchedulerView::release_epoch`] and the ledger
+    /// revision.
+    pub fn invalidate(&mut self) {
+        self.cache.valid = false;
+        self.cache.releases_valid = false;
+        self.cache.ledger_valid = false;
+        self.seq_valid = false;
+    }
+
+    /// Cumulative effort counters since construction or
+    /// [`reset_stats`](DemandAnalysis::reset_stats).
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            analyses: self.analyses,
+            events_swept: self.events_swept,
+        }
+    }
+
+    /// Clears the [`stats`](DemandAnalysis::stats) counters.
+    pub fn reset_stats(&mut self) {
+        self.analyses = 0;
+        self.events_swept = 0;
+    }
+
     /// Unclaimed slack available to the dispatched `job` (never negative),
     /// together with the claim mass at the binding checkpoint.
     ///
     /// Call **after** the pool has granted the job its allowance for this
     /// dispatch (so the job's own claim reflects freshly absorbed bank).
+    ///
+    /// Incremental: reuses cached descriptors and prunes the checkpoint
+    /// sweep (see the type-level docs). In debug builds the result is
+    /// re-checked bit-exactly against a cold, unpruned sweep.
     pub fn analyze(
         &mut self,
         view: &SchedulerView<'_>,
         job: &ActiveJob,
         pool: &ReclaimedPool,
     ) -> DemandSlack {
+        let (result, events) = self.analyze_impl(view, job, pool, true);
+        self.analyses += 1;
+        self.events_swept += events;
+        #[cfg(debug_assertions)]
+        {
+            let seq_was_valid = self.seq_valid;
+            self.invalidate();
+            let (reference, ref_events) = self.analyze_impl(view, job, pool, false);
+            // The reference run recomputed every descriptor bit-identically
+            // (same inputs, same expressions), so the cached sequence is
+            // still consistent with them — restore its validity so debug
+            // runs keep exercising the cross-dispatch repair paths instead
+            // of rebuilding at every call.
+            self.seq_valid = seq_was_valid;
+            debug_assert!(
+                // xtask:allow(float-eq): deliberate bit-identity check — the pruned sweep must match the reference exactly, not approximately
+                result.slack.to_bits() == reference.slack.to_bits()
+                    // xtask:allow(float-eq): deliberate bit-identity check, as above
+                    && result.binding_claims.to_bits() == reference.binding_claims.to_bits(),
+                "incremental analysis diverged from the from-scratch sweep: \
+                 {result:?} != {reference:?}"
+            );
+            debug_assert!(
+                events <= ref_events,
+                "pruned sweep visited {events} events, from-scratch {ref_events}"
+            );
+        }
+        result
+    }
+
+    /// From-scratch, unpruned reference sweep: ignores every cached layer
+    /// and visits the full look-ahead window. Returns the result and the
+    /// number of events visited; does **not** touch the
+    /// [`stats`](DemandAnalysis::stats) counters.
+    ///
+    /// This is the differential-testing oracle:
+    /// [`analyze`](DemandAnalysis::analyze) must match it bit-identically.
+    pub fn analyze_reference(
+        &mut self,
+        view: &SchedulerView<'_>,
+        job: &ActiveJob,
+        pool: &ReclaimedPool,
+    ) -> (DemandSlack, u64) {
+        let seq_was_valid = self.seq_valid;
+        self.invalidate();
+        let out = self.analyze_impl(view, job, pool, false);
+        // As in `analyze`'s debug path: the recomputed descriptors are
+        // bit-identical, so interleaved oracle calls do not force the next
+        // incremental call back to a from-scratch sequence rebuild.
+        self.seq_valid = seq_was_valid;
+        out
+    }
+
+    /// One checkpoint sweep; `prune` selects the fast path (cached
+    /// periodic sequence + singleton overlay + early exits) versus the
+    /// from-scratch tournament-merge reference. Returns the result and
+    /// the number of events visited.
+    fn analyze_impl(
+        &mut self,
+        view: &SchedulerView<'_>,
+        job: &ActiveJob,
+        pool: &ReclaimedPool,
+        prune: bool,
+    ) -> (DemandSlack, u64) {
         let now = view.now();
-        let tasks = view.tasks();
-        let latest_ready = view
-            .ready_jobs()
-            .iter()
-            .map(|j| j.deadline)
-            .fold(job.deadline, f64::max);
+        let n_tasks = view.tasks().len();
+        self.refresh_cache(view, pool);
+
+        // One pass over the ready jobs: the horizon's ready floor, the
+        // ready claims total, and (fast path only) the sorted singleton
+        // overlay — claims are re-granted continuously, so the overlay is
+        // rebuilt every call.
+        let mut latest_ready = job.deadline;
+        let mut ready_claims = 0.0;
+        if prune {
+            self.ready_sorted.clear();
+            for (pos, j) in view.ready_jobs().iter().enumerate() {
+                latest_ready = latest_ready.max(j.deadline);
+                let claim = pool.remaining_claim_of(j);
+                ready_claims += claim;
+                self.ready_sorted.push(ReadyEvent {
+                    deadline: j.deadline,
+                    pos,
+                    claim,
+                });
+            }
+            // Sorting by `(deadline, registration position)` reproduces the
+            // packed-key order the tournament merge gives these singletons.
+            self.ready_sorted
+                .sort_unstable_by(|a, b| a.deadline.total_cmp(&b.deadline).then(a.pos.cmp(&b.pos)));
+        } else {
+            for j in view.ready_jobs() {
+                latest_ready = latest_ready.max(j.deadline);
+                ready_claims += pool.remaining_claim_of(j);
+            }
+        }
         // The horizon must reach past every task's first in-window deadline
         // for the tail bound's count formula to apply beyond it.
-        let first_deadlines = tasks
-            .iter()
-            .map(|(id, t)| view.next_release_of(id) + t.deadline())
-            .fold(0.0, f64::max);
         let horizon = latest_ready
-            .max(now + self.horizon_periods * tasks.max_period())
-            .max(first_deadlines);
+            .max(now + self.horizon_periods * self.cache.max_period)
+            .max(self.cache.first_deadlines);
 
-        self.streams.clear();
-        let mut ready_claims = 0.0;
-        for j in view.ready_jobs() {
-            let claim = pool.remaining_claim_of(j);
-            ready_claims += claim;
-            self.streams.push(Stream::singleton(j.deadline, claim));
-        }
         // Analytic tail bound for all checkpoints beyond the horizon. With
         // overhead pricing, every claim carries its task's switch margin,
         // and the canonical stretch keeps total accrual at rate 1.
-        let mut tail_bound = -ready_claims - pool.ledger().total();
-        for (id, task) in tasks.iter() {
-            let claim = pool.claim_of(id);
-            let release = view.next_release_of(id);
-            let next_deadline = release + task.deadline();
-            tail_bound += (next_deadline - now) * claim / task.period() - claim;
-            if next_deadline <= horizon + TIME_EPS {
-                self.streams.push(Stream {
-                    time: next_deadline,
-                    claim,
-                    period: task.period(),
-                    release,
-                    deadline_rel: task.deadline(),
-                });
+        // `tail_abs` mirrors it with absolute values for the prune's
+        // float-error envelope.
+        let mut tail_bound = -ready_claims - self.cache.ledger_total;
+        let mut tail_abs = ready_claims + self.cache.ledger_total;
+        for i in 0..n_tasks {
+            let claim = self.cache.claim[i];
+            let next_deadline = self.cache.next_deadline[i];
+            let term = (next_deadline - now) * claim / self.cache.period[i];
+            tail_bound += term - claim;
+            tail_abs += term + claim;
+        }
+        // A non-positive tail bound caps the result at zero slack before
+        // any checkpoint is visited: the full sweep's final minimum is
+        // `min(min_slack, tail_bound) <= 0`, which `finish` clamps to the
+        // same canonical zero. Skip the whole sweep.
+        if prune && tail_bound <= 0.0 {
+            return (finish(tail_bound, f64::INFINITY), 0);
+        }
+        if prune {
+            self.ensure_seq(horizon);
+            return self.sweep_overlay(job, horizon, now, n_tasks, tail_bound, tail_abs);
+        }
+        self.sweep_reference(view, job, pool, horizon, now, tail_bound)
+    }
+
+    /// Fast checkpoint sweep: streams the cached periodic sequence,
+    /// overlaying the per-dispatch singletons (sorted ready deadlines,
+    /// ledger tags) with a merge whose tie-breaks reproduce the tournament
+    /// merge's stream registration order (ready < tasks < ledger, then
+    /// position). The hot loop is the sequence-event path — one boundary
+    /// compare against each singleton cursor — and drops to a full
+    /// three-way pick only when a singleton actually pops (a handful per
+    /// analysis).
+    ///
+    /// Checkpoint candidates are evaluated after **every** event with the
+    /// current group head `d`: a mid-group candidate shares `d` with its
+    /// group's final candidate but carries strictly smaller claims (every
+    /// claim is positive), so it is strictly larger and can never win the
+    /// strict-minimum update — the minimum and its binding claims land on
+    /// exactly the group-end values the grouped reference computes. The
+    /// `vmax` full-stop check runs at group boundaries only (mid-group it
+    /// could miss the open group's own end checkpoint); the zero-slack
+    /// stop may fire mid-group because [`finish`] canonicalizes every
+    /// non-positive minimum to the same `(0, 0)` result. Event pops,
+    /// claim accumulation order and checkpoint arithmetic are exactly
+    /// those of [`sweep_reference`](DemandAnalysis::sweep_reference), so
+    /// results are bit-identical; the prune early-exits (sound per
+    /// [`prune_safety`]) only cut the visit count.
+    fn sweep_overlay(
+        &self,
+        job: &ActiveJob,
+        horizon: f64,
+        now: f64,
+        n_tasks: usize,
+        tail_bound: f64,
+        tail_abs: f64,
+    ) -> (DemandSlack, u64) {
+        // Same float expression the stream generators clip with. The cached
+        // sequence is sorted, so one partition point replaces the per-event
+        // horizon clip.
+        let h_gate = horizon + TIME_EPS;
+        let vmax = self.cache.vmax;
+        let till = self.seq_times.partition_point(|&t| t <= h_gate);
+        let seq_times = &self.seq_times[..till];
+        let seq_claim = &self.seq_claim[..till];
+        let ready = &self.ready_sorted[..];
+        let tags = &self.cache.ledger_tags[..];
+        let amounts = &self.cache.ledger_amounts[..];
+
+        let mut r = 0usize;
+        let mut p = 0usize;
+        let mut l = 0usize;
+        let mut tr = ready.first().map_or(f64::INFINITY, |e| e.deadline);
+        let mut tp = seq_times.first().copied().unwrap_or(f64::INFINITY);
+        let mut tl = tags.first().map_or(f64::INFINITY, |&t| t.min(horizon));
+
+        let mut events: u64 = 0;
+        let mut claims = 0.0;
+        let mut min_slack = f64::INFINITY;
+        let mut binding_claims = f64::INFINITY;
+        // Open-group state; the sentinel gate keeps the first event from
+        // triggering a (guarded-out) boundary checkpoint.
+        let mut d = f64::NAN;
+        let mut gate = f64::NEG_INFINITY;
+        loop {
+            // Hot path: the next event is a sequence event. Strict `<`
+            // against the ready cursor (ready singletons win time ties),
+            // `<=` against the ledger cursor (task streams win those).
+            while tp < tr && tp <= tl {
+                let t = tp;
+                let c = seq_claim[p];
+                p += 1;
+                tp = if p < till {
+                    seq_times[p]
+                } else {
+                    f64::INFINITY
+                };
+                if c < 0.0 {
+                    // Tombstone (slide-dropped event awaiting compaction):
+                    // it neither opens a group nor accumulates, so the
+                    // stream swept is exactly the compacted one.
+                    continue;
+                }
+                if t > gate {
+                    // Previous group closed: its checkpoint minimum is
+                    // final, so the full-stop prune may fire (see above).
+                    if gate >= job.deadline
+                        && d >= vmax
+                        && min_slack <= tail_bound
+                        && min_slack
+                            <= tail_bound - prune_safety(events, n_tasks, d - now, claims, tail_abs)
+                    {
+                        return (finish(min_slack, binding_claims), events);
+                    }
+                    d = t;
+                    gate = t + TIME_EPS;
+                }
+                events += 1;
+                claims += c;
+                if gate >= job.deadline {
+                    let slack = (d - now) - claims;
+                    if slack < min_slack {
+                        min_slack = slack;
+                        binding_claims = claims;
+                        // Zero slack is absorbing and canonicalized by
+                        // `finish` wherever in the group it shows up, so
+                        // the stop only needs checking when the minimum
+                        // moved.
+                        if min_slack <= 0.0 {
+                            return (finish(min_slack, binding_claims), events);
+                        }
+                    }
+                }
+            }
+            // Slow path: a singleton pops (or everything is exhausted).
+            let (t, src) = if tr <= tp {
+                if tr <= tl {
+                    (tr, 0u8)
+                } else {
+                    (tl, 2)
+                }
+            } else if tp <= tl {
+                (tp, 1)
+            } else {
+                (tl, 2)
+            };
+            if !t.is_finite() {
+                break;
+            }
+            if src == 1 && seq_claim[p] < 0.0 {
+                // Tombstone: drop it before it can open a group.
+                p += 1;
+                tp = if p < till {
+                    seq_times[p]
+                } else {
+                    f64::INFINITY
+                };
+                continue;
+            }
+            if t > gate {
+                if gate >= job.deadline
+                    && d >= vmax
+                    && min_slack <= tail_bound
+                    && min_slack
+                        <= tail_bound - prune_safety(events, n_tasks, d - now, claims, tail_abs)
+                {
+                    return (finish(min_slack, binding_claims), events);
+                }
+                d = t;
+                gate = t + TIME_EPS;
+            }
+            events += 1;
+            match src {
+                0 => {
+                    claims += ready[r].claim;
+                    r += 1;
+                    tr = ready.get(r).map_or(f64::INFINITY, |e| e.deadline);
+                }
+                1 => {
+                    claims += seq_claim[p];
+                    p += 1;
+                    tp = if p < till {
+                        seq_times[p]
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                _ => {
+                    claims += amounts[l];
+                    l += 1;
+                    tl = tags.get(l).map_or(f64::INFINITY, |&t| t.min(horizon));
+                }
+            }
+            if gate >= job.deadline {
+                let slack = (d - now) - claims;
+                if slack < min_slack {
+                    min_slack = slack;
+                    binding_claims = claims;
+                    if min_slack <= 0.0 {
+                        return (finish(min_slack, binding_claims), events);
+                    }
+                }
             }
         }
-        for (tag, amount) in pool.ledger().iter() {
+        if tail_bound < min_slack {
+            min_slack = tail_bound;
+            binding_claims = claims; // everything outstanding binds the tail
+        }
+        (finish(min_slack, binding_claims), events)
+    }
+
+    /// From-scratch checkpoint sweep: registers every event stream (ready
+    /// singletons, task streams, ledger singletons), builds the loser tree
+    /// and runs the fused merge + prefix scan over the whole window. This
+    /// is the oracle the fast path must match bit-identically.
+    fn sweep_reference(
+        &mut self,
+        view: &SchedulerView<'_>,
+        job: &ActiveJob,
+        pool: &ReclaimedPool,
+        horizon: f64,
+        now: f64,
+        tail_bound: f64,
+    ) -> (DemandSlack, u64) {
+        let ledger_len = self.cache.ledger_tags.len();
+        let n_tasks = self.cache.n_tasks;
+        self.ensure_streams(view.ready_jobs().len() + n_tasks + ledger_len);
+
+        let mut live = 0usize;
+        for j in view.ready_jobs() {
+            self.claims[live] = pool.remaining_claim_of(j);
+            self.heads[live] = j.deadline;
+            self.steps[live] = StreamStep::SINGLETON;
+            live += 1;
+        }
+        for i in 0..n_tasks {
+            let next_deadline = self.cache.next_deadline[i];
+            if next_deadline <= horizon + TIME_EPS {
+                self.claims[live] = self.cache.claim[i];
+                self.heads[live] = next_deadline;
+                self.steps[live] = StreamStep {
+                    release: self.cache.release[i],
+                    period: self.cache.period[i],
+                    deadline_rel: self.cache.drel[i],
+                };
+                live += 1;
+            }
+        }
+        for k in 0..ledger_len {
+            let tag = self.cache.ledger_tags[k];
             debug_assert!(
                 tag <= horizon + TIME_EPS,
                 "ledger tag {tag} beyond horizon {horizon}"
             );
-            self.streams
-                .push(Stream::singleton(tag.min(horizon), amount));
+            self.claims[live] = self.cache.ledger_amounts[k];
+            self.heads[live] = tag.min(horizon);
+            self.steps[live] = StreamStep::SINGLETON;
+            live += 1;
         }
-        self.rebuild_tree();
+        self.build_tree(live);
 
         // Fused k-way merge + prefix scan: events pop in ascending time,
-        // ties in stream registration order — exactly the order a stable
+        // ties in stream registration order - exactly the order a stable
         // sort by time over the materialized blocks produces, so the f64
-        // prefix sums are bit-identical (see [`pack`] and `rebuild_tree`).
+        // prefix sums are bit-identical (see [`pack`] and `build_tree`).
+        let mut events: u64 = 0;
         let mut claims = 0.0;
         let mut min_slack = f64::INFINITY;
         let mut binding_claims = f64::INFINITY;
         let mut head = self.tree[0];
         while key_time(head).is_finite() {
             let d = key_time(head);
+            let gate = d + TIME_EPS;
             loop {
-                claims += self.streams[key_stream(head)].claim;
-                self.advance(key_stream(head), horizon);
-                head = self.tree[0];
-                if key_time(head) > d + TIME_EPS {
+                events += 1;
+                claims += self.claims[key_stream(head)];
+                head = self.advance(key_stream(head), horizon);
+                if key_time(head) > gate {
                     break;
                 }
             }
             // Checkpoints before the dispatched job's deadline do not bind
-            // it: it is the EDF minimum, and any future earlier-deadline
-            // job preempts it and takes its own claim first.
-            if d + TIME_EPS >= job.deadline {
+            // it (see `sweep_overlay`).
+            if gate >= job.deadline {
                 let slack = (d - now) - claims;
                 if slack < min_slack {
                     min_slack = slack;
@@ -263,82 +863,449 @@ impl DemandAnalysis {
             min_slack = tail_bound;
             binding_claims = claims; // everything outstanding binds the tail
         }
-        DemandSlack {
-            slack: if min_slack.is_finite() {
-                min_slack.max(0.0)
-            } else {
-                0.0
-            },
-            binding_claims: if binding_claims.is_finite() {
-                binding_claims
-            } else {
-                0.0
-            },
+        (finish(min_slack, binding_claims), events)
+    }
+
+    /// Ensures the cached periodic sequence is valid for the current
+    /// release epoch and covers `horizon`:
+    ///
+    /// * invalidated (pool reset, task set change) - full rebuild;
+    /// * release epoch advanced (job release) - per-task **repair**: only
+    ///   the chains whose release basis moved are regenerated and merged
+    ///   back with the untouched remainder in one streaming pass;
+    /// * horizon slid forward - pure tail **extension**, resuming the
+    ///   saved chain states.
+    ///
+    /// Event times step exactly as [`advance`](DemandAnalysis::advance)
+    /// does, so the sequence is bit-identical to a from-scratch merge.
+    fn ensure_seq(&mut self, horizon: f64) {
+        let n = self.cache.n_tasks;
+        if !self.seq_valid || self.chains.len() != n {
+            self.chains.clear();
+            for i in 0..n {
+                self.chains.push(TaskChain {
+                    release: self.cache.release[i],
+                    next: self.cache.next_deadline[i],
+                });
+            }
+            self.seq_release.clear();
+            self.seq_release.extend_from_slice(&self.cache.release);
+            self.seq_times.clear();
+            self.seq_task.clear();
+            self.seq_claim.clear();
+            self.seq_stale = 0;
+            self.seq_horizon = horizon;
+            self.seq_epoch = self.cache.release_epoch;
+            self.extend_seq(horizon);
+            self.seq_valid = true;
+        // xtask:allow(float-eq): release_epoch is a u64 change counter, not a time
+        } else if self.seq_epoch != self.cache.release_epoch {
+            self.repair_seq(horizon);
+        } else if horizon > self.seq_horizon {
+            self.seq_horizon = horizon;
+            self.extend_seq(horizon);
         }
     }
-}
 
-impl DemandAnalysis {
-    /// Builds the loser tree over the current streams, padding with
-    /// exhausted placeholders to a power of two. Reuses the scratch
-    /// buffers: allocation-free once they have grown to the task-set size.
+    /// Copies the live events down over the tombstones (all three arrays)
+    /// and resets the stale count. Pure removal of sweep no-ops, so the
+    /// swept stream is unchanged.
+    fn compact_seq(&mut self) {
+        let mut w = 0usize;
+        for p in 0..self.seq_task.len() {
+            let t = self.seq_task[p];
+            if t == usize::MAX {
+                continue;
+            }
+            self.seq_times[w] = self.seq_times[p];
+            self.seq_task[w] = t;
+            self.seq_claim[w] = self.seq_claim[p];
+            w += 1;
+        }
+        self.seq_times.truncate(w);
+        self.seq_task.truncate(w);
+        self.seq_claim.truncate(w);
+        self.seq_stale = 0;
+    }
+
+    /// Appends every pending chain event with time at most `to` (+
+    /// [`TIME_EPS`], the stream generators' clip rule) to the cached
+    /// sequence, earliest first, ties to the lower task index - the
+    /// packed-key order of the tournament merge.
+    fn extend_seq(&mut self, to: f64) {
+        let bound = to + TIME_EPS;
+        loop {
+            let mut best = usize::MAX;
+            let mut best_t = f64::INFINITY;
+            for (i, c) in self.chains.iter().enumerate() {
+                if c.next < best_t {
+                    best_t = c.next;
+                    best = i;
+                }
+            }
+            if best_t > bound {
+                break;
+            }
+            self.seq_times.push(best_t);
+            self.seq_task.push(best);
+            self.seq_claim.push(self.cache.claim[best]);
+            let c = &mut self.chains[best];
+            c.release += self.cache.period[best];
+            c.next = c.release + self.cache.drel[best];
+        }
+    }
+
+    /// Repairs the cached sequence after the release outlook moved.
+    ///
+    /// **Slide fast path**: when every moved release basis advanced along
+    /// its chain's additive lattice (`release += period`, bit-checked),
+    /// the regenerated chain is the old one minus its leading events — all
+    /// later events are produced by the identical float operations on the
+    /// identical operands. The repair tombstones each slid task's first
+    /// `k` live events in place (no memmove; see the `seq_claim` field
+    /// doc), steps the saved chain state over any drops beyond the
+    /// emitted prefix, and compacts once enough tombstones pile up.
+    ///
+    /// **General path** (basis moved off-lattice, e.g. a sporadic delay):
+    /// regenerates the changed chains from their new bases as one merged
+    /// stream (argmin over the changed chains), and splices it past the
+    /// kept events in one two-way pass into the spare buffers (then
+    /// swaps, dropping tombstones for free). Untouched chains are pending
+    /// beyond the old coverage bound, so they cannot precede any kept
+    /// event and never enter the merge.
+    ///
+    /// Both paths also extend coverage to `horizon` when it moved past the
+    /// cached one.
+    fn repair_seq(&mut self, horizon: f64) {
+        let n = self.cache.n_tasks;
+        // Slide detection: walk each moved basis forward along the old
+        // additive lattice and require a bit-exact hit.
+        // Generous: a slide step is one float add, and covering a long idle
+        // gap (many releases of a short-period task between dispatches) on
+        // the fast path is far cheaper than any merge repair.
+        const MAX_SLIDE: u32 = 512;
+        self.drops.clear();
+        self.drops.resize(n, 0);
+        let mut slide_ok = true;
+        let mut total_drops: u32 = 0;
+        self.changed.clear();
+        self.changed.resize(n, false);
+        self.changed_idx.clear();
+        for i in 0..n {
+            // xtask:allow(float-eq): deliberate bit-compare — an identical basis means an identical chain
+            if self.cache.release[i].to_bits() == self.seq_release[i].to_bits() {
+                continue;
+            }
+            self.changed[i] = true;
+            self.changed_idx.push(i);
+            if slide_ok {
+                let target_bits = self.cache.release[i].to_bits();
+                let mut r = self.seq_release[i];
+                let mut steps: u32 = 0;
+                loop {
+                    r += self.cache.period[i];
+                    steps += 1;
+                    if r.to_bits() == target_bits {
+                        self.drops[i] = steps;
+                        total_drops += steps;
+                        break;
+                    }
+                    if steps >= MAX_SLIDE || r > self.cache.release[i] {
+                        slide_ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        self.seq_release.clear();
+        self.seq_release.extend_from_slice(&self.cache.release);
+        self.seq_epoch = self.cache.release_epoch;
+        if self.changed_idx.is_empty() {
+            if horizon > self.seq_horizon {
+                self.seq_horizon = horizon;
+                self.extend_seq(horizon);
+            }
+            return;
+        }
+        if slide_ok {
+            if total_drops == 1 {
+                // Overwhelmingly common: one task released one job. Its
+                // earliest remaining event (if emitted) leads the drop.
+                let task = self.changed_idx[0];
+                match self.seq_task.iter().position(|&t| t == task) {
+                    Some(idx) => {
+                        self.seq_task[idx] = usize::MAX;
+                        self.seq_claim[idx] = TOMBSTONE;
+                        self.seq_stale += 1;
+                    }
+                    None => {
+                        // Nothing emitted yet: skip the pending event.
+                        let c = &mut self.chains[task];
+                        c.release += self.cache.period[task];
+                        c.next = c.release + self.cache.drel[task];
+                    }
+                }
+            } else {
+                let mut pending = total_drops;
+                for p in 0..self.seq_task.len() {
+                    let t = self.seq_task[p];
+                    // `t < n` also filters earlier tombstones.
+                    if t < n && self.drops[t] > 0 {
+                        self.drops[t] -= 1;
+                        self.seq_task[p] = usize::MAX;
+                        self.seq_claim[p] = TOMBSTONE;
+                        self.seq_stale += 1;
+                        pending -= 1;
+                        if pending == 0 {
+                            break;
+                        }
+                    }
+                }
+                // Drops past the emitted prefix skip pending events.
+                for k in 0..self.changed_idx.len() {
+                    let i = self.changed_idx[k];
+                    for _ in 0..self.drops[i] {
+                        let c = &mut self.chains[i];
+                        c.release += self.cache.period[i];
+                        c.next = c.release + self.cache.drel[i];
+                    }
+                }
+            }
+            if self.seq_stale >= STALE_COMPACT {
+                self.compact_seq();
+            }
+            if horizon > self.seq_horizon {
+                self.seq_horizon = horizon;
+                self.extend_seq(horizon);
+            }
+            return;
+        }
+        // General repair: regenerate each changed chain from its new basis
+        // up to the old coverage bound, sort the regenerated events once,
+        // and splice them into the kept events in a single two-way pass
+        // (then extend if the horizon also moved — the regenerated chains
+        // are already stepped past the bound, so the extension's argmin
+        // interleaves every chain correctly). Ties are only possible
+        // across distinct tasks and go to the lower task index, as the
+        // packed keys of the tournament merge would.
+        let old_bound = self.seq_horizon + TIME_EPS;
+        self.new_events.clear();
+        for &i in &self.changed_idx {
+            self.chains[i] = TaskChain {
+                release: self.cache.release[i],
+                next: self.cache.next_deadline[i],
+            };
+        }
+        // Emit the changed chains' merged stream (earliest first, ties to
+        // the lower task index — the strict `<` argmin provides both).
+        loop {
+            let mut best = usize::MAX;
+            let mut best_t = f64::INFINITY;
+            for &i in &self.changed_idx {
+                if self.chains[i].next < best_t {
+                    best_t = self.chains[i].next;
+                    best = i;
+                }
+            }
+            if best_t > old_bound {
+                break;
+            }
+            self.new_events.push((best_t, best));
+            let c = &mut self.chains[best];
+            c.release += self.cache.period[best];
+            c.next = c.release + self.cache.drel[best];
+        }
+        self.seq_times_spare.clear();
+        self.seq_task_spare.clear();
+        self.seq_claim_spare.clear();
+        let mut q = 0usize;
+        for p in 0..self.seq_times.len() {
+            let old_task = self.seq_task[p];
+            if old_task == usize::MAX || self.changed[old_task] {
+                // Tombstone, or stale event of a regenerated chain. New
+                // events that would have sorted before it are emitted
+                // ahead of the next kept event instead — same order.
+                continue;
+            }
+            let old_t = self.seq_times[p];
+            while q < self.new_events.len() {
+                let (t, i) = self.new_events[q];
+                // xtask:allow(float-eq): bit-equal times tie-break by task index
+                if t < old_t || (t.to_bits() == old_t.to_bits() && i < old_task) {
+                    self.seq_times_spare.push(t);
+                    self.seq_task_spare.push(i);
+                    self.seq_claim_spare.push(self.cache.claim[i]);
+                    q += 1;
+                } else {
+                    break;
+                }
+            }
+            self.seq_times_spare.push(old_t);
+            self.seq_task_spare.push(old_task);
+            self.seq_claim_spare.push(self.seq_claim[p]);
+        }
+        for &(t, i) in &self.new_events[q..] {
+            self.seq_times_spare.push(t);
+            self.seq_task_spare.push(i);
+            self.seq_claim_spare.push(self.cache.claim[i]);
+        }
+        std::mem::swap(&mut self.seq_times, &mut self.seq_times_spare);
+        std::mem::swap(&mut self.seq_task, &mut self.seq_task_spare);
+        std::mem::swap(&mut self.seq_claim, &mut self.seq_claim_spare);
+        self.seq_stale = 0; // the splice dropped every tombstone
+        let target = self.seq_horizon.max(horizon);
+        self.seq_horizon = target;
+        self.extend_seq(target);
+    }
+
+    /// Refreshes the cached layers that are out of date (see
+    /// [`DispatchCache`]). Values are recomputed with the exact
+    /// expressions the from-scratch sweep uses, so hits are bit-identical.
+    fn refresh_cache(&mut self, view: &SchedulerView<'_>, pool: &ReclaimedPool) {
+        let tasks = view.tasks();
+        let n = tasks.len();
+        let cache = &mut self.cache;
+        if !cache.valid || cache.n_tasks != n {
+            cache.n_tasks = n;
+            cache.claim.clear();
+            cache.period.clear();
+            cache.drel.clear();
+            for (id, task) in tasks.iter() {
+                cache.claim.push(pool.claim_of(id));
+                cache.period.push(task.period());
+                cache.drel.push(task.deadline());
+            }
+            cache.max_period = tasks.max_period();
+            cache.releases_valid = false;
+            cache.ledger_valid = false;
+            cache.valid = true;
+            // A rebuilt task table invalidates the cached event sequence.
+            self.seq_valid = false;
+        }
+        // xtask:allow(float-eq): release_epoch is a u64 change counter, not a time
+        if !cache.releases_valid || cache.release_epoch != view.release_epoch() {
+            cache.release.clear();
+            cache.next_deadline.clear();
+            let mut first_deadlines = 0.0;
+            let mut vmax = f64::NEG_INFINITY;
+            for (i, (id, _)) in tasks.iter().enumerate() {
+                let release = view.next_release_of(id);
+                let next_deadline = release + cache.drel[i];
+                first_deadlines = f64::max(first_deadlines, next_deadline);
+                vmax = f64::max(vmax, next_deadline - cache.period[i]);
+                cache.release.push(release);
+                cache.next_deadline.push(next_deadline);
+            }
+            cache.first_deadlines = first_deadlines;
+            cache.vmax = vmax;
+            cache.release_epoch = view.release_epoch();
+            cache.releases_valid = true;
+        }
+        let ledger = pool.ledger();
+        if !cache.ledger_valid || cache.ledger_revision != ledger.revision() {
+            cache.ledger_tags.clear();
+            cache.ledger_amounts.clear();
+            for (tag, amount) in ledger.iter() {
+                cache.ledger_tags.push(tag);
+                cache.ledger_amounts.push(amount);
+            }
+            cache.ledger_total = ledger.total();
+            cache.ledger_revision = ledger.revision();
+            cache.ledger_valid = true;
+        }
+    }
+
+    /// Grows the stream scratch arrays to hold at least `n` streams.
+    /// One-time growth: steady-state calls never allocate.
+    fn ensure_streams(&mut self, n: usize) {
+        if self.claims.len() < n {
+            self.claims.resize(n, 0.0);
+            self.heads.resize(n, f64::INFINITY);
+            self.steps.resize(n, StreamStep::SINGLETON);
+        }
+    }
+
+    /// Builds the loser tree over streams `0..live`, padding the leaf
+    /// level with exhausted (`+∞`) keys up to the next power of two.
     ///
     /// Streams are registered in the order a materialized enumeration
     /// pushes its event blocks (ready jobs, then tasks by id, then ledger
     /// entries) and each stream's times are non-decreasing, so the packed
     /// keys' tie-break to the lower stream index makes the merge emit ties
     /// in block (push) order: exactly the stable-sort order.
-    fn rebuild_tree(&mut self) {
-        let leaves = self.streams.len().next_power_of_two();
-        self.streams.resize(leaves, Stream::exhausted());
-        self.tree.clear();
-        self.tree.resize(2 * leaves, 0u128);
-        for i in 0..leaves {
-            self.tree[leaves + i] = pack(self.streams[i].time, i);
+    ///
+    /// The buffer persists across calls. Invariant: after every build at
+    /// capacity `cap`, leaf slots `cap+live..2·cap` hold `+∞` pads —
+    /// so a later build at the same `cap` only needs to re-pad
+    /// `cap+live..cap+prev_live` (slots a pruned sweep may have left with
+    /// finite mid-merge keys). A capacity change rewrites the pad range in
+    /// full, since the slots belonged to a different layout.
+    fn build_tree(&mut self, live: usize) {
+        let cap = live.next_power_of_two();
+        if self.tree.len() < 2 * cap {
+            self.tree.resize(2 * cap, 0u128);
+        }
+        if cap == self.cap {
+            for i in live..self.prev_live {
+                self.tree[cap + i] = pack(f64::INFINITY, i);
+            }
+        } else {
+            for i in live..cap {
+                self.tree[cap + i] = pack(f64::INFINITY, i);
+            }
+        }
+        for i in 0..live {
+            self.tree[cap + i] = pack(self.heads[i], i);
         }
         // Winner pass bottom-up, then convert the internal nodes to the
         // losers of their matches top-down (children still hold winners
         // when their parent is converted).
-        for n in (1..leaves).rev() {
+        for n in (1..cap).rev() {
             self.tree[n] = self.tree[2 * n].min(self.tree[2 * n + 1]);
         }
         self.tree[0] = self.tree[1];
-        for n in 1..leaves {
+        for n in 1..cap {
             self.tree[n] = self.tree[2 * n].max(self.tree[2 * n + 1]);
         }
+        self.cap = cap;
+        self.prev_live = live;
     }
 
     /// Consumes the head of stream `w` and replays its tournament path:
     /// the new key of `w` plays the stored loser at each node up to the
     /// root, the winner carries upward, and the final winner lands in
-    /// `tree[0]` — one load per level.
+    /// `tree[0]` (also returned) — one load per level, branchless
+    /// (`u128` min/max compile to compare+select).
     ///
     /// Task streams step to their next in-window release — the same float
     /// accumulation (`release += period`) the materialized enumeration
     /// performed, so event times are bit-identical; exhausted streams park
     /// at `∞` and never win again.
-    fn advance(&mut self, w: usize, horizon: f64) {
-        let s = &mut self.streams[w];
-        if s.period > 0.0 {
-            s.release += s.period;
-            let next = s.release + s.deadline_rel;
-            s.time = if next <= horizon + TIME_EPS {
+    #[inline]
+    fn advance(&mut self, w: usize, horizon: f64) -> u128 {
+        let step = &mut self.steps[w];
+        let time = if step.period > 0.0 {
+            step.release += step.period;
+            let next = step.release + step.deadline_rel;
+            if next <= horizon + TIME_EPS {
                 next
             } else {
                 f64::INFINITY
-            };
-        } else {
-            s.time = f64::INFINITY;
-        }
-        let mut cur = pack(s.time, w);
-        let mut n = (self.tree.len() / 2 + w) / 2;
-        while n >= 1 {
-            if self.tree[n] < cur {
-                std::mem::swap(&mut self.tree[n], &mut cur);
             }
+        } else {
+            f64::INFINITY
+        };
+        let mut cur = pack(time, w);
+        let mut n = (self.cap + w) / 2;
+        while n >= 1 {
+            let stored = self.tree[n];
+            let lo = stored.min(cur);
+            self.tree[n] = stored.max(cur);
+            cur = lo;
             n /= 2;
         }
         self.tree[0] = cur;
+        cur
     }
 }
 
@@ -361,6 +1328,33 @@ mod tests {
     // the simulator; end-to-end behaviour is covered in `slack_edf` tests
     // and the integration suite. Here we check the pure bookkeeping.
 
+    /// Loads `(time, claim, period, deadline_rel)` stream descriptors into
+    /// the scratch arrays, mirroring the push order of `analyze_impl`.
+    fn load_streams(analysis: &mut DemandAnalysis, specs: &[(f64, f64, f64, f64)]) -> usize {
+        analysis.ensure_streams(specs.len());
+        for (live, &(time, claim, period, deadline_rel)) in specs.iter().enumerate() {
+            analysis.claims[live] = claim;
+            analysis.heads[live] = time + deadline_rel;
+            analysis.steps[live] = StreamStep {
+                release: time,
+                period,
+                deadline_rel,
+            };
+        }
+        specs.len()
+    }
+
+    /// Pops every event of the built tree in order.
+    fn drain(analysis: &mut DemandAnalysis, horizon: f64) -> Vec<(f64, f64)> {
+        let mut merged = Vec::new();
+        let mut head = analysis.tree[0];
+        while key_time(head).is_finite() {
+            merged.push((key_time(head), analysis.claims[key_stream(head)]));
+            head = analysis.advance(key_stream(head), horizon);
+        }
+        merged
+    }
+
     /// The tournament merge must emit events in exactly the order the
     /// materialize-and-stable-sort implementation produced: ascending
     /// time, ties in stream registration (= push block) order. Payloads
@@ -378,14 +1372,15 @@ mod tests {
             // A mix of singleton and arithmetic (task-like) streams with
             // heavy collisions on a coarse time grid.
             let mut analysis = DemandAnalysis::default();
+            let mut specs = Vec::new();
             let mut reference = Vec::new();
             let horizon = 10.0;
             let n = 1 + rand(9);
             for _ in 0..n {
                 let time = rand(13) as f64 * 0.5;
-                let claim = analysis.streams.len() as f64;
+                let claim = specs.len() as f64;
                 if rand(2) == 0 {
-                    analysis.streams.push(Stream::singleton(time, claim));
+                    specs.push((time, claim, 0.0, 0.0));
                     reference.push((time, claim));
                 } else {
                     let period = 0.5 + rand(4) as f64 * 0.75;
@@ -399,32 +1394,65 @@ mod tests {
                         reference.push((deadline, claim));
                         release += period;
                     }
-                    let first = time + deadline_rel;
-                    if first <= horizon + TIME_EPS {
-                        analysis.streams.push(Stream {
-                            time: first,
-                            claim,
-                            period,
-                            release: time,
-                            deadline_rel,
-                        });
+                    if time + deadline_rel <= horizon + TIME_EPS {
+                        specs.push((time, claim, period, deadline_rel));
                     }
                 }
             }
             reference.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-            analysis.rebuild_tree();
-            let mut merged = Vec::new();
-            loop {
-                let head = analysis.tree[0];
-                if !key_time(head).is_finite() {
-                    break;
-                }
-                merged.push((key_time(head), analysis.streams[key_stream(head)].claim));
-                analysis.advance(key_stream(head), horizon);
-            }
-            assert_eq!(merged, reference, "round {round}");
+            let live = load_streams(&mut analysis, &specs);
+            analysis.build_tree(live);
+            assert_eq!(drain(&mut analysis, horizon), reference, "round {round}");
         }
+    }
+
+    /// Rebuilding a persistent tree must be clean after partial sweeps and
+    /// across capacity changes: stale mid-merge keys from a pruned sweep
+    /// may never leak into the next merge.
+    #[test]
+    fn tree_reuse_after_partial_sweep_and_resize_is_clean() {
+        let horizon = 100.0;
+        let singles = |times: &[f64]| -> Vec<(f64, f64, f64, f64)> {
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i as f64, 0.0, 0.0))
+                .collect()
+        };
+        let mut analysis = DemandAnalysis::default();
+
+        // Build 5 streams (cap 8), consume only two events (as a pruned
+        // sweep would), leaving finite keys in the tree.
+        let live = load_streams(&mut analysis, &singles(&[5.0, 1.0, 4.0, 2.0, 3.0]));
+        analysis.build_tree(live);
+        let first = analysis.tree[0];
+        assert_eq!(key_time(first), 1.0);
+        let second = analysis.advance(key_stream(first), horizon);
+        assert_eq!(key_time(second), 2.0);
+        analysis.advance(key_stream(second), horizon);
+
+        // Same capacity, fewer streams: slots 3..5 held live keys.
+        let live = load_streams(&mut analysis, &singles(&[9.0, 8.0, 7.0]));
+        analysis.build_tree(live);
+        assert_eq!(
+            drain(&mut analysis, horizon),
+            vec![(7.0, 2.0), (8.0, 1.0), (9.0, 0.0)]
+        );
+
+        // Shrink the capacity (cap 8 → 2), then grow it (→ 16); each
+        // layout change must re-pad in full.
+        let live = load_streams(&mut analysis, &singles(&[6.0, 5.0]));
+        analysis.build_tree(live);
+        assert_eq!(drain(&mut analysis, horizon), vec![(5.0, 1.0), (6.0, 0.0)]);
+
+        let times: Vec<f64> = (0..9).map(|i| f64::from(i) * 1.5 + 0.5).collect();
+        let specs = singles(&times);
+        let live = load_streams(&mut analysis, &specs);
+        analysis.build_tree(live);
+        let merged = drain(&mut analysis, horizon);
+        assert_eq!(merged.len(), 9);
+        assert!(merged.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]
@@ -456,6 +1484,7 @@ mod tests {
             }
             fn on_start(&mut self, tasks: &TaskSet, _p: &Processor) {
                 self.pool.reset(tasks);
+                self.analysis.invalidate();
             }
             fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
                 let allowance = self.pool.allowance(view, job);
@@ -501,6 +1530,101 @@ mod tests {
         assert!((out.total_energy() - 32.0).abs() < 1e-4);
     }
 
+    /// The pruned, cached analyzer must return bit-identical results to
+    /// the from-scratch unpruned sweep at every dispatch of a live run,
+    /// and never visit more events than it.
+    #[test]
+    fn incremental_analysis_matches_reference_and_prunes() {
+        use stadvs_power::{Processor, Speed};
+        use stadvs_sim::{ConstantRatio, Governor, SchedulerView, SimConfig, Simulator};
+
+        struct Probe {
+            pool: ReclaimedPool,
+            fast: DemandAnalysis,
+            oracle: DemandAnalysis,
+            reference_events: u64,
+            checks: u64,
+        }
+        impl Governor for Probe {
+            fn name(&self) -> &str {
+                "diff-probe"
+            }
+            fn on_start(&mut self, tasks: &TaskSet, _p: &Processor) {
+                self.pool.reset(tasks);
+                self.fast.invalidate();
+                self.fast.reset_stats();
+            }
+            fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
+                let before = self.fast.stats().events_swept;
+                let fast = self.fast.analyze(view, job, &self.pool);
+                let swept = self.fast.stats().events_swept - before;
+                let (slow, ref_events) = self.oracle.analyze_reference(view, job, &self.pool);
+                assert_eq!(fast.slack.to_bits(), slow.slack.to_bits());
+                assert_eq!(fast.binding_claims.to_bits(), slow.binding_claims.to_bits());
+                assert!(
+                    swept <= ref_events,
+                    "pruned sweep visited {swept} events, reference {ref_events}"
+                );
+                self.reference_events += ref_events;
+                self.checks += 1;
+                let rem = job.remaining_budget();
+                let total =
+                    (self.pool.allowance(view, job) + fast.slack).min(job.deadline - view.now());
+                let s = if total <= rem { 1.0 } else { rem / total };
+                Speed::clamped(s, view.processor().min_speed())
+            }
+            fn on_completion(&mut self, _v: &SchedulerView<'_>, r: &stadvs_sim::JobRecord) {
+                self.pool.settle(r, true);
+            }
+            fn on_idle(&mut self, _v: &SchedulerView<'_>) {
+                self.pool.drain_on_idle();
+            }
+        }
+
+        for seed in 0..4u64 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tasks = Vec::new();
+            let n = rng.gen_range(2..7);
+            let mut budget: f64 = 0.95;
+            for _ in 0..n {
+                if budget < 0.06 {
+                    break;
+                }
+                let period = rng.gen_range(0.5..8.0_f64);
+                let u = rng.gen_range(0.05..budget.min(0.5));
+                budget -= u;
+                tasks.push(Task::new(u * period, period).unwrap());
+            }
+            let set = TaskSet::new(tasks).unwrap();
+            let sim = Simulator::new(
+                set,
+                Processor::ideal_continuous(),
+                SimConfig::new(30.0).unwrap(),
+            )
+            .unwrap();
+            let mut probe = Probe {
+                pool: ReclaimedPool::new(),
+                fast: DemandAnalysis::default(),
+                oracle: DemandAnalysis::default(),
+                reference_events: 0,
+                checks: 0,
+            };
+            let out = sim.run(&mut probe, &ConstantRatio::new(0.5)).unwrap();
+            assert!(out.all_deadlines_met());
+            assert!(probe.checks >= 5, "probe barely ran ({})", probe.checks);
+            let stats = probe.fast.stats();
+            assert_eq!(stats.analyses, probe.checks);
+            assert!(
+                stats.events_swept <= probe.reference_events,
+                "seed {seed}: pruning visited more events ({}) than from-scratch ({})",
+                stats.events_swept,
+                probe.reference_events
+            );
+        }
+    }
+
     /// The analytic tail bound must never certify more slack than a very
     /// long explicit enumeration would: shrinking the look-ahead window can
     /// only make the result more conservative.
@@ -522,6 +1646,8 @@ mod tests {
             }
             fn on_start(&mut self, tasks: &TaskSet, _p: &Processor) {
                 self.pool.reset(tasks);
+                self.short.invalidate();
+                self.long.invalidate();
             }
             fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
                 let allowance = self.pool.allowance(view, job);
@@ -606,6 +1732,7 @@ mod tests {
             }
             fn on_start(&mut self, tasks: &TaskSet, _p: &Processor) {
                 self.pool.reset(tasks);
+                self.analysis.invalidate();
             }
             fn select_speed(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) -> Speed {
                 let allowance = self.pool.allowance(view, job);

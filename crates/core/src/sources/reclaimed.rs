@@ -1,7 +1,5 @@
 //! Canonical-schedule allowances and reclaimed-earliness banking.
 
-use std::collections::HashMap;
-
 use stadvs_sim::{ActiveJob, JobId, JobRecord, SchedulerView, TaskSet};
 
 use crate::ledger::SlackLedger;
@@ -37,7 +35,12 @@ pub struct ReclaimedPool {
     claims: Vec<f64>,
     degenerate: bool,
     ledger: SlackLedger,
-    granted: HashMap<JobId, f64>,
+    /// Open grants, indexed by task: `(job index, granted total)` pairs.
+    /// At most a couple of jobs per task are ever in flight, so a linear
+    /// scan of a task's slot beats hashing `JobId`s — and the slot vectors
+    /// keep their capacity across resets, so the dispatch path stays
+    /// allocation-free after warm-up.
+    granted: Vec<Vec<(u64, f64)>>,
 }
 
 impl ReclaimedPool {
@@ -49,7 +52,32 @@ impl ReclaimedPool {
             claims: Vec::new(),
             degenerate: false,
             ledger: SlackLedger::new(),
-            granted: HashMap::new(),
+            granted: Vec::new(),
+        }
+    }
+
+    /// The granted total of `job`'s open grant, if any.
+    fn grant_of(&self, id: JobId) -> Option<f64> {
+        self.granted
+            .get(id.task.0)?
+            .iter()
+            .find(|&&(index, _)| index == id.index)
+            .map(|&(_, total)| total)
+    }
+
+    /// The open grant of `job`, created at `initial` if absent.
+    fn grant_mut(&mut self, id: JobId, initial: f64) -> &mut f64 {
+        if self.granted.len() <= id.task.0 {
+            self.granted.resize_with(id.task.0 + 1, Vec::new);
+        }
+        let slot = &mut self.granted[id.task.0];
+        match slot.iter().position(|&(index, _)| index == id.index) {
+            Some(k) => &mut slot[k].1,
+            None => {
+                slot.push((id.index, initial));
+                let k = slot.len() - 1;
+                &mut slot[k].1
+            }
         }
     }
 
@@ -86,7 +114,11 @@ impl ReclaimedPool {
     /// governor must stay at full speed (zero switches, trivially safe).
     pub fn reset_with_overhead(&mut self, tasks: &TaskSet, delta: f64) {
         self.ledger.clear();
-        self.granted.clear();
+        // Empty the grant slots but keep their capacity warm for the run.
+        self.granted.truncate(tasks.len());
+        for slot in &mut self.granted {
+            slot.clear();
+        }
         self.margins.clear();
         self.margins.extend(tasks.iter().map(|(i, ti)| {
             let preemptions: f64 = tasks
@@ -178,7 +210,7 @@ impl ReclaimedPool {
         self.ledger.expire(now);
         let taken = self.ledger.take_up_to(job.deadline);
         let initial = self.base_claim(job);
-        let entry = self.granted.entry(job.id).or_insert(initial);
+        let entry = self.grant_mut(job.id, initial);
         *entry += taken;
         (*entry - job.wall_used()).min(job.deadline - now)
     }
@@ -193,9 +225,7 @@ impl ReclaimedPool {
     pub fn remaining_claim_of(&self, job: &ActiveJob) -> f64 {
         let margin = self.margin_of(job.id.task);
         let granted = self
-            .granted
-            .get(&job.id)
-            .copied()
+            .grant_of(job.id)
             .unwrap_or_else(|| self.base_claim(job));
         (granted - job.wall_used()).max(job.remaining_budget() + margin)
     }
@@ -209,28 +239,33 @@ impl ReclaimedPool {
     /// behalf, so re-banking the margin would credit time that was really
     /// consumed by voltage switches.
     pub fn settle(&mut self, record: &JobRecord, bank: bool) {
-        if let Some(total) = self.granted.remove(&record.id) {
-            if bank {
-                let margin = self.margin_of(record.id.task);
-                let returned = total - record.wall_time - margin;
-                // `returned` may legitimately be negative: a job whose grant
-                // fell short of its worst case still plans at least its
-                // remaining work (the demand analysis covers the deficit via
-                // `remaining_claim_of`), and `donate` drops non-positive
-                // amounts — so the deficit is forfeited, never banked, and
-                // the pool total stays non-negative by construction.
-                debug_assert!(
-                    returned.is_finite(),
-                    "non-finite settle residue for job {:?}",
-                    record.id
-                );
-                self.ledger.donate(record.deadline, returned);
-                debug_assert!(
-                    self.ledger.total() >= 0.0,
-                    "reclaimed pool went negative after settling {:?}",
-                    record.id
-                );
-            }
+        let Some(slot) = self.granted.get_mut(record.id.task.0) else {
+            return;
+        };
+        let Some(k) = slot.iter().position(|&(index, _)| index == record.id.index) else {
+            return;
+        };
+        let (_, total) = slot.swap_remove(k);
+        if bank {
+            let margin = self.margin_of(record.id.task);
+            let returned = total - record.wall_time - margin;
+            // `returned` may legitimately be negative: a job whose grant
+            // fell short of its worst case still plans at least its
+            // remaining work (the demand analysis covers the deficit via
+            // `remaining_claim_of`), and `donate` drops non-positive
+            // amounts — so the deficit is forfeited, never banked, and
+            // the pool total stays non-negative by construction.
+            debug_assert!(
+                returned.is_finite(),
+                "non-finite settle residue for job {:?}",
+                record.id
+            );
+            self.ledger.donate(record.deadline, returned);
+            debug_assert!(
+                self.ledger.total() >= 0.0,
+                "reclaimed pool went negative after settling {:?}",
+                record.id
+            );
         }
     }
 
@@ -258,7 +293,9 @@ impl ReclaimedPool {
     /// start after an idle interval.
     pub fn invalidate_on_overrun(&mut self) {
         self.ledger.clear();
-        self.granted.clear();
+        for slot in &mut self.granted {
+            slot.clear();
+        }
     }
 
     /// Total slack currently banked (diagnostic).
@@ -268,7 +305,7 @@ impl ReclaimedPool {
 
     /// Number of jobs with open grants (diagnostic).
     pub fn open_grants(&self) -> usize {
-        self.granted.len()
+        self.granted.iter().map(Vec::len).sum()
     }
 }
 

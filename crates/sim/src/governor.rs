@@ -5,6 +5,7 @@ use stadvs_power::{Processor, Speed};
 
 use crate::fault::OverrunPolicy;
 use crate::job::{ActiveJob, JobRecord};
+use crate::outcome::AnalysisStats;
 use crate::task::{TaskId, TaskSet};
 
 /// A read-only snapshot of everything an on-line DVS algorithm may inspect
@@ -24,9 +25,13 @@ pub struct SchedulerView<'a> {
     next_release: &'a [f64],
     next_arrival: f64,
     current_speed: Speed,
+    release_epoch: u64,
 }
 
 impl<'a> SchedulerView<'a> {
+    // Internal constructor mirroring the struct's fields one-to-one; a
+    // builder would only add indirection for the single call site.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         now: f64,
         tasks: &'a TaskSet,
@@ -35,6 +40,7 @@ impl<'a> SchedulerView<'a> {
         next_release: &'a [f64],
         next_arrival: f64,
         current_speed: Speed,
+        release_epoch: u64,
     ) -> SchedulerView<'a> {
         SchedulerView {
             now,
@@ -44,6 +50,7 @@ impl<'a> SchedulerView<'a> {
             next_release,
             next_arrival,
             current_speed,
+            release_epoch,
         }
     }
 
@@ -104,6 +111,14 @@ impl<'a> SchedulerView<'a> {
     /// The speed the processor is currently set to.
     pub fn current_speed(&self) -> Speed {
         self.current_speed
+    }
+
+    /// A counter the simulator bumps every time any task's next-release
+    /// instant advances. Between two views with equal epochs, the whole
+    /// per-task release outlook (`next_release_of`) is unchanged —
+    /// incremental analyses key release-derived caches on this.
+    pub fn release_epoch(&self) -> u64 {
+        self.release_epoch
     }
 }
 
@@ -198,6 +213,13 @@ pub trait Governor {
     fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
         let _ = (view, job);
     }
+
+    /// Demand-analysis effort counters for the finished run, if this
+    /// governor performs a per-dispatch slack analysis. The simulator polls
+    /// this once, when assembling the [`SimOutcome`](crate::SimOutcome).
+    fn analysis_stats(&self) -> Option<AnalysisStats> {
+        None
+    }
 }
 
 impl<G: Governor + ?Sized> Governor for &mut G {
@@ -227,6 +249,9 @@ impl<G: Governor + ?Sized> Governor for &mut G {
     }
     fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
         (**self).on_overrun(view, job);
+    }
+    fn analysis_stats(&self) -> Option<AnalysisStats> {
+        (**self).analysis_stats()
     }
 }
 
@@ -258,6 +283,9 @@ impl<G: Governor + ?Sized> Governor for Box<G> {
     fn on_overrun(&mut self, view: &SchedulerView<'_>, job: &ActiveJob) {
         (**self).on_overrun(view, job);
     }
+    fn analysis_stats(&self) -> Option<AnalysisStats> {
+        (**self).analysis_stats()
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +309,7 @@ mod tests {
             next_release,
             next_arrival,
             Speed::FULL,
+            0,
         )
     }
 

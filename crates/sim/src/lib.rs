@@ -64,7 +64,7 @@ pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
-pub use outcome::SimOutcome;
+pub use outcome::{AnalysisStats, SimOutcome};
 pub use platform_sim::{PlatformOutcome, PlatformScratch, PlatformSim};
 pub use render::render_gantt;
 pub use simulator::{MissPolicy, SimConfig, SimScratch, Simulator, TIME_EPS, WORK_EPS};

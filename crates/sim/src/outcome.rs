@@ -7,6 +7,20 @@ use crate::fault::FaultReport;
 use crate::job::JobRecord;
 use crate::trace::Trace;
 
+/// Demand-analysis effort counters reported by governors that run a
+/// per-dispatch slack analysis (zero for everything else).
+///
+/// `events_swept / analyses` is the average number of checkpoint events the
+/// incremental analyzer actually visited per dispatch — the pruning-efficacy
+/// observable the bench gate and the differential tests track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Number of demand analyses performed over the run.
+    pub analyses: u64,
+    /// Total checkpoint events visited across all analyses.
+    pub events_swept: u64,
+}
+
 /// Everything a finished simulation run produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
@@ -32,6 +46,10 @@ pub struct SimOutcome {
     /// without fault injection).
     #[serde(default)]
     pub faults: FaultReport,
+    /// Demand-analysis effort counters (quiet for governors without a
+    /// per-dispatch slack analysis).
+    #[serde(default)]
+    pub analysis: AnalysisStats,
     /// The full execution trace, if recording was enabled.
     pub trace: Option<Trace>,
 }
@@ -136,6 +154,7 @@ mod tests {
             idle_time: 99.0,
             transition_time: 0.0,
             faults: FaultReport::default(),
+            analysis: AnalysisStats::default(),
             trace: None,
         }
     }

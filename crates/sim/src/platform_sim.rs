@@ -381,6 +381,7 @@ impl PlatformSim {
             idle_time: horizon,
             transition_time: 0.0,
             faults: FaultReport::default(),
+            analysis: crate::outcome::AnalysisStats::default(),
             trace,
         }
     }

@@ -337,6 +337,10 @@ impl Simulator {
         let mut contamination_active = false;
         let mut recovery_start: Option<f64> = None;
         let mut switch_ordinal: u64 = 0;
+        // Bumped whenever any task's next-release instant advances, so
+        // governors can key release-derived caches on the epoch (see
+        // [`SchedulerView::release_epoch`]).
+        let mut release_epoch: u64 = 0;
 
         let mut now = 0.0_f64;
         scratch.ready.reset(n);
@@ -491,6 +495,7 @@ impl Simulator {
                             .releases
                             .set_time(i, task.release_of(scratch.next_index[i]));
                     }
+                    release_epoch += 1;
                     if !skipped {
                         // Due tasks from `d` on are still staged out of the
                         // release heap; fold their instants back in so the
@@ -504,6 +509,7 @@ impl Simulator {
                             scratch.releases.times(),
                             next_arrival,
                             current_speed,
+                            release_epoch,
                         );
                         if let Some(released) = scratch.ready.last() {
                             governor.on_release(&view, released);
@@ -545,6 +551,7 @@ impl Simulator {
                         scratch.releases.times(),
                         next_arrival,
                         current_speed,
+                        release_epoch,
                     );
                     governor.on_idle(&view);
                 }
@@ -601,6 +608,7 @@ impl Simulator {
                     scratch.releases.times(),
                     next_arrival,
                     current_speed,
+                    release_epoch,
                 );
                 let speed = governor.select_speed(&view, scratch.ready.job(ji));
                 review = governor.review_after(&view, scratch.ready.job(ji));
@@ -741,6 +749,7 @@ impl Simulator {
                             scratch.releases.times(),
                             next_arrival,
                             current_speed,
+                            release_epoch,
                         );
                         governor.on_overrun(&view, scratch.ready.job(ji));
                     }
@@ -829,6 +838,7 @@ impl Simulator {
                     scratch.releases.times(),
                     next_arrival,
                     current_speed,
+                    release_epoch,
                 );
                 governor.on_completion(&view, &record);
                 records.push(record);
@@ -900,6 +910,7 @@ impl Simulator {
             idle_time: idle,
             transition_time: transition,
             faults: report,
+            analysis: governor.analysis_stats().unwrap_or_default(),
             trace,
         })
     }

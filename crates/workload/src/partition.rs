@@ -125,9 +125,7 @@ impl PartitionReport {
 
     /// The core a task was assigned to, or `None` if it was rejected.
     pub fn core_of(&self, id: TaskId) -> Option<usize> {
-        self.cores
-            .iter()
-            .position(|c| c.tasks.contains(&id))
+        self.cores.iter().position(|c| c.tasks.contains(&id))
     }
 
     /// Materializes core `core`'s tasks as a standalone [`TaskSet`] (task

@@ -4,19 +4,30 @@
 //! governor plus an end-to-end `fig1 --quick` probe), which writes
 //! `BENCH_sim.json` at the workspace root, then gates the numbers against
 //! the committed `BENCH_baseline.json`: any governor/workload pair whose
-//! `ns_per_event` exceeds **2x** its baseline fails the run. Full mode
-//! (without `--quick`) also runs the Criterion suite.
+//! `ns_per_event` exceeds its per-row threshold times the baseline fails
+//! the run. Full mode (without `--quick`) also runs the Criterion suite.
 //!
-//! The 2x threshold is deliberately loose: the gate runs on shared CI
-//! runners and must only catch structural regressions (an accidental
-//! allocation or scan in the dispatch loop), not scheduler jitter.
+//! The default 2x threshold is deliberately loose: the gate runs on
+//! shared CI runners and must only catch structural regressions (an
+//! accidental allocation or scan in the dispatch loop), not scheduler
+//! jitter. The `st-edf`/`st-edf-oa` rows are held to a tighter **1.3x**:
+//! after the incremental slack analysis their per-event cost is dominated
+//! by pruned cache-warm sweeps, so even a modest regression there means
+//! the pruning or caching broke — exactly what the gate exists to catch.
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::process::Command;
 
-/// Maximum tolerated `ns_per_event` ratio versus the baseline.
-const MAX_REGRESSION: f64 = 2.0;
+/// Maximum tolerated `ns_per_event` ratio versus the baseline for one
+/// record. The slack-analysis governors get the tight bound (see the
+/// module doc); everything else keeps the loose structural-only bound.
+fn max_regression(name: &str) -> f64 {
+    match name {
+        "st-edf" | "st-edf-oa" => 1.3,
+        _ => 2.0,
+    }
+}
 
 /// One `(governor, workload) -> ns/event` measurement from a bench JSON.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,7 +126,7 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord]) -> GateReport {
             }
             Some(c) => {
                 let ratio = c.ns_per_event / b.ns_per_event;
-                let verdict = if ratio > MAX_REGRESSION {
+                let verdict = if ratio > max_regression(&b.name) {
                     failed = true;
                     "FAIL"
                 } else {
@@ -224,6 +235,21 @@ mod tests {
         let report = gate(&base, &cur);
         assert!(report.failed);
         assert!(report.text.contains("FAIL"));
+    }
+
+    #[test]
+    fn slack_governor_rows_use_the_tight_threshold() {
+        // 1.5x is fine for ordinary rows but fails st-edf / st-edf-oa.
+        for name in ["st-edf", "st-edf-oa"] {
+            let base = vec![rec(name, "w", 100.0)];
+            let report = gate(&base, &[rec(name, "w", 150.0)]);
+            assert!(report.failed, "{name}: {}", report.text);
+            let report = gate(&base, &[rec(name, "w", 129.0)]);
+            assert!(!report.failed, "{name}: {}", report.text);
+        }
+        let base = vec![rec("edf-only", "w", 100.0)];
+        let report = gate(&base, &[rec("edf-only", "w", 150.0)]);
+        assert!(!report.failed, "{}", report.text);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   guarantee-critical crates (`sim`, `core`, `power`, `analysis`,
 //!   `baselines`);
 //! * `as-cast` runs in `core` (the claims/ledger arithmetic);
-//! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops).
+//! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops) and in
+//!   the per-dispatch analysis files `crates/core/src/sources/demand.rs`
+//!   and `crates/core/src/slack_edf.rs`.
 //!
 //! A violation is suppressed by `// xtask:allow(<rule>): <reason>` on the
 //! same or the immediately preceding line, or
@@ -39,6 +41,16 @@ const CLAIMS_CRATES: &[&str] = &["core"];
 /// Crates subject to the `hot-path-alloc` rule: per-event code that the
 /// experiment suite multiplies by millions of simulated events.
 const HOT_PATH_CRATES: &[&str] = &["sim"];
+
+/// Individual files outside [`HOT_PATH_CRATES`] that are also on the
+/// per-dispatch path: the slack analysis and the st-edf governor run once
+/// per dispatch, so a stray allocation there multiplies the same way.
+/// One-time cache growth is fine — escape it with
+/// `// xtask:allow(hot-path-alloc): <reason>`.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/sources/demand.rs",
+    "crates/core/src/slack_edf.rs",
+];
 
 /// A scanned source file, lexed and classified.
 pub struct SourceFile {
@@ -107,7 +119,9 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
         if CLAIMS_CRATES.contains(&s.crate_name.as_str()) {
             found.extend(rules::check_as_cast(&s.rel, &s.lexed.tokens, &s.mask));
         }
-        if HOT_PATH_CRATES.contains(&s.crate_name.as_str()) {
+        if HOT_PATH_CRATES.contains(&s.crate_name.as_str())
+            || HOT_PATH_FILES.contains(&s.rel.as_str())
+        {
             found.extend(rules::check_hot_path_alloc(
                 &s.rel,
                 &s.lexed.tokens,
@@ -253,6 +267,20 @@ mod tests {
         let report = one("crates/sim/src/platform_sim.rs", "sim", src);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "hot-path-alloc");
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_demand_analysis_files() {
+        // The slack analysis runs once per dispatch; its file is covered
+        // even though the `core` crate as a whole is not.
+        let src = "fn f() { loop { let v = xs.to_vec(); } }";
+        let report = one("crates/core/src/sources/demand.rs", "core", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "hot-path-alloc");
+        let report = one("crates/core/src/slack_edf.rs", "core", src);
+        assert_eq!(report.violations.len(), 1);
+        // Other core files stay exempt.
+        assert!(one("crates/core/src/ledger.rs", "core", src).is_clean());
     }
 
     #[test]

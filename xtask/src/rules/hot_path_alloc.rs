@@ -1,5 +1,7 @@
 //! Rule `hot-path-alloc`: no fresh heap allocations inside loop bodies of
-//! the simulator crate (`crates/sim`).
+//! the simulator crate (`crates/sim`) and of the per-dispatch analysis
+//! files in `core` (`sources/demand.rs`, `slack_edf.rs`) — see
+//! `HOT_PATH_FILES` in `lint.rs` for the exact scope.
 //!
 //! The dispatch loop runs once per simulated event — and the
 //! multiprocessor engine's per-core stepping loop (`platform_sim.rs`)
