@@ -12,11 +12,15 @@
 //!   lower bounds every on-line governor is measured against,
 //! * [`validate_outcome`] — the hard-real-time audit of a simulation run
 //!   (deadlines, work conservation, speed availability, timeline tiling),
-//! * [`Summary`] and friends — replication statistics.
+//! * [`Summary`] and friends — replication statistics,
+//! * [`stable_sum`] / [`compensated_sum`] — order-stable f64
+//!   accumulation for aggregating from unordered sources without
+//!   breaking bit-identical replay (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accum;
 mod jobs;
 mod response;
 mod schedulability;
@@ -25,6 +29,7 @@ mod stats;
 mod validate;
 mod yds;
 
+pub use accum::{compensated_sum, stable_sum};
 pub use jobs::{due_within, materialize_jobs, JobInstance};
 pub use response::{response_profile, TaskResponse};
 pub use schedulability::{busy_period, dbf, edf_schedulable, SchedulabilityTest};

@@ -1,7 +1,7 @@
 //! Dynamic reclaiming (after Aydin, Melhem, Mossé & Mejía-Alvarez, RTSS
 //! 2001).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use stadvs_power::{Processor, Speed};
 use stadvs_sim::{
@@ -45,7 +45,7 @@ pub struct Dra {
     one_task_extension: bool,
     scale: f64,
     queue: Vec<(f64, f64)>,
-    granted: HashMap<JobId, f64>,
+    granted: BTreeMap<JobId, f64>,
 }
 
 impl Dra {
@@ -55,7 +55,7 @@ impl Dra {
             one_task_extension: false,
             scale: 1.0,
             queue: Vec::new(),
-            granted: HashMap::new(),
+            granted: BTreeMap::new(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Feedback EDF with task splitting (after Zhu & Mueller).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use stadvs_power::{Processor, Speed};
 use stadvs_sim::{ActiveJob, Governor, JobId, JobRecord, OverrunPolicy, SchedulerView, TaskSet};
@@ -24,7 +24,7 @@ pub struct FeedbackEdf {
     prediction: Vec<f64>,
     integral: Vec<f64>,
     previous_error: Vec<f64>,
-    granted: HashMap<JobId, f64>,
+    granted: BTreeMap<JobId, f64>,
     /// Duration of the slow part planned by the latest `select_speed`; the
     /// simulator is asked to re-dispatch there (the B-part switch point).
     pending_review: Option<f64>,
@@ -43,7 +43,7 @@ impl FeedbackEdf {
             prediction: Vec::new(),
             integral: Vec::new(),
             previous_error: Vec::new(),
-            granted: HashMap::new(),
+            granted: BTreeMap::new(),
             pending_review: None,
         }
     }

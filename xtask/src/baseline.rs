@@ -1,0 +1,259 @@
+//! Baseline suppression with ratchet semantics.
+//!
+//! Pre-existing debt is recorded in a committed baseline file
+//! (`xtask/lint-baseline.txt`) instead of being allow-commented at every
+//! site: each entry caps how many violations of one rule a file may
+//! still contain. New violations (beyond the cap) fail the build, and
+//! *fixing* debt also fails the build until the cap is ratcheted down
+//! with `cargo xtask lint --write-baseline` — the recorded debt can only
+//! shrink, never silently grow or go stale.
+//!
+//! File format, one entry per line (`#` starts a comment):
+//!
+//! ```text
+//! <rule> <workspace-relative-file> <count>
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+
+use crate::report::{LintReport, Violation};
+use crate::rules;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub count: usize,
+    /// 1-based line in the baseline file (anchors stale-entry findings).
+    pub line: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Parses the baseline format. Unknown rules, malformed lines and
+/// duplicate `(rule, file)` entries are hard errors (exit code 2): a
+/// broken baseline must never silently stop suppressing.
+pub fn parse(text: &str) -> io::Result<Baseline> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        let [rule, file, count] = fields.as_slice() else {
+            return Err(bad(format!(
+                "baseline line {line}: expected `<rule> <file> <count>`, got `{content}`"
+            )));
+        };
+        if !rules::is_known_rule(rule) {
+            return Err(bad(format!(
+                "baseline line {line}: unknown rule `{rule}` (known: {})",
+                rule_names()
+            )));
+        }
+        let count: usize = count.parse().map_err(|_| {
+            bad(format!(
+                "baseline line {line}: count `{count}` is not a number"
+            ))
+        })?;
+        if count == 0 {
+            return Err(bad(format!(
+                "baseline line {line}: a zero-count entry suppresses nothing — delete it"
+            )));
+        }
+        if entries.iter().any(|e| e.rule == *rule && e.file == *file) {
+            return Err(bad(format!(
+                "baseline line {line}: duplicate entry for `{rule}` in `{file}`"
+            )));
+        }
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            count,
+            line,
+        });
+    }
+    Ok(Baseline { entries })
+}
+
+/// Applies the baseline to a report: for each entry, up to `count`
+/// violations of that rule in that file (lowest lines first — the
+/// longest-standing debt) are suppressed and counted in
+/// `report.baselined`. An entry whose cap exceeds the surviving
+/// violations is *stale* and reported as a `stale-baseline` finding
+/// anchored at its line in `baseline_path` — the ratchet.
+pub fn apply(report: &mut LintReport, baseline: &Baseline, baseline_path: &str) {
+    for entry in &baseline.entries {
+        let mut matched = 0usize;
+        report.violations.retain(|v| {
+            if matched < entry.count && v.rule == entry.rule && v.file == entry.file {
+                matched += 1;
+                false
+            } else {
+                true
+            }
+        });
+        report.baselined += matched;
+        if matched < entry.count {
+            report.violations.push(Violation {
+                rule: "stale-baseline",
+                file: baseline_path.to_string(),
+                line: entry.line,
+                col: 1,
+                message: format!(
+                    "baseline allows {} `{}` violation(s) in {} but only {} \
+                     remain — ratchet down with `cargo xtask lint --write-baseline`",
+                    entry.count, entry.rule, entry.file, matched
+                ),
+            });
+        }
+    }
+    report.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Renders a fresh baseline from a report's (allow-filtered, pre-baseline)
+/// violations. Synthetic findings are never baselined — a dead allow
+/// directive or stale entry must be fixed, not recorded as debt.
+pub fn render(report: &LintReport) -> String {
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for v in &report.violations {
+        if rules::is_known_rule(v.rule) {
+            *counts.entry((v.rule, v.file.as_str())).or_insert(0) += 1;
+        }
+    }
+    let mut out = String::from(
+        "# Lint baseline — pre-existing debt, ratcheted (see DESIGN.md §12).\n\
+         # Format: <rule> <workspace-relative-file> <count>\n\
+         # Regenerate (only ever downward) with: cargo xtask lint --write-baseline\n",
+    );
+    for ((rule, file), count) in &counts {
+        out.push_str(&format!("{rule} {file} {count}\n"));
+    }
+    out
+}
+
+fn rule_names() -> String {
+    rules::RULES
+        .iter()
+        .map(|r| r.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    fn report(violations: Vec<Violation>) -> LintReport {
+        LintReport {
+            files_scanned: 1,
+            violations,
+            ..LintReport::default()
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let b = parse(
+            "# header\n\
+             no-panic crates/sim/src/a.rs 2\n\
+             \n\
+             float-eq crates/core/src/b.rs 1  # trailing note\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].count, 2);
+        assert_eq!(b.entries[1].line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_malformed_lines_zero_counts_and_dupes() {
+        assert!(parse("no-such-rule f.rs 1\n").is_err());
+        assert!(parse("no-panic f.rs\n").is_err());
+        assert!(parse("no-panic f.rs many\n").is_err());
+        assert!(parse("no-panic f.rs 0\n").is_err());
+        assert!(parse("no-panic f.rs 1\nno-panic f.rs 2\n").is_err());
+    }
+
+    #[test]
+    fn suppresses_up_to_count_lowest_lines_first() {
+        let mut r = report(vec![
+            v("no-panic", "a.rs", 3),
+            v("no-panic", "a.rs", 9),
+            v("no-panic", "a.rs", 12),
+            v("float-eq", "a.rs", 5),
+        ]);
+        let b = parse("no-panic a.rs 2\n").unwrap();
+        apply(&mut r, &b, "xtask/lint-baseline.txt");
+        assert_eq!(r.baselined, 2);
+        let remaining: Vec<_> = r.violations.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(remaining, vec![("float-eq", 5), ("no-panic", 12)]);
+    }
+
+    #[test]
+    fn stale_entries_fail_the_ratchet() {
+        let mut r = report(vec![v("no-panic", "a.rs", 3)]);
+        let b = parse("no-panic a.rs 3\n").unwrap();
+        apply(&mut r, &b, "xtask/lint-baseline.txt");
+        assert_eq!(r.baselined, 1);
+        assert_eq!(r.violations.len(), 1);
+        let stale = &r.violations[0];
+        assert_eq!(stale.rule, "stale-baseline");
+        assert_eq!(stale.file, "xtask/lint-baseline.txt");
+        assert_eq!(stale.line, 1);
+        assert!(stale.message.contains("only 1"));
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let mut r = report(vec![v("no-panic", "a.rs", 3)]);
+        let b = parse("no-panic a.rs 1\n").unwrap();
+        apply(&mut r, &b, "xtask/lint-baseline.txt");
+        assert!(r.is_clean());
+        assert_eq!(r.baselined, 1);
+    }
+
+    #[test]
+    fn render_groups_and_sorts() {
+        let r = report(vec![
+            v("no-panic", "b.rs", 1),
+            v("no-panic", "a.rs", 1),
+            v("no-panic", "a.rs", 7),
+        ]);
+        let text = render(&r);
+        let entries: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(entries, vec!["no-panic a.rs 2", "no-panic b.rs 1"]);
+        // Round-trips through the parser.
+        assert_eq!(parse(&text).unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_rules_are_never_baselined() {
+        let r = report(vec![v("unknown-allow", "a.rs", 1)]);
+        assert!(!render(&r).contains("unknown-allow"));
+    }
+}

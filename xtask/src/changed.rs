@@ -1,0 +1,101 @@
+//! `--changed` mode: restrict the report to files differing from a base
+//! ref (default `main`) — the fast pre-commit path.
+//!
+//! The whole workspace is still scanned (cross-file rules like
+//! `governor-doc` need the full declaration index, and the scan is
+//! cheap); only the *reporting* is filtered. Changed files are the union
+//! of `git diff --name-only $(git merge-base <base> HEAD)` (committed,
+//! staged and unstaged work) and untracked files, so the mode sees
+//! exactly what a review of the branch would.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::process::Command;
+
+use crate::report::LintReport;
+
+/// Workspace-relative `.rs` paths differing from `base`.
+pub fn changed_files(root: &Path, base: &str) -> io::Result<BTreeSet<String>> {
+    let merge_base = git(root, &["merge-base", base, "HEAD"])?;
+    let merge_base = merge_base.trim();
+    if merge_base.is_empty() {
+        return Err(io::Error::other(format!(
+            "git merge-base {base} HEAD produced no commit"
+        )));
+    }
+    let mut files = BTreeSet::new();
+    for list in [
+        git(root, &["diff", "--name-only", merge_base])?,
+        git(root, &["ls-files", "--others", "--exclude-standard"])?,
+    ] {
+        for line in list.lines() {
+            let path = line.trim();
+            if path.ends_with(".rs") {
+                files.insert(path.to_string());
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// Restricts `report` to violations in `changed` files (stale-baseline
+/// findings survive only if the baseline file itself changed — debt
+/// bookkeeping is a whole-tree concern, not a per-branch one).
+pub fn filter_report(report: &mut LintReport, changed: &BTreeSet<String>) {
+    report.violations.retain(|v| changed.contains(&v.file));
+    report.files_changed = Some(changed.len());
+}
+
+fn git(root: &Path, args: &[&str]) -> io::Result<String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .map_err(|e| io::Error::other(format!("failed to run git {}: {e}", args.join(" "))))?;
+    if !out.status.success() {
+        return Err(io::Error::other(format!(
+            "git {} failed: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        )));
+    }
+    String::from_utf8(out.stdout)
+        .map_err(|_| io::Error::other("git produced non-UTF-8 output".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Violation;
+
+    #[test]
+    fn filter_keeps_only_changed_files() {
+        let mut report = LintReport {
+            files_scanned: 3,
+            violations: vec![
+                Violation {
+                    rule: "no-panic",
+                    file: "crates/sim/src/a.rs".into(),
+                    line: 1,
+                    col: 1,
+                    message: "m".into(),
+                },
+                Violation {
+                    rule: "no-panic",
+                    file: "crates/sim/src/b.rs".into(),
+                    line: 2,
+                    col: 1,
+                    message: "m".into(),
+                },
+            ],
+            ..LintReport::default()
+        };
+        let changed: BTreeSet<String> = ["crates/sim/src/b.rs".to_string()].into();
+        filter_report(&mut report, &changed);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].file, "crates/sim/src/b.rs");
+        assert_eq!(report.files_changed, Some(1));
+    }
+}

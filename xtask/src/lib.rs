@@ -1,19 +1,32 @@
 //! Workspace automation for stadvs: domain lints and the bench pipeline.
 //!
-//! `cargo xtask lint` enforces five invariants that clippy cannot express
-//! (see [`rules::RULES`]): epsilon-safe float comparisons, panic-free
-//! guarantee crates, documented governor safety arguments, cast-free
-//! claims arithmetic, and allocation-free simulator loops. The
-//! implementation is dependency-free on purpose — a hand-rolled lexer
-//! ([`lexer`]) rather than a parser crate — so the gate itself adds
+//! `cargo xtask lint` enforces eleven invariants that clippy cannot
+//! express (see [`rules::RULES`]): epsilon-safe float comparisons,
+//! panic-free guarantee crates, documented governor safety arguments,
+//! cast-free claims arithmetic, allocation-free simulator loops,
+//! exhaustive overrun-policy matches — and the determinism contract
+//! (DESIGN.md §12): no hash-order iteration, no unordered or parallel
+//! f64 reductions, no wall-clock reads in simulated code, no unseeded
+//! randomness, no shared mutable globals. The implementation is
+//! dependency-free on purpose — a hand-rolled lexer ([`lexer`]) plus a
+//! syntactic index ([`syntax`]) with use-resolution and scope-tracked
+//! type bindings, rather than a parser crate — so the gate itself adds
 //! nothing to the workspace's supply-chain trust base.
+//!
+//! Findings can be rendered as text, JSON, or SARIF 2.1.0 ([`report`]);
+//! pre-existing debt is ratcheted through a committed baseline file
+//! ([`baseline`]); `--changed` restricts reporting to files differing
+//! from a base ref ([`changed`]).
 //!
 //! `cargo xtask bench` runs the tracked benchmark pipeline ([`bench`]):
 //! the simulator throughput probe, optionally the Criterion suite, and a
 //! regression gate against the committed `BENCH_baseline.json`.
 
+pub mod baseline;
 pub mod bench;
+pub mod changed;
 pub mod lexer;
 pub mod lint;
 pub mod report;
 pub mod rules;
+pub mod syntax;

@@ -13,13 +13,22 @@
 //! * `as-cast` runs in `core` (the claims/ledger arithmetic);
 //! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops) and in
 //!   the per-dispatch analysis files `crates/core/src/sources/demand.rs`
-//!   and `crates/core/src/slack_edf.rs`.
+//!   and `crates/core/src/slack_edf.rs`;
+//! * the determinism rules (`nondet-iter`, `unordered-float-reduction`,
+//!   `wall-clock-in-sim`) run in the determinism-bound crates — everything
+//!   that executes between workload generation and CSV aggregation;
+//! * `unseeded-rng` runs everywhere except `xtask` and `bench` (the only
+//!   places allowed to observe the host);
+//! * `shared-mut-state` flags `static mut` everywhere scanned; its lazy
+//!   global check is restricted to the guarantee-critical crates.
 //!
 //! A violation is suppressed by `// xtask:allow(<rule>): <reason>` on the
 //! same or the immediately preceding line, or
 //! `// xtask:allow-file(<rule>): <reason>` anywhere in the file. The
 //! reason is mandatory; a directive without one is inert. Directives
-//! naming unknown rules are themselves reported.
+//! naming unknown rules are themselves reported. Pre-existing debt is
+//! recorded in the committed baseline file instead (see
+//! [`crate::baseline`]).
 
 use std::fs;
 use std::io;
@@ -28,6 +37,7 @@ use std::path::{Path, PathBuf};
 use crate::lexer::{lex, LexedFile};
 use crate::report::{LintReport, Violation};
 use crate::rules;
+use crate::syntax::{self, FileSyntax};
 
 /// Crates whose library code must be panic-free (rule `no-panic`).
 /// `baselines` joined after its construction paths were swept clean:
@@ -52,6 +62,27 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/slack_edf.rs",
 ];
 
+/// Crates bound by the determinism contract (DESIGN.md §12): everything
+/// whose behaviour feeds the bit-identity harnesses — the simulator and
+/// its governors, the slack analysis, workload generation, and the
+/// experiment aggregation that writes golden-pinned CSVs. `cli` only
+/// parses arguments and prints; `bench` and `xtask` measure the host on
+/// purpose.
+const DETERMINISM_CRATES: &[&str] = &[
+    "sim",
+    "core",
+    "power",
+    "analysis",
+    "baselines",
+    "workload",
+    "experiments",
+    "stadvs",
+];
+
+/// Crates exempt from `unseeded-rng`: the lint tooling itself and the
+/// bench binaries (which may time and shuffle on the host).
+const RNG_EXEMPT_CRATES: &[&str] = &["xtask", "bench"];
+
 /// A scanned source file, lexed and classified.
 pub struct SourceFile {
     /// Workspace-relative path with `/` separators.
@@ -61,6 +92,9 @@ pub struct SourceFile {
     pub crate_name: String,
     pub lexed: LexedFile,
     pub mask: Vec<bool>,
+    /// The syntactic index (use-resolution, scoped type bindings) the
+    /// dataflow determinism rules run on.
+    pub syn: FileSyntax,
 }
 
 impl SourceFile {
@@ -69,11 +103,13 @@ impl SourceFile {
     pub fn from_source(rel: &str, crate_name: &str, src: &str) -> SourceFile {
         let lexed = lex(src);
         let mask = rules::test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
         SourceFile {
             rel: rel.to_string(),
             crate_name: crate_name.to_string(),
             lexed,
             mask,
+            syn,
         }
     }
 }
@@ -104,6 +140,7 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
     }
 
     for s in sources {
+        let krate = s.crate_name.as_str();
         let mut found = Vec::new();
         found.extend(rules::check_float_eq(&s.rel, &s.lexed.tokens, &s.mask));
         found.extend(rules::check_governor_doc(
@@ -112,22 +149,55 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
             &s.mask,
             &docs,
         ));
-        if GUARANTEE_CRATES.contains(&s.crate_name.as_str()) {
+        if GUARANTEE_CRATES.contains(&krate) {
             found.extend(rules::check_no_panic(&s.rel, &s.lexed.tokens, &s.mask));
             found.extend(rules::check_fault_policy(&s.rel, &s.lexed.tokens, &s.mask));
         }
-        if CLAIMS_CRATES.contains(&s.crate_name.as_str()) {
+        if CLAIMS_CRATES.contains(&krate) {
             found.extend(rules::check_as_cast(&s.rel, &s.lexed.tokens, &s.mask));
         }
-        if HOT_PATH_CRATES.contains(&s.crate_name.as_str())
-            || HOT_PATH_FILES.contains(&s.rel.as_str())
-        {
+        if HOT_PATH_CRATES.contains(&krate) || HOT_PATH_FILES.contains(&s.rel.as_str()) {
             found.extend(rules::check_hot_path_alloc(
                 &s.rel,
                 &s.lexed.tokens,
                 &s.mask,
             ));
         }
+        if DETERMINISM_CRATES.contains(&krate) {
+            found.extend(rules::check_nondet_iter(
+                &s.rel,
+                &s.lexed.tokens,
+                &s.mask,
+                &s.syn,
+            ));
+            found.extend(rules::check_unordered_float_reduction(
+                &s.rel,
+                &s.lexed.tokens,
+                &s.mask,
+                &s.syn,
+            ));
+            found.extend(rules::check_wall_clock(
+                &s.rel,
+                &s.lexed.tokens,
+                &s.mask,
+                &s.syn,
+            ));
+        }
+        if !RNG_EXEMPT_CRATES.contains(&krate) {
+            found.extend(rules::check_unseeded_rng(
+                &s.rel,
+                &s.lexed.tokens,
+                &s.mask,
+                &s.syn,
+            ));
+        }
+        found.extend(rules::check_shared_mut_state(
+            &s.rel,
+            &s.lexed.tokens,
+            &s.mask,
+            &s.syn,
+            GUARANTEE_CRATES.contains(&krate),
+        ));
         violations.extend(apply_allows(s, found));
         // Directives naming unknown rules are dead suppressions — report
         // them so typos cannot silently disable the gate.
@@ -158,6 +228,7 @@ pub fn analyze(sources: &[SourceFile]) -> LintReport {
     LintReport {
         files_scanned: sources.len(),
         violations,
+        ..LintReport::default()
     }
 }
 
@@ -281,6 +352,61 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         // Other core files stay exempt.
         assert!(one("crates/core/src/ledger.rs", "core", src).is_clean());
+    }
+
+    #[test]
+    fn nondet_iter_scoped_to_determinism_crates() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) { for k in m.keys() { go(k); } }";
+        for krate in ["sim", "experiments", "workload", "analysis"] {
+            let rel = format!("crates/{krate}/src/a.rs");
+            assert_eq!(one(&rel, krate, src).violations.len(), 1, "{krate}");
+        }
+        assert!(one("crates/cli/src/a.rs", "cli", src).is_clean());
+        assert!(one("xtask/src/a.rs", "xtask", src).is_clean());
+    }
+
+    #[test]
+    fn unordered_float_reduction_scoped_to_determinism_crates() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 { m.values().map(|v| v + 1.0).sum::<f64>() }";
+        let report = one("crates/power/src/a.rs", "power", src);
+        // Both the iteration and the reduction fire — each names a
+        // different fix.
+        assert_eq!(report.violations.len(), 2, "{report:?}");
+        assert!(one("crates/bench/src/a.rs", "bench", src).is_clean());
+    }
+
+    #[test]
+    fn wall_clock_scoped_to_determinism_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
+        assert_eq!(one("src/theory.rs", "stadvs", src).violations.len(), 1);
+        assert!(one("crates/bench/src/a.rs", "bench", src).is_clean());
+        assert!(one("crates/cli/src/a.rs", "cli", src).is_clean());
+    }
+
+    #[test]
+    fn unseeded_rng_exempts_only_xtask_and_bench() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", src).violations.len(), 1);
+        assert_eq!(one("crates/cli/src/a.rs", "cli", src).violations.len(), 1);
+        assert!(one("crates/bench/src/a.rs", "bench", src).is_clean());
+        assert!(one("xtask/src/a.rs", "xtask", src).is_clean());
+    }
+
+    #[test]
+    fn shared_mut_state_static_mut_everywhere_lazies_in_guarantee() {
+        let static_mut = "static mut S: u64 = 0;";
+        assert_eq!(
+            one("crates/cli/src/a.rs", "cli", static_mut)
+                .violations
+                .len(),
+            1
+        );
+        let lazy = "use std::sync::OnceLock;\nstatic T: OnceLock<u64> = OnceLock::new();";
+        assert_eq!(one("crates/sim/src/a.rs", "sim", lazy).violations.len(), 2);
+        assert!(one("crates/experiments/src/a.rs", "experiments", lazy).is_clean());
     }
 
     #[test]

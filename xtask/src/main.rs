@@ -1,9 +1,16 @@
 //! `cargo xtask` — workspace automation entry point.
+//!
+//! Exit codes are part of the CLI contract (CI branches on them):
+//! 0 = clean, 1 = violations found, 2 = internal error (bad usage,
+//! unreadable workspace, malformed baseline, git failure).
 
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::baseline;
 use xtask::bench::run_bench;
+use xtask::changed;
 use xtask::lint::lint_workspace;
 use xtask::rules::RULES;
 
@@ -20,15 +27,29 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: cargo xtask lint  [--json] [--list-rules] [--root <dir>]
+usage: cargo xtask lint  [--json | --sarif] [--list-rules] [--root <dir>]
+                         [--baseline <file> | --no-baseline]
+                         [--write-baseline] [--changed] [--base <ref>]
        cargo xtask bench [--quick]
 
-lint: runs the workspace's domain lints. Exits 0 when clean, 1 on
-violations.
+lint: runs the workspace's domain lints. Exit codes: 0 clean, 1
+violations, 2 internal error (bad usage, unreadable workspace,
+malformed baseline).
 
-  --json        machine-readable report on stdout
-  --list-rules  print the rule names and summaries, then exit
-  --root <dir>  lint a different workspace root (default: this workspace)
+  --json             machine-readable report on stdout
+  --sarif            SARIF 2.1.0 log on stdout (GitHub code scanning)
+  --list-rules       print the rule names and summaries, then exit
+  --root <dir>       lint a different workspace root (default: this
+                     workspace)
+  --baseline <file>  baseline file (default: <root>/xtask/lint-baseline.txt;
+                     a missing default is treated as empty)
+  --no-baseline      ignore the baseline — report all debt
+  --write-baseline   rewrite the baseline from the current violations
+                     (the ratchet: run after fixing debt), then exit 0
+  --changed          report only files differing from the base ref (the
+                     whole workspace is still scanned for cross-file
+                     rules); incompatible with --write-baseline
+  --base <ref>       base ref for --changed (default: main)
 
 bench: runs the simulator throughput probe (writes BENCH_sim.json), the
 Criterion suite (skipped with --quick), and fails on a >2x ns/event
@@ -67,43 +88,153 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
-    let mut root: Option<PathBuf> = None;
+struct LintOpts {
+    json: bool,
+    sarif: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    changed: bool,
+    base: String,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<Option<LintOpts>, String> {
+    let mut opts = LintOpts {
+        json: false,
+        sarif: false,
+        root: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        changed: false,
+        base: "main".to_string(),
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--list-rules" => {
-                for rule in RULES {
-                    println!("{}: {}", rule.name, rule.summary);
-                }
-                return ExitCode::SUCCESS;
-            }
+            "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--list-rules" => return Ok(None),
             "--root" => match iter.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --root needs a directory argument");
-                    return ExitCode::from(2);
-                }
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory argument".into()),
             },
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprint!("{USAGE}");
-                return ExitCode::from(2);
-            }
+            "--baseline" => match iter.next() {
+                Some(file) => opts.baseline = Some(PathBuf::from(file)),
+                None => return Err("--baseline needs a file argument".into()),
+            },
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--changed" => opts.changed = true,
+            "--base" => match iter.next() {
+                Some(r) => opts.base = r.clone(),
+                None => return Err("--base needs a ref argument".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    let root = root.unwrap_or_else(workspace_root);
-    let report = match lint_workspace(&root) {
+    if opts.json && opts.sarif {
+        return Err("--json and --sarif are mutually exclusive".into());
+    }
+    if opts.no_baseline && opts.baseline.is_some() {
+        return Err("--no-baseline and --baseline are mutually exclusive".into());
+    }
+    if opts.write_baseline && opts.changed {
+        return Err(
+            "--write-baseline records whole-tree debt and cannot be combined with --changed".into(),
+        );
+    }
+    Ok(Some(opts))
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            for rule in RULES {
+                println!("{}: {}", rule.name, rule.summary);
+            }
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = opts.root.clone().unwrap_or_else(workspace_root);
+    let mut report = match lint_workspace(&root) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("error: {err}");
             return ExitCode::from(2);
         }
     };
-    if json {
+
+    // Baseline resolution: an explicitly named file must exist; the
+    // default path is treated as an empty baseline when absent.
+    let default_baseline = root.join("xtask").join("lint-baseline.txt");
+    let (baseline_path, must_exist) = match &opts.baseline {
+        Some(path) => (path.clone(), true),
+        None => (default_baseline, false),
+    };
+    let baseline_rel = baseline_path
+        .strip_prefix(&root)
+        .unwrap_or(&baseline_path)
+        .to_string_lossy()
+        .replace('\\', "/");
+
+    if opts.write_baseline {
+        let text = baseline::render(&report);
+        if let Some(parent) = baseline_path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(err) = fs::write(&baseline_path, &text) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        println!("wrote {} ({entries} entr(ies))", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if !opts.no_baseline {
+        match fs::read_to_string(&baseline_path) {
+            Ok(text) => {
+                let parsed = match baseline::parse(&text) {
+                    Ok(parsed) => parsed,
+                    Err(err) => {
+                        eprintln!("error: {err}");
+                        return ExitCode::from(2);
+                    }
+                };
+                baseline::apply(&mut report, &parsed, &baseline_rel);
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound && !must_exist => {}
+            Err(err) => {
+                eprintln!("error: cannot read {}: {err}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.changed {
+        let changed_set = match changed::changed_files(&root, &opts.base) {
+            Ok(set) => set,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        changed::filter_report(&mut report, &changed_set);
+    }
+
+    if opts.json {
         println!("{}", report.render_json());
+    } else if opts.sarif {
+        println!("{}", report.render_sarif());
     } else {
         print!("{}", report.render_text());
     }

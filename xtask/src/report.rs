@@ -1,11 +1,30 @@
-//! Violation data model and the human/JSON renderers.
+//! Violation data model and the human/JSON/SARIF renderers.
 
 use std::fmt;
+
+use crate::rules::RULES;
+
+/// Synthetic rule ids the linter can report beyond [`RULES`]: dead allow
+/// directives and stale baseline entries. They appear in SARIF rule
+/// metadata so every result's `ruleId` resolves.
+pub const SYNTHETIC_RULES: &[(&str, &str)] = &[
+    (
+        "unknown-allow",
+        "an xtask:allow directive names a rule the linter does not know — \
+         a typo here silently disables the gate",
+    ),
+    (
+        "stale-baseline",
+        "a baseline entry allows more violations than remain — ratchet \
+         down with `cargo xtask lint --write-baseline`",
+    ),
+];
 
 /// One finding, anchored to a workspace-relative path and 1-based span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable rule name (one of [`crate::rules::RULES`]).
+    /// Stable rule name (one of [`crate::rules::RULES`] or
+    /// [`SYNTHETIC_RULES`]).
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub file: String,
@@ -29,6 +48,11 @@ impl fmt::Display for Violation {
 pub struct LintReport {
     pub files_scanned: usize,
     pub violations: Vec<Violation>,
+    /// Violations suppressed by the committed baseline file.
+    pub baselined: usize,
+    /// In `--changed` mode, how many changed files the report was
+    /// restricted to.
+    pub files_changed: Option<usize>,
 }
 
 impl LintReport {
@@ -44,9 +68,17 @@ impl LintReport {
             out.push_str(&v.to_string());
             out.push('\n');
         }
+        let scanned = match self.files_changed {
+            Some(changed) => format!("{} file(s) scanned ({changed} changed)", self.files_scanned),
+            None => format!("{} file(s) scanned", self.files_scanned),
+        };
+        let baselined = if self.baselined > 0 {
+            format!(", {} baselined", self.baselined)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{} file(s) scanned, {} violation(s)\n",
-            self.files_scanned,
+            "{scanned}, {} violation(s){baselined}\n",
             self.violations.len()
         ));
         out
@@ -56,7 +88,11 @@ impl LintReport {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        if let Some(changed) = self.files_changed {
+            out.push_str(&format!("\"files_changed\":{changed},"));
+        }
         out.push_str(&format!("\"violation_count\":{},", self.violations.len()));
+        out.push_str(&format!("\"baselined\":{},", self.baselined));
         out.push_str("\"violations\":[");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -72,6 +108,70 @@ impl LintReport {
             ));
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Renders a SARIF 2.1.0 log for GitHub code scanning. Every result's
+    /// `ruleId` resolves through `ruleIndex` into the driver's rule
+    /// metadata; file URIs are workspace-relative under `%SRCROOT%`.
+    pub fn render_sarif(&self) -> String {
+        let rule_ids: Vec<(&str, &str)> = RULES
+            .iter()
+            .map(|r| (r.name, r.summary))
+            .chain(SYNTHETIC_RULES.iter().copied())
+            .collect();
+        let rule_index = |id: &str| rule_ids.iter().position(|(name, _)| *name == id);
+
+        let mut out = String::from("{");
+        out.push_str(
+            "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{",
+        );
+        out.push_str("\"tool\":{\"driver\":{");
+        out.push_str("\"name\":\"stadvs-xtask-lint\",");
+        out.push_str(&format!(
+            "\"version\":{},",
+            json_string(env!("CARGO_PKG_VERSION"))
+        ));
+        out.push_str("\"informationUri\":\"https://github.com/stadvs/stadvs\",\"rules\":[");
+        for (i, (name, summary)) in rule_ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Collapse the summaries' continuation-line whitespace.
+            let summary = summary.split_whitespace().collect::<Vec<_>>().join(" ");
+            out.push_str(&format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+                 \"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+                json_string(name),
+                json_string(&summary)
+            ));
+        }
+        out.push_str("]}},");
+        out.push_str("\"columnKind\":\"utf16CodeUnits\",");
+        out.push_str("\"results\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"ruleId\":{},", json_string(v.rule)));
+            if let Some(idx) = rule_index(v.rule) {
+                out.push_str(&format!("\"ruleIndex\":{idx},"));
+            }
+            out.push_str(&format!(
+                "\"level\":\"error\",\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":{},\"uriBaseId\":\"%SRCROOT%\"}},\
+                 \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}],\
+                 \"partialFingerprints\":{{\"stadvsLintV1\":{}}}}}",
+                json_string(&v.message),
+                json_string(&v.file),
+                v.line.max(1),
+                v.col.max(1),
+                json_string(&format!("{}:{}:{}", v.rule, v.file, v.line))
+            ));
+        }
+        out.push_str("]}]}");
         out
     }
 }
@@ -99,14 +199,8 @@ pub fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_escapes_specials() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-    }
-
-    #[test]
-    fn json_report_shape() {
-        let report = LintReport {
+    fn one_violation_report() -> LintReport {
+        LintReport {
             files_scanned: 2,
             violations: vec![Violation {
                 rule: "float-eq",
@@ -115,11 +209,60 @@ mod tests {
                 col: 7,
                 message: "msg".into(),
             }],
-        };
-        let json = report.render_json();
+            baselined: 0,
+            files_changed: None,
+        }
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let json = one_violation_report().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"violation_count\":1"));
+        assert!(json.contains("\"baselined\":0"));
         assert!(json.contains("\"rule\":\"float-eq\""));
         assert!(json.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn text_report_counts_baselined() {
+        let mut report = one_violation_report();
+        report.baselined = 4;
+        report.files_changed = Some(3);
+        let text = report.render_text();
+        assert!(text.contains("2 file(s) scanned (3 changed), 1 violation(s), 4 baselined"));
+    }
+
+    #[test]
+    fn sarif_has_schema_version_and_resolvable_rules() {
+        let sarif = one_violation_report().render_sarif();
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"ruleId\":\"float-eq\""));
+        assert!(sarif.contains("\"startLine\":3"));
+        // The driver advertises every reportable rule, including the
+        // synthetic ones.
+        for rule in RULES {
+            assert!(
+                sarif.contains(&format!("\"id\":\"{}\"", rule.name)),
+                "missing rule metadata for {}",
+                rule.name
+            );
+        }
+        for (name, _) in SYNTHETIC_RULES {
+            assert!(sarif.contains(&format!("\"id\":\"{name}\"")));
+        }
+    }
+
+    #[test]
+    fn sarif_rule_index_points_at_the_rule() {
+        let sarif = one_violation_report().render_sarif();
+        // float-eq is the first declared rule.
+        assert!(sarif.contains("\"ruleId\":\"float-eq\",\"ruleIndex\":0,"));
     }
 }

@@ -1,4 +1,5 @@
-//! The six domain rules, implemented over the token stream.
+//! The domain rules, implemented over the token stream — plus the
+//! determinism rules, implemented over the [`crate::syntax`] layer.
 //!
 //! Shared infrastructure lives here: `#[cfg(test)]` / `#[test]` masking,
 //! delimiter matching, and operand-window extraction for the comparison
@@ -10,6 +11,11 @@ mod float_eq;
 mod governor_doc;
 mod hot_path_alloc;
 mod no_panic;
+pub(crate) mod nondet_iter;
+mod shared_mut_state;
+mod unordered_float_reduction;
+mod unseeded_rng;
+mod wall_clock;
 
 pub use as_cast::check_as_cast;
 pub use fault_policy::check_fault_policy;
@@ -17,6 +23,11 @@ pub use float_eq::check_float_eq;
 pub use governor_doc::{check_governor_doc, collect_type_docs, TypeDocs};
 pub use hot_path_alloc::check_hot_path_alloc;
 pub use no_panic::check_no_panic;
+pub use nondet_iter::check_nondet_iter;
+pub use shared_mut_state::check_shared_mut_state;
+pub use unordered_float_reduction::check_unordered_float_reduction;
+pub use unseeded_rng::check_unseeded_rng;
+pub use wall_clock::check_wall_clock;
 
 use crate::lexer::{Token, TokenKind};
 
@@ -62,6 +73,41 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no fresh heap allocations (Vec::new, vec!, clone(), \
                   collect(), ...) inside loop bodies of the simulator crate \
                   (crates/sim); hoist buffers into SimScratch and reuse them",
+    },
+    RuleInfo {
+        name: "nondet-iter",
+        summary: "no iteration over HashMap/HashSet in the \
+                  determinism-bound crates — hash order is seeded per \
+                  process and leaks into event sequences and CSVs; use \
+                  BTreeMap/BTreeSet/Vec or sort before iterating",
+    },
+    RuleInfo {
+        name: "unordered-float-reduction",
+        summary: "no .sum()/.fold()/.reduce()/.product() over unordered \
+                  (hash-rooted) or parallel iterators in the \
+                  determinism-bound crates — f64 accumulation is \
+                  order-sensitive; impose a stable order or use the \
+                  order-stable accumulation helpers",
+    },
+    RuleInfo {
+        name: "wall-clock-in-sim",
+        summary: "no Instant::now()/SystemTime::now() in the \
+                  determinism-bound crates — simulated time comes from the \
+                  event queue; real timing belongs in crates/bench",
+    },
+    RuleInfo {
+        name: "unseeded-rng",
+        summary: "no thread_rng()/from_entropy()/OsRng/rand::random() \
+                  outside xtask and the bench binaries — every random \
+                  source must derive from an explicit u64 seed so runs \
+                  replay bit-identically",
+    },
+    RuleInfo {
+        name: "shared-mut-state",
+        summary: "no `static mut` anywhere, and no lazily initialized \
+                  globals (OnceLock, Lazy, lazy_static!, thread_local!) in \
+                  the guarantee crates — thread state explicitly through \
+                  constructors or scratch structs",
     },
 ];
 

@@ -1,0 +1,256 @@
+//! Rule `nondet-iter`: no iteration over `HashMap`/`HashSet` in the
+//! determinism-bound crates.
+//!
+//! The repo's hard guarantee is enforced through bit-identity: golden
+//! traces, the from-scratch demand oracle and the differential harnesses
+//! all assume a run is reproducible to the last f64 bit. `HashMap`
+//! iteration order depends on the per-process `RandomState` seed, so any
+//! hash-ordered loop that feeds event sequences, energy accounting or CSV
+//! rows breaks that discipline silently — the code is correct on every
+//! single run and irreproducible across runs. Keyed access (`get`,
+//! `entry`, `remove`) is fine; it is *enumeration* that leaks the order.
+//!
+//! Detection is dataflow-based (see [`crate::syntax`]): a binding is
+//! hash-typed when its `let`/field/param annotation or constructor RHS
+//! resolves (through `use` aliases) to a hash container, and iteration is
+//! either a `for .. in` over that binding or an order-producing method
+//! call (`iter`, `keys`, `values`, `drain`, ...) on it. Fix by switching
+//! to `BTreeMap`/`BTreeSet`/`Vec`, or sort the drained pairs before use —
+//! or justify with `// xtask:allow(nondet-iter): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::syntax::{receiver_root, FileSyntax};
+
+/// Containers whose iteration order is seed-dependent.
+const HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "AHashMap",
+    "AHashSet",
+];
+
+/// Methods that enumerate a container in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Whether `ty` (a canonical type head) is a hash container.
+pub fn is_hash_type(ty: &str) -> bool {
+    HASH_TYPES.contains(&ty)
+}
+
+pub fn check_nondet_iter(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    syn: &FileSyntax,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || syn.use_mask[i] {
+            continue;
+        }
+        match &tok.kind {
+            // `for pat in <expr> {` where <expr> is a plain path ending in
+            // a hash-typed name.
+            TokenKind::Ident(w) if w == "for" => {
+                if let Some((name, idx)) = for_loop_root(tokens, i) {
+                    if hash_ty(syn, &name, idx).is_some() {
+                        push(&mut out, file, &tokens[idx], &name, syn, idx);
+                    }
+                }
+            }
+            // `<recv>.method()` for an order-producing method.
+            TokenKind::Ident(m) if ITER_METHODS.contains(&m.as_str()) => {
+                let called = tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Open('('));
+                let dot = i.checked_sub(1);
+                let dotted = dot.is_some_and(|d| tokens[d].kind.is_punct("."));
+                if !called || !dotted {
+                    continue;
+                }
+                if let Some((name, _)) = receiver_root(tokens, dot.unwrap_or(0)) {
+                    if hash_ty(syn, &name, i).is_some() {
+                        push(&mut out, file, tok, &name, syn, i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn hash_ty<'a>(syn: &'a FileSyntax, name: &str, idx: usize) -> Option<&'a str> {
+    syn.binding_ty_at(name, idx).filter(|ty| is_hash_type(ty))
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    file: &str,
+    tok: &Token,
+    name: &str,
+    syn: &FileSyntax,
+    idx: usize,
+) {
+    let ty = hash_ty(syn, name, idx).unwrap_or("HashMap");
+    out.push(Violation {
+        rule: "nondet-iter",
+        file: file.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message: format!(
+            "iterating `{name}` ({ty}) — hash iteration order is seeded per \
+             process and leaks into event sequences, energy sums and CSVs; \
+             use BTreeMap/BTreeSet/Vec or sort before iterating, or justify \
+             with `// xtask:allow(nondet-iter): <reason>`"
+        ),
+    });
+}
+
+/// For `for pat in expr {`, returns the root name of `expr` when it is a
+/// plain (possibly borrowed / `self.`-qualified) path: the token index
+/// returned anchors the violation. Method-call iterables (`m.keys()`) are
+/// handled by the method arm instead.
+fn for_loop_root(tokens: &[Token], for_idx: usize) -> Option<(String, usize)> {
+    // Find `in` at depth 0, then the body `{` at depth 0.
+    let mut depth = 0usize;
+    let mut in_idx = None;
+    for (j, t) in tokens.iter().enumerate().skip(for_idx + 1) {
+        match &t.kind {
+            TokenKind::Open('{') if depth == 0 => break,
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.checked_sub(1)?,
+            TokenKind::Ident(w) if depth == 0 && w == "in" => {
+                in_idx = Some(j);
+                break;
+            }
+            TokenKind::Punct(";") if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    let in_idx = in_idx?;
+    let mut body = None;
+    for (j, t) in tokens.iter().enumerate().skip(in_idx + 1) {
+        match &t.kind {
+            TokenKind::Open('{') if depth == 0 => {
+                body = Some(j);
+                break;
+            }
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.checked_sub(1)?,
+            TokenKind::Punct(";") if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    let body = body?;
+    // The iterable must be only `&`, `mut`, `self`, `.` and identifiers.
+    let mut root: Option<(String, usize)> = None;
+    for (j, t) in tokens.iter().enumerate().take(body).skip(in_idx + 1) {
+        match &t.kind {
+            TokenKind::Ident(w) if w == "mut" || w == "self" => {}
+            TokenKind::Ident(n) => root = Some((n.clone(), j)),
+            TokenKind::Punct("&") | TokenKind::Punct(".") => {}
+            _ => return None, // calls, indexing, ranges: not a plain path
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::syntax;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
+        check_nondet_iter("f.rs", &lexed.tokens, &mask, &syn)
+    }
+
+    const PRELUDE: &str = "use std::collections::{HashMap, HashSet};\n";
+
+    #[test]
+    fn flags_for_loop_over_hash_field() {
+        let src = format!(
+            "{PRELUDE}struct S {{ granted: HashMap<u64, f64> }}\n\
+             impl S {{ fn f(&self) {{ for (k, v) in &self.granted {{ use_it(k, v); }} }} }}"
+        );
+        let v = run(&src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("granted"));
+    }
+
+    #[test]
+    fn flags_order_methods_on_hash_bindings() {
+        let src = format!(
+            "{PRELUDE}fn f() {{ let m: HashMap<u32, f64> = HashMap::new(); \
+             let a: f64 = m.values().count(); let b = m.keys().max(); m.drain(); }}"
+        );
+        let v = run(&src);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn keyed_access_is_not_iteration() {
+        let src = format!(
+            "{PRELUDE}fn f() {{ let mut m: HashMap<u32, f64> = HashMap::new(); \
+             m.entry(1).or_insert(0.0); m.remove(&1); m.clear(); m.get(&1); }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, f64>) { for v in m.values() { go(v); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn alias_resolution_still_catches_hash_maps() {
+        let src = "use std::collections::HashMap as Map;\n\
+                   fn f() { let m: Map<u32, f64> = Map::new(); for k in m.keys() { go(k); } }";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn inner_shadow_with_ordered_type_is_fine() {
+        let src = format!(
+            "{PRELUDE}fn f() {{ let m: HashMap<u32, u32> = HashMap::new(); \
+             {{ let m: Vec<u32> = to_sorted(m); for x in &m {{ go(x); }} }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn unknown_receivers_are_not_flagged() {
+        let src = "fn f(m: &Registry) { for x in m.keys() { go(x); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = format!(
+            "{PRELUDE}#[cfg(test)]\nmod t {{ fn f(m: &HashMap<u32, u32>) {{ \
+             for k in m.keys() {{ go(k); }} }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Rule `shared-mut-state`: no `static mut` anywhere, and no lazily
+//! initialized global state in the guarantee-critical crates.
+//!
+//! `static mut` is data-race-prone by construction (Miri and TSan both
+//! flag it) and couples otherwise-independent simulations through
+//! process-global state. Lazy statics (`OnceLock`, `OnceCell`,
+//! `LazyLock`, `lazy_static!`, `thread_local!`) are subtler: their
+//! initialization *timing and order* depend on which thread gets there
+//! first, so any init that observes the environment — or any hot-path
+//! read racing an init — breaks the run-to-run and thread-count
+//! invariance the experiment runner relies on. In guarantee crates,
+//! state is threaded explicitly (`SimScratch`, constructor parameters);
+//! a genuinely pure, deterministic lazy table must say so with
+//! `// xtask:allow(shared-mut-state): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::syntax::FileSyntax;
+
+/// Lazily initialized cell types (flagged in guarantee crates only).
+const LAZY_TYPES: &[&str] = &["OnceLock", "OnceCell", "LazyLock", "LazyCell", "Lazy"];
+
+/// Lazily initialized global macros (flagged in guarantee crates only).
+const LAZY_MACROS: &[&str] = &["lazy_static", "thread_local"];
+
+pub fn check_shared_mut_state(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    syn: &FileSyntax,
+    lazies_in_scope: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || syn.use_mask[i] {
+            continue;
+        }
+        let name = match &tok.kind {
+            TokenKind::Ident(n) => n.as_str(),
+            _ => continue,
+        };
+        if name == "static" && tokens.get(i + 1).is_some_and(|t| t.kind.is_ident("mut")) {
+            out.push(Violation {
+                rule: "shared-mut-state",
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: "`static mut` is shared mutable process state — a data \
+                          race waiting for a second thread and a determinism \
+                          leak across simulations; thread the state explicitly \
+                          (constructor parameter or scratch struct)"
+                    .to_string(),
+            });
+            continue;
+        }
+        if !lazies_in_scope {
+            continue;
+        }
+        let lazy_ty = LAZY_TYPES.contains(&name) || LAZY_TYPES.contains(&syn.canonical(name));
+        let lazy_macro =
+            LAZY_MACROS.contains(&name) && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct("!"));
+        if lazy_ty || lazy_macro {
+            let what = if lazy_macro {
+                format!("{name}!")
+            } else {
+                name.to_string()
+            };
+            out.push(Violation {
+                rule: "shared-mut-state",
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{what}` initializes lazily — init order and timing vary \
+                     with thread interleaving, which breaks run-to-run \
+                     invariance in a guarantee crate; initialize explicitly \
+                     at construction, or justify a pure deterministic table \
+                     with `// xtask:allow(shared-mut-state): <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::syntax;
+
+    fn run(src: &str, lazies: bool) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
+        check_shared_mut_state("f.rs", &lexed.tokens, &mask, &syn, lazies)
+    }
+
+    #[test]
+    fn flags_static_mut_everywhere() {
+        let src = "static mut COUNTER: u64 = 0;\nfn f() {}";
+        assert_eq!(run(src, false).len(), 1);
+        assert_eq!(run(src, true).len(), 1);
+    }
+
+    #[test]
+    fn plain_static_is_fine() {
+        let src = "static TABLE: [f64; 4] = [0.0; 4];\nfn f() {}";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn lazies_flagged_only_in_scope() {
+        let src = "use std::sync::OnceLock;\nstatic T: OnceLock<Table> = OnceLock::new();\n\
+                   lazy_static! { static ref X: u64 = init(); }\nthread_local! { static Y: u64 = 0; }";
+        // OnceLock appears twice outside the use decl (type + ctor), plus
+        // one lazy_static! and one thread_local!.
+        assert_eq!(run(src, true).len(), 4);
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn lazy_static_ident_without_bang_is_fine() {
+        let src = "fn f() { let lazy_static = 3; use_it(lazy_static); }";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)]\nmod t { static mut S: u64 = 0; }";
+        assert!(run(src, true).is_empty());
+    }
+}

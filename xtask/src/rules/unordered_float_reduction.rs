@@ -1,0 +1,257 @@
+//! Rule `unordered-float-reduction`: no `.sum()`/`.fold()`/`.reduce()`/
+//! `.product()` over unordered or parallel iterators in the
+//! determinism-bound crates.
+//!
+//! f64 addition is not associative: summing the same multiset of energies
+//! in two different orders produces two different last bits, and the
+//! bit-identity harnesses (golden traces, the from-scratch demand oracle,
+//! `BENCH_sim.json` gates) treat that as a regression. An iterator is
+//! *unordered* here when its chain is rooted in a hash container
+//! (`values()`, `keys()`, `iter()` on a `HashMap`/`HashSet`-typed
+//! binding) or goes parallel (`par_iter`, `into_par_iter`, `par_bridge`
+//! from rayon — the planned fleet-sweep engine is exactly where this rule
+//! must already be standing).
+//!
+//! Escapes: reductions with an *integer* turbofish (`sum::<u64>()`) are
+//! associative and exempt; folds/reduces whose operator is a pure
+//! min/max are order-insensitive and exempt; everything else must either
+//! impose an order first (collect + stable sort, or the order-stable
+//! accumulation helpers in `stadvs-analysis`) or carry
+//! `// xtask:allow(unordered-float-reduction): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::nondet_iter::is_hash_type;
+use crate::syntax::{chain_info, FileSyntax};
+
+/// Terminal reduction methods whose result depends on operand order.
+const REDUCTIONS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Chain methods that make the stream parallel (rayon).
+const PARALLEL_SOURCES: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
+
+/// Chain methods that enumerate a hash container in storage order.
+const HASH_SOURCES: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Integer turbofish types whose reductions are associative.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+pub fn check_unordered_float_reduction(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    syn: &FileSyntax,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let method = match &tok.kind {
+            TokenKind::Ident(m) if REDUCTIONS.contains(&m.as_str()) => m.as_str(),
+            _ => continue,
+        };
+        // Must be a method call: `.m(` or `.m::<T>(`.
+        if !i
+            .checked_sub(1)
+            .is_some_and(|d| tokens[d].kind.is_punct("."))
+        {
+            continue;
+        }
+        let args_open = match call_open(tokens, i) {
+            Some(o) => o,
+            None => continue,
+        };
+
+        let (methods, root) = chain_info(tokens, i);
+        let parallel = methods
+            .iter()
+            .any(|m| PARALLEL_SOURCES.contains(&m.as_str()));
+        let hash_rooted = root.as_deref().is_some_and(|r| {
+            methods.iter().any(|m| HASH_SOURCES.contains(&m.as_str()))
+                && syn.binding_ty_at(r, i).is_some_and(is_hash_type)
+        });
+        if !parallel && !hash_rooted {
+            continue;
+        }
+
+        // Integer turbofish → associative → exempt.
+        if let Some(ty) = turbofish_ty(tokens, i) {
+            if INT_TYPES.contains(&ty.as_str()) {
+                continue;
+            }
+        }
+        // min/max operator → order-insensitive → exempt.
+        if matches!(method, "fold" | "reduce") && args_are_min_max(tokens, args_open) {
+            continue;
+        }
+
+        let source = if parallel {
+            "a parallel iterator"
+        } else {
+            "a hash container"
+        };
+        out.push(Violation {
+            rule: "unordered-float-reduction",
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`.{method}(..)` over {source} — f64 accumulation is \
+                 order-sensitive and this order is nondeterministic; impose a \
+                 stable order first (collect + sort, or the order-stable \
+                 accumulation helpers), annotate an integer turbofish if the \
+                 sum is integral, or justify with \
+                 `// xtask:allow(unordered-float-reduction): <reason>`"
+            ),
+        });
+    }
+    out
+}
+
+/// The `(` of the call at method ident `i`, skipping a turbofish.
+fn call_open(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.kind.is_punct("::")) {
+        // `::<T>` — skip the angle group (lexer may fuse `>>`).
+        j += 1;
+        let mut angle = 0isize;
+        loop {
+            match tokens.get(j).map(|t| &t.kind) {
+                Some(TokenKind::Punct("<")) => angle += 1,
+                Some(TokenKind::Punct("<<")) => angle += 2,
+                Some(TokenKind::Punct(">")) => angle -= 1,
+                Some(TokenKind::Punct(">>")) => angle -= 2,
+                None => return None,
+                _ => {}
+            }
+            j += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    (tokens.get(j).map(|t| &t.kind) == Some(&TokenKind::Open('('))).then_some(j)
+}
+
+/// The single type name inside a `::<T>` turbofish at method ident `i`.
+fn turbofish_ty(tokens: &[Token], i: usize) -> Option<String> {
+    if !tokens.get(i + 1).is_some_and(|t| t.kind.is_punct("::")) {
+        return None;
+    }
+    if !tokens.get(i + 2).is_some_and(|t| t.kind.is_punct("<")) {
+        return None;
+    }
+    match tokens.get(i + 3).map(|t| &t.kind) {
+        Some(TokenKind::Ident(ty)) => Some(ty.clone()),
+        _ => None,
+    }
+}
+
+/// Whether the call's arguments name `min`/`max` as the reducing
+/// operator (`fold(f64::INFINITY, f64::min)`, `reduce(f64::max)`, or a
+/// `|a, b| a.min(b)` closure) — those are order-insensitive.
+fn args_are_min_max(tokens: &[Token], open: usize) -> bool {
+    let close = match crate::rules::matching_close(tokens, open) {
+        Some(c) => c,
+        None => return false,
+    };
+    tokens[open + 1..close]
+        .iter()
+        .any(|t| t.kind.is_ident("min") || t.kind.is_ident("max"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::syntax;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
+        check_unordered_float_reduction("f.rs", &lexed.tokens, &mask, &syn)
+    }
+
+    #[test]
+    fn flags_sum_over_hash_values() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("hash container"));
+    }
+
+    #[test]
+    fn flags_parallel_sum_and_fold() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * x).sum::<f64>() \
+                   + xs.par_iter().fold(0.0, |a, b| a + b) }";
+        let v = run(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("parallel"));
+    }
+
+    #[test]
+    fn ordered_slice_sum_is_fine() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(run(src).is_empty(), "slice iteration is ordered");
+    }
+
+    #[test]
+    fn integer_turbofish_is_exempt() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u64>) -> u64 { m.values().sum::<u64>() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn min_max_fold_is_exempt() {
+        let src =
+            "fn f(xs: &[f64]) -> f64 { xs.par_iter().copied().fold(f64::INFINITY, f64::min) }";
+        assert!(run(src).is_empty());
+        let src = "fn g(xs: &[f64]) -> Option<f64> { xs.par_iter().copied().reduce(f64::max) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn untyped_float_sum_over_hash_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 { let t: f64 = m.values().sum(); t }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn hash_sum_through_map_chain_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 { m.values().map(|v| v * 2.0).sum::<f64>() }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn fold_on_btree_is_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().fold(0.0, |a, b| a + b) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod t {\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() } }";
+        assert!(run(src).is_empty());
+    }
+}

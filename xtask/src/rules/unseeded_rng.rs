@@ -1,0 +1,136 @@
+//! Rule `unseeded-rng`: no entropy-seeded random sources outside `xtask`
+//! and the bench binaries.
+//!
+//! Every random draw in the workspace flows from an explicit `u64` seed
+//! (`StdRng::seed_from_u64`, the splitmix64 job hashes): that is what
+//! makes workloads, fault plans and whole experiment CSVs replayable.
+//! `thread_rng()`, `from_entropy()` / `from_os_rng()`, `OsRng` and
+//! `rand::random()` all pull operating-system entropy, so a single call
+//! anywhere on the workload→sim→experiment path silently breaks
+//! replayability — the failure only shows up later as a golden-trace
+//! diff that cannot be reproduced.
+//!
+//! Fix by threading a seeded RNG (or deriving a sub-seed) from the
+//! caller; justify genuinely nondeterministic tooling with
+//! `// xtask:allow(unseeded-rng): <reason>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::syntax::FileSyntax;
+
+/// Functions / constructors that read OS entropy.
+const ENTROPY_FNS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+
+/// Entropy-backed generator types.
+const ENTROPY_TYPES: &[&str] = &["OsRng"];
+
+pub fn check_unseeded_rng(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    syn: &FileSyntax,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || syn.use_mask[i] {
+            continue;
+        }
+        let name = match &tok.kind {
+            TokenKind::Ident(n) => n.as_str(),
+            _ => continue,
+        };
+        let what = if ENTROPY_FNS.contains(&name) {
+            format!("{name}()")
+        } else if ENTROPY_TYPES.contains(&name) || ENTROPY_TYPES.contains(&syn.canonical(name)) {
+            name.to_string()
+        } else if name == "random" && is_rand_random(tokens, i, syn) {
+            "rand::random()".to_string()
+        } else {
+            continue;
+        };
+        out.push(Violation {
+            rule: "unseeded-rng",
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{what}` draws operating-system entropy; every random source \
+                 on the workload/sim/experiment path must derive from an \
+                 explicit u64 seed (`StdRng::seed_from_u64`, splitmix64 \
+                 sub-seeds) so runs replay bit-identically — or justify with \
+                 `// xtask:allow(unseeded-rng): <reason>`"
+            ),
+        });
+    }
+    out
+}
+
+/// `random` counts only when it is rand's free function: `rand::random(`
+/// or a bare `random(` resolved through `use rand::random`.
+fn is_rand_random(tokens: &[Token], i: usize, syn: &FileSyntax) -> bool {
+    let called = tokens
+        .get(i + 1)
+        .map(|t| matches!(t.kind, TokenKind::Open('(')) || t.kind.is_punct("::"))
+        .unwrap_or(false);
+    if !called {
+        return false;
+    }
+    let pathed = i >= 2 && tokens[i - 1].kind.is_punct("::") && tokens[i - 2].kind.is_ident("rand");
+    let imported = syn.import_path("random") == Some("rand::random")
+        && !(i >= 1 && tokens[i - 1].kind.is_punct("."));
+    pathed || imported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::syntax;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
+        check_unseeded_rng("f.rs", &lexed.tokens, &mask, &syn)
+    }
+
+    #[test]
+    fn flags_thread_rng_and_from_entropy() {
+        let src = "fn f() { let mut a = rand::thread_rng(); let mut b = StdRng::from_entropy(); }";
+        assert_eq!(run(src).len(), 2);
+    }
+
+    #[test]
+    fn flags_os_rng_uses_but_not_the_import() {
+        let src = "use rand::rngs::OsRng;\nfn f() { let x: u64 = OsRng.gen(); }";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "call site flagged, import masked: {v:?}");
+    }
+
+    #[test]
+    fn flags_rand_random_pathed_and_imported() {
+        let src =
+            "use rand::random;\nfn f() { let a: f64 = rand::random(); let b: f64 = random(); }";
+        assert_eq!(run(src).len(), 2);
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        let src = "use rand::SeedableRng;\n\
+                   fn f(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_random_methods_are_fine() {
+        let src = "fn f(gen: &Workload) { let x = gen.random(); sample_random(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let mut r = rand::thread_rng(); } }";
+        assert!(run(src).is_empty());
+    }
+}

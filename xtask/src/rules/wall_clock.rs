@@ -1,0 +1,120 @@
+//! Rule `wall-clock-in-sim`: no wall-clock reads (`Instant::now`,
+//! `SystemTime::now`) inside the determinism-bound crates.
+//!
+//! Simulated time is the only clock the simulator may observe: every
+//! timestamp in an event sequence, trace or CSV must derive from the
+//! deterministic event queue, never from the host. A wall-clock read in
+//! sim/analysis code is either dead weight or — worse — feeding a
+//! decision (timeouts, adaptive budgets) that makes two runs of the same
+//! seed diverge. Benchmark binaries (`crates/bench`) and the `xtask`
+//! tooling measure real elapsed time on purpose and are out of scope.
+//!
+//! Use-resolution catches renamed imports: `use std::time::Instant as
+//! Clock; Clock::now()` is still flagged.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::syntax::FileSyntax;
+
+/// `std::time` types whose `now()` reads the host clock.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+pub fn check_wall_clock(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    syn: &FileSyntax,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || syn.use_mask[i] {
+            continue;
+        }
+        if !tok.kind.is_ident("now") {
+            continue;
+        }
+        let called = tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Open('('));
+        let pathed = i >= 2 && tokens[i - 1].kind.is_punct("::");
+        if !called || !pathed {
+            continue;
+        }
+        let ty = match &tokens[i - 2].kind {
+            TokenKind::Ident(n) => n,
+            _ => continue,
+        };
+        let canonical = syn.canonical(ty);
+        if !CLOCK_TYPES.contains(&canonical) {
+            continue;
+        }
+        let anchor = &tokens[i - 2];
+        out.push(Violation {
+            rule: "wall-clock-in-sim",
+            file: file.to_string(),
+            line: anchor.line,
+            col: anchor.col,
+            message: format!(
+                "`{ty}::now()` reads the host clock inside a \
+                 determinism-bound crate; simulated time must come from the \
+                 event queue — move timing to `crates/bench`, or justify \
+                 with `// xtask:allow(wall-clock-in-sim): <reason>`"
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::syntax;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let syn = syntax::parse(&lexed.tokens);
+        check_wall_clock("f.rs", &lexed.tokens, &mask, &syn)
+    }
+
+    #[test]
+    fn flags_instant_and_system_time_now() {
+        let src = "use std::time::{Instant, SystemTime};\n\
+                   fn f() { let a = Instant::now(); let b = SystemTime::now(); }";
+        assert_eq!(run(src).len(), 2);
+    }
+
+    #[test]
+    fn flags_fully_pathed_now() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn flags_aliased_import() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }";
+        assert_eq!(run(src).len(), 1, "use-resolution must see through `as`");
+    }
+
+    #[test]
+    fn other_now_methods_are_fine() {
+        let src = "fn f(clock: &SimClock) { let t = clock.now(); let u = Queue::now(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn the_import_itself_is_not_flagged() {
+        let src = "use std::time::Instant;\nfn f() {}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let t = std::time::Instant::now(); } }";
+        assert!(run(src).is_empty());
+    }
+}

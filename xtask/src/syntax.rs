@@ -1,0 +1,809 @@
+//! The second analysis layer: a syntactic pass over the token stream that
+//! recovers just enough item structure for the determinism rules —
+//! use-resolution (including `as` aliases and nested groups) and
+//! scope-tracked type bindings for `let` statements, struct fields and
+//! function parameters.
+//!
+//! This is deliberately not a full parser. It answers two questions the
+//! token-window rules cannot:
+//!
+//! 1. *What does this name resolve to?* `use std::collections::HashMap as
+//!    Map;` makes `Map` a hash map; `use std::time::Instant as Clock;`
+//!    makes `Clock::now()` a wall-clock read.
+//! 2. *What is the declared type of this identifier here?* `let order:
+//!    HashMap<JobId, f64>` makes a later `order.values()` an unordered
+//!    iteration — unless an inner `let order: Vec<_>` shadows it.
+//!
+//! Everything is name-based and per-file: a binding is matched by its
+//! identifier within its token-index scope, fields are visible file-wide,
+//! and types declared in *other* files are invisible. That is the right
+//! trade-off for a lint: it can under-approximate (miss a cross-file hash
+//! field) but its positives are real.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::matching_close;
+
+/// Where a typed binding was introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BindingKind {
+    /// Struct field — visible file-wide (matched through `self.name` or
+    /// any `x.name` receiver).
+    Field,
+    /// Function parameter — visible in the function body.
+    Param,
+    /// `let` binding — visible to the end of its enclosing block.
+    Let,
+}
+
+/// One identifier with a recovered type, valid over a token-index range.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    pub name: String,
+    /// Canonical head of the declared type, alias-resolved: for
+    /// `use std::collections::HashMap as Map; let m: Map<_, _>` this is
+    /// `"HashMap"`.
+    pub ty: String,
+    pub kind: BindingKind,
+    /// Inclusive token-index range in which the binding is visible.
+    pub scope: (usize, usize),
+}
+
+/// The per-file syntax index consumed by the dataflow rules.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// `name in scope` → full `::`-joined import path.
+    imports: HashMap<String, String>,
+    /// All recovered typed bindings, in declaration order.
+    bindings: Vec<Binding>,
+    /// `use_mask[i]`: token `i` lies inside a `use` declaration (rules
+    /// that flag expression-position names skip these).
+    pub use_mask: Vec<bool>,
+}
+
+impl FileSyntax {
+    /// Resolves `name` through the file's imports to its canonical type
+    /// name: the last segment of the imported path, or `name` itself when
+    /// unimported (an unimported name in type position can only be a
+    /// prelude/local type spelled by its real name).
+    pub fn canonical<'a>(&'a self, name: &'a str) -> &'a str {
+        match self.imports.get(name) {
+            Some(path) => path.rsplit("::").next().unwrap_or(name),
+            None => name,
+        }
+    }
+
+    /// The full import path `name` resolves to, if imported.
+    pub fn import_path(&self, name: &str) -> Option<&str> {
+        self.imports.get(name).map(String::as_str)
+    }
+
+    /// The canonical type of `name` at token index `idx`: the innermost
+    /// binding whose scope contains `idx`, with `let` shadowing params
+    /// shadowing fields.
+    pub fn binding_ty_at(&self, name: &str, idx: usize) -> Option<&str> {
+        self.bindings
+            .iter()
+            .filter(|b| b.name == name && b.scope.0 <= idx && idx <= b.scope.1)
+            .max_by_key(|b| (b.scope.0, b.kind))
+            .map(|b| b.ty.as_str())
+    }
+
+    #[cfg(test)]
+    fn binding(&self, name: &str) -> Option<&Binding> {
+        self.bindings.iter().find(|b| b.name == name)
+    }
+}
+
+/// Builds the syntax index for one file's tokens.
+pub fn parse(tokens: &[Token]) -> FileSyntax {
+    let mut syn = FileSyntax {
+        use_mask: vec![false; tokens.len()],
+        ..FileSyntax::default()
+    };
+    collect_imports(tokens, &mut syn);
+    collect_bindings(tokens, &mut syn);
+    syn
+}
+
+// ---------------------------------------------------------------------------
+// Use-resolution.
+
+fn collect_imports(tokens: &[Token], syn: &mut FileSyntax) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.is_ident("use") {
+            let end = parse_use_tree(tokens, i + 1, &mut Vec::new(), syn);
+            // Mark the declaration through its terminating `;`.
+            let semi = (end..tokens.len())
+                .find(|&j| tokens[j].kind.is_punct(";"))
+                .unwrap_or(end.min(tokens.len().saturating_sub(1)));
+            for m in syn.use_mask[i..=semi.min(tokens.len() - 1)].iter_mut() {
+                *m = true;
+            }
+            i = semi + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses one use-tree starting at `i`, accumulating `prefix` segments.
+/// Returns the index just past the tree.
+fn parse_use_tree(
+    tokens: &[Token],
+    i: usize,
+    prefix: &mut Vec<String>,
+    syn: &mut FileSyntax,
+) -> usize {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Open('{')) => {
+            let mut j = i + 1;
+            loop {
+                j = parse_use_tree(tokens, j, prefix, syn);
+                match tokens.get(j).map(|t| &t.kind) {
+                    Some(TokenKind::Punct(",")) => j += 1,
+                    Some(TokenKind::Close('}')) => return j + 1,
+                    _ => return j, // malformed or EOF; bail
+                }
+            }
+        }
+        Some(TokenKind::Punct("*")) => i + 1, // glob: nothing nameable
+        Some(TokenKind::Ident(seg)) => {
+            prefix.push(seg.clone());
+            let next = tokens.get(i + 1).map(|t| &t.kind);
+            let out = if next.is_some_and(|k| k.is_punct("::")) {
+                parse_use_tree(tokens, i + 2, prefix, syn)
+            } else if next.is_some_and(|k| k.is_ident("as")) {
+                match tokens.get(i + 2).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(alias)) => {
+                        syn.imports.insert(alias.clone(), prefix.join("::"));
+                        i + 3
+                    }
+                    _ => i + 3, // `as _`: unnameable, skip
+                }
+            } else {
+                syn.imports.insert(seg.clone(), prefix.join("::"));
+                i + 1
+            };
+            prefix.pop();
+            out
+        }
+        _ => i,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed bindings with scope tracking.
+
+fn collect_bindings(tokens: &[Token], syn: &mut FileSyntax) {
+    // Stack of open-brace token indices; memoized matching closes.
+    let mut blocks: Vec<usize> = Vec::new();
+    let mut closes: HashMap<usize, usize> = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Open('{') => blocks.push(i),
+            TokenKind::Close('}') => {
+                blocks.pop();
+            }
+            TokenKind::Ident(w) if w == "let" && !syn.use_mask[i] => {
+                let scope_end = match blocks.last() {
+                    Some(&open) => *closes
+                        .entry(open)
+                        .or_insert_with(|| matching_close(tokens, open).unwrap_or(tokens.len())),
+                    None => tokens.len().saturating_sub(1),
+                };
+                if let Some((name, ty)) = parse_let(tokens, i, syn) {
+                    syn.bindings.push(Binding {
+                        name,
+                        ty,
+                        kind: BindingKind::Let,
+                        scope: (i, scope_end),
+                    });
+                }
+            }
+            TokenKind::Ident(w) if w == "struct" => {
+                collect_struct_fields(tokens, i, syn);
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                collect_fn_params(tokens, i, syn);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// `let [mut] name : Type = ...` or `let [mut] name = Type::ctor(...)`.
+fn parse_let(tokens: &[Token], let_idx: usize, syn: &FileSyntax) -> Option<(String, String)> {
+    let mut i = let_idx + 1;
+    if tokens.get(i)?.kind.is_ident("mut") {
+        i += 1;
+    }
+    let name = match &tokens.get(i)?.kind {
+        TokenKind::Ident(n) => n.clone(),
+        _ => return None, // tuple / struct pattern: no single binding
+    };
+    i += 1;
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(":")) => {
+            let ty = type_head(tokens, i + 1, syn)?;
+            Some((name, ty))
+        }
+        Some(TokenKind::Punct("=")) => {
+            let ty = ctor_head(tokens, i + 1, syn)?;
+            Some((name, ty))
+        }
+        _ => None,
+    }
+}
+
+/// The canonical head of a type written at `start`: skips `&`, `mut`,
+/// lifetimes and `dyn`/`impl`, then reads a `::`-separated path and takes
+/// its last segment (before any `<` generic arguments).
+fn type_head(tokens: &[Token], start: usize, syn: &FileSyntax) -> Option<String> {
+    let mut i = start;
+    loop {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Punct("&")) | Some(TokenKind::Punct("&&")) => i += 1,
+            Some(TokenKind::Lifetime) => i += 1,
+            Some(TokenKind::Ident(w)) if w == "mut" || w == "dyn" || w == "impl" => i += 1,
+            _ => break,
+        }
+    }
+    let mut head = match &tokens.get(i)?.kind {
+        TokenKind::Ident(seg) => seg.clone(),
+        _ => return None,
+    };
+    i += 1;
+    while tokens.get(i).is_some_and(|t| t.kind.is_punct("::")) {
+        match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokenKind::Ident(seg)) => {
+                head = seg.clone();
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Some(syn.canonical(&head).to_string())
+}
+
+/// Infers a type from a constructor-call RHS: `HashMap::new()`,
+/// `std::collections::HashMap::with_capacity(8)`,
+/// `HashMap::<K, V>::new()`. Returns the canonical type segment.
+fn ctor_head(tokens: &[Token], start: usize, syn: &FileSyntax) -> Option<String> {
+    let mut i = start;
+    while tokens
+        .get(i)
+        .is_some_and(|t| t.kind.is_punct("&") || t.kind.is_ident("mut"))
+    {
+        i += 1;
+    }
+    // Read the leading path run.
+    let mut segs: Vec<String> = Vec::new();
+    loop {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(seg)) => {
+                segs.push(seg.clone());
+                i += 1;
+            }
+            _ => break,
+        }
+        if tokens.get(i).is_some_and(|t| t.kind.is_punct("::")) {
+            // `Type::<args>::ctor(...)` — the turbofish names the type.
+            if tokens.get(i + 1).is_some_and(|t| t.kind.is_punct("<")) {
+                let ty = segs.last()?.clone();
+                return Some(syn.canonical(&ty).to_string());
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    // `Type::ctor(...)` — at least two segments followed by a call.
+    if segs.len() >= 2
+        && tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Open('('))
+    {
+        let ty = segs[segs.len() - 2].clone();
+        return Some(syn.canonical(&ty).to_string());
+    }
+    None
+}
+
+/// Fields of `struct Name { a: T, b: U }` become file-wide bindings.
+fn collect_struct_fields(tokens: &[Token], struct_idx: usize, syn: &mut FileSyntax) {
+    let mut i = struct_idx + 1;
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Ident(_))) {
+        return;
+    }
+    i += 1;
+    i = skip_generics(tokens, i);
+    // `where` clauses on braced structs sit between generics and the body.
+    while i < tokens.len()
+        && !matches!(
+            tokens[i].kind,
+            TokenKind::Open('{') | TokenKind::Open('(') | TokenKind::Punct(";")
+        )
+    {
+        i += 1;
+    }
+    if tokens.get(i).map(|t| &t.kind) != Some(&TokenKind::Open('{')) {
+        return; // tuple or unit struct
+    }
+    let close = match matching_close(tokens, i) {
+        Some(c) => c,
+        None => return,
+    };
+    let file_end = tokens.len().saturating_sub(1);
+    // Split the body into fields at top-level commas.
+    let mut j = i + 1;
+    let mut field_start = j;
+    let mut depth = 0usize;
+    let mut angle = 0isize;
+    while j <= close {
+        match &tokens[j].kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) if j < close => depth = depth.saturating_sub(1),
+            TokenKind::Punct("<") if depth == 0 => angle += 1,
+            TokenKind::Punct("<<") if depth == 0 => angle += 2,
+            TokenKind::Punct(">") if depth == 0 => angle -= 1,
+            TokenKind::Punct(">>") if depth == 0 => angle -= 2,
+            _ => {}
+        }
+        let at_split = (tokens[j].kind.is_punct(",") && depth == 0 && angle <= 0) || j == close;
+        if at_split {
+            record_field(tokens, field_start, j, file_end, syn);
+            field_start = j + 1;
+            angle = 0;
+        }
+        j += 1;
+    }
+}
+
+/// One struct field chunk: `[pub[(..)]] name : Type`.
+fn record_field(tokens: &[Token], start: usize, end: usize, file_end: usize, syn: &mut FileSyntax) {
+    let mut i = start;
+    // Skip attributes, doc comments and visibility.
+    loop {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::DocComment(_)) => i += 1,
+            Some(TokenKind::Punct("#"))
+                if tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Open('[')) =>
+            {
+                match matching_close(tokens, i + 1) {
+                    Some(e) => i = e + 1,
+                    None => return,
+                }
+            }
+            Some(TokenKind::Ident(w)) if w == "pub" => {
+                i += 1;
+                if tokens
+                    .get(i)
+                    .is_some_and(|t| t.kind == TokenKind::Open('('))
+                {
+                    match matching_close(tokens, i) {
+                        Some(e) => i = e + 1,
+                        None => return,
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    if i >= end {
+        return;
+    }
+    let name = match &tokens[i].kind {
+        TokenKind::Ident(n) => n.clone(),
+        _ => return,
+    };
+    if !tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(":")) {
+        return;
+    }
+    if let Some(ty) = type_head(tokens, i + 2, syn) {
+        syn.bindings.push(Binding {
+            name,
+            ty,
+            kind: BindingKind::Field,
+            scope: (0, file_end),
+        });
+    }
+}
+
+/// Parameters of `fn name(...) { ... }` become body-scoped bindings.
+fn collect_fn_params(tokens: &[Token], fn_idx: usize, syn: &mut FileSyntax) {
+    let mut i = fn_idx + 1;
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Ident(_))) {
+        return;
+    }
+    i += 1;
+    i = skip_generics(tokens, i);
+    if tokens.get(i).map(|t| &t.kind) != Some(&TokenKind::Open('(')) {
+        return;
+    }
+    let params_close = match matching_close(tokens, i) {
+        Some(c) => c,
+        None => return,
+    };
+    // The body: first top-level `{` after the signature, unless a `;`
+    // (trait method declaration) ends it first.
+    let mut j = params_close + 1;
+    let mut body = None;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Open('{') if depth == 0 => {
+                body = Some(j);
+                break;
+            }
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.saturating_sub(1),
+            TokenKind::Punct(";") if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(body_open) = body else { return };
+    let body_close = matching_close(tokens, body_open).unwrap_or(tokens.len() - 1);
+
+    // Split the parameter list at top-level commas.
+    let mut k = i + 1;
+    let mut chunk_start = k;
+    let mut depth = 0usize;
+    let mut angle = 0isize;
+    while k <= params_close {
+        match &tokens[k].kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) if k < params_close => depth = depth.saturating_sub(1),
+            TokenKind::Punct("<") if depth == 0 => angle += 1,
+            TokenKind::Punct("<<") if depth == 0 => angle += 2,
+            TokenKind::Punct(">") if depth == 0 => angle -= 1,
+            TokenKind::Punct(">>") if depth == 0 => angle -= 2,
+            _ => {}
+        }
+        let at_split =
+            (tokens[k].kind.is_punct(",") && depth == 0 && angle <= 0) || k == params_close;
+        if at_split {
+            record_param(tokens, chunk_start, k, (body_open, body_close), syn);
+            chunk_start = k + 1;
+            angle = 0;
+        }
+        k += 1;
+    }
+}
+
+/// One parameter chunk: `[mut] name : Type` (skips `self` and patterns).
+fn record_param(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    scope: (usize, usize),
+    syn: &mut FileSyntax,
+) {
+    let mut i = start;
+    if tokens.get(i).is_some_and(|t| t.kind.is_ident("mut")) {
+        i += 1;
+    }
+    if i >= end {
+        return;
+    }
+    let name = match &tokens[i].kind {
+        TokenKind::Ident(n) if n != "self" => n.clone(),
+        _ => return,
+    };
+    if !tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(":")) {
+        return;
+    }
+    if let Some(ty) = type_head(tokens, i + 2, syn) {
+        syn.bindings.push(Binding {
+            name,
+            ty,
+            kind: BindingKind::Param,
+            scope,
+        });
+    }
+}
+
+/// Skips a `<...>` generic-parameter list starting at `i`, handling the
+/// lexer's fused `<<`/`>>` shift tokens.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.kind.is_punct("<")) {
+        return i;
+    }
+    let mut angle = 0isize;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct("<") => angle += 1,
+            TokenKind::Punct("<<") => angle += 2,
+            TokenKind::Punct(">") => angle -= 1,
+            TokenKind::Punct(">>") => angle -= 2,
+            TokenKind::Punct(";") | TokenKind::Open('{') => return j, // malformed; bail
+            _ => {}
+        }
+        j += 1;
+        if angle <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Receiver / method-chain recovery (shared by the dataflow rules).
+
+/// The root identifier of the method call whose `.` sits at `dot_idx`:
+/// `granted.keys()` and `self.granted.keys()` both yield `granted`.
+/// Returns `None` when the receiver is a call result or a parenthesized
+/// expression — those cannot be matched against the binding table.
+pub fn receiver_root(tokens: &[Token], dot_idx: usize) -> Option<(String, usize)> {
+    let i = dot_idx.checked_sub(1)?;
+    match &tokens[i].kind {
+        TokenKind::Ident(n) if n != "self" => Some((n.clone(), i)),
+        _ => None,
+    }
+}
+
+/// Index of the `Open` matching the `Close` at `close_idx` (backward scan).
+pub fn matching_open(tokens: &[Token], close_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in (0..=close_idx).rev() {
+        match tokens[i].kind {
+            TokenKind::Close(_) => depth += 1,
+            TokenKind::Open(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks the method chain leftwards from the method identifier at
+/// `method_idx`, returning the chain's earlier method names (nearest
+/// first) and the root identifier when the chain bottoms out in a plain
+/// name: for `self.rows.values().map(f).sum` at `sum`, the methods are
+/// `["map", "values"]` and the root is `Some(("rows", idx_of_values_dot))`.
+pub fn chain_info(tokens: &[Token], method_idx: usize) -> (Vec<String>, Option<String>) {
+    let mut methods = Vec::new();
+    let mut cur = method_idx;
+    loop {
+        // The receiver of the method at `cur` sits before its `.`.
+        let Some(dot) = cur.checked_sub(1) else {
+            return (methods, None);
+        };
+        if !tokens[dot].kind.is_punct(".") {
+            return (methods, None);
+        }
+        let Some(before) = dot.checked_sub(1) else {
+            return (methods, None);
+        };
+        match &tokens[before].kind {
+            // `name.method` — chain bottoms out.
+            TokenKind::Ident(n) => {
+                let root = if n == "self" { None } else { Some(n.clone()) };
+                return (methods, root);
+            }
+            // `expr(...).method` — unwind the call and read its method name.
+            TokenKind::Close(')') => {
+                let Some(open) = matching_open(tokens, before) else {
+                    return (methods, None);
+                };
+                let mut k = match open.checked_sub(1) {
+                    Some(k) => k,
+                    None => return (methods, None),
+                };
+                // Skip a turbofish between the method name and its call:
+                // `sum::<f64>(...)`.
+                if matches!(
+                    tokens[k].kind,
+                    TokenKind::Punct(">") | TokenKind::Punct(">>")
+                ) {
+                    let mut angle = 0isize;
+                    loop {
+                        match &tokens[k].kind {
+                            TokenKind::Punct(">") => angle += 1,
+                            TokenKind::Punct(">>") => angle += 2,
+                            TokenKind::Punct("<") => angle -= 1,
+                            TokenKind::Punct("<<") => angle -= 2,
+                            _ => {}
+                        }
+                        if angle <= 0 {
+                            break;
+                        }
+                        match k.checked_sub(1) {
+                            Some(p) => k = p,
+                            None => return (methods, None),
+                        }
+                    }
+                    match k.checked_sub(1) {
+                        Some(p) if tokens[p].kind.is_punct("::") => match p.checked_sub(1) {
+                            Some(q) => k = q,
+                            None => return (methods, None),
+                        },
+                        _ => return (methods, None),
+                    }
+                }
+                match &tokens[k].kind {
+                    // Only a *method* call continues the chain; a free or
+                    // pathed function call (`make()`, `Foo::new()`) is an
+                    // opaque root.
+                    TokenKind::Ident(m)
+                        if k.checked_sub(1)
+                            .is_some_and(|p| tokens[p].kind.is_punct(".")) =>
+                    {
+                        methods.push(m.clone());
+                        cur = k;
+                    }
+                    _ => return (methods, None),
+                }
+            }
+            _ => return (methods, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn syn(src: &str) -> FileSyntax {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn resolves_plain_grouped_and_aliased_imports() {
+        let s = syn("use std::collections::{HashMap, HashSet as Set};\n\
+                     use std::time::Instant as Clock;\n");
+        assert_eq!(s.import_path("HashMap"), Some("std::collections::HashMap"));
+        assert_eq!(s.import_path("Set"), Some("std::collections::HashSet"));
+        assert_eq!(s.canonical("Set"), "HashSet");
+        assert_eq!(s.canonical("Clock"), "Instant");
+        assert_eq!(s.canonical("Unknown"), "Unknown");
+    }
+
+    #[test]
+    fn nested_groups_resolve() {
+        let s = syn("use std::{collections::{HashMap, BTreeMap}, sync::mpsc};\n");
+        assert_eq!(s.import_path("HashMap"), Some("std::collections::HashMap"));
+        assert_eq!(
+            s.import_path("BTreeMap"),
+            Some("std::collections::BTreeMap")
+        );
+        assert_eq!(s.import_path("mpsc"), Some("std::sync::mpsc"));
+    }
+
+    #[test]
+    fn use_mask_covers_declarations() {
+        let s = syn("use rand::thread_rng;\nfn f() { thread_rng(); }\n");
+        let tokens = lex("use rand::thread_rng;\nfn f() { thread_rng(); }\n").tokens;
+        let first = tokens
+            .iter()
+            .position(|t| t.kind.is_ident("thread_rng"))
+            .unwrap();
+        let second = tokens
+            .iter()
+            .rposition(|t| t.kind.is_ident("thread_rng"))
+            .unwrap();
+        assert!(s.use_mask[first], "import occurrence is masked");
+        assert!(!s.use_mask[second], "call site is not masked");
+    }
+
+    #[test]
+    fn let_annotation_and_ctor_inference() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let a: HashMap<u32, f64> = HashMap::new(); \
+                            let b = HashMap::with_capacity(4); \
+                            let c = HashMap::<u32, f64>::new(); \
+                            let d: Vec<f64> = Vec::new(); }";
+        let s = syn(src);
+        assert_eq!(s.binding("a").unwrap().ty, "HashMap");
+        assert_eq!(s.binding("b").unwrap().ty, "HashMap");
+        assert_eq!(s.binding("c").unwrap().ty, "HashMap");
+        assert_eq!(s.binding("d").unwrap().ty, "Vec");
+    }
+
+    #[test]
+    fn alias_resolves_in_type_position() {
+        let s = syn(
+            "use std::collections::HashMap as Map;\nfn f() { let m: Map<u32, f64> = Map::new(); }",
+        );
+        assert_eq!(s.binding("m").unwrap().ty, "HashMap");
+    }
+
+    #[test]
+    fn struct_fields_are_file_wide() {
+        let src = "struct G { granted: HashMap<u64, f64>, order: Vec<f64> }\n\
+                   fn late() {}";
+        let s = syn(src);
+        let b = s.binding("granted").unwrap();
+        assert_eq!(b.ty, "HashMap");
+        assert_eq!(b.kind, BindingKind::Field);
+        // Visible at the end of the file.
+        let n = lex(src).tokens.len();
+        assert_eq!(s.binding_ty_at("granted", n - 1), Some("HashMap"));
+    }
+
+    #[test]
+    fn fn_params_scope_to_the_body() {
+        let src = "fn f(map: &HashMap<u32, f64>) { body(); }\nfn g() { after(); }";
+        let s = syn(src);
+        let tokens = lex(src).tokens;
+        let body = tokens.iter().position(|t| t.kind.is_ident("body")).unwrap();
+        let after = tokens
+            .iter()
+            .position(|t| t.kind.is_ident("after"))
+            .unwrap();
+        assert_eq!(s.binding_ty_at("map", body), Some("HashMap"));
+        assert_eq!(s.binding_ty_at("map", after), None);
+    }
+
+    #[test]
+    fn let_scope_ends_at_block_close_and_shadows() {
+        let src =
+            "fn f() { let m: HashMap<u32, u32> = x; { let m: Vec<u32> = y; inner(); } outer(); }";
+        let s = syn(src);
+        let tokens = lex(src).tokens;
+        let inner = tokens
+            .iter()
+            .position(|t| t.kind.is_ident("inner"))
+            .unwrap();
+        let outer = tokens
+            .iter()
+            .position(|t| t.kind.is_ident("outer"))
+            .unwrap();
+        assert_eq!(
+            s.binding_ty_at("m", inner),
+            Some("Vec"),
+            "inner shadow wins"
+        );
+        assert_eq!(s.binding_ty_at("m", outer), Some("HashMap"));
+    }
+
+    #[test]
+    fn generic_fn_params_are_recovered() {
+        let src = "fn f<K: Ord>(set: &HashSet<K>) { body(); }";
+        let s = syn(src);
+        let tokens = lex(src).tokens;
+        let body = tokens.iter().position(|t| t.kind.is_ident("body")).unwrap();
+        assert_eq!(s.binding_ty_at("set", body), Some("HashSet"));
+    }
+
+    #[test]
+    fn chain_info_recovers_methods_and_root() {
+        let tokens = lex("let x = self.rows.values().map(f).sum::<f64>();").tokens;
+        let sum = tokens.iter().position(|t| t.kind.is_ident("sum")).unwrap();
+        let (methods, root) = chain_info(&tokens, sum);
+        assert_eq!(methods, vec!["map".to_string(), "values".to_string()]);
+        assert_eq!(root, Some("rows".to_string()));
+    }
+
+    #[test]
+    fn chain_info_gives_up_on_call_results() {
+        let tokens = lex("let x = make().iter().sum::<f64>();").tokens;
+        let sum = tokens.iter().position(|t| t.kind.is_ident("sum")).unwrap();
+        let (methods, root) = chain_info(&tokens, sum);
+        assert_eq!(methods, vec!["iter".to_string()]);
+        assert_eq!(root, None, "make() is not a plain-name root");
+    }
+
+    #[test]
+    fn receiver_root_reads_the_name_before_the_dot() {
+        let tokens = lex("self.granted.keys()").tokens;
+        let dot = tokens.iter().position(|t| t.kind.is_ident("keys")).unwrap() - 1;
+        assert_eq!(
+            receiver_root(&tokens, dot).map(|(n, _)| n),
+            Some("granted".to_string())
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end exit-code contract of `cargo xtask lint`, driven against
+//! throwaway fake workspaces: 0 = clean, 1 = violations, 2 = internal
+//! error. CI branches on these codes, so they are pinned here.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xtask_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_xtask")
+}
+
+/// Creates a unique throwaway workspace root under the target tmp dir.
+fn fake_workspace(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("stadvs-xtask-cli-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, contents).unwrap();
+    }
+    root
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(xtask_bin())
+        .args(args)
+        .output()
+        .expect("xtask binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("xtask exits normally")
+}
+
+const CLEAN: &str = "pub fn ok(a: usize, b: usize) -> bool { a == b }\n";
+const DIRTY: &str = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = fake_workspace("clean", &[("crates/sim/src/lib.rs", CLEAN)]);
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn violations_exit_one() {
+    let root = fake_workspace("dirty", &[("crates/sim/src/lib.rs", DIRTY)]);
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wall-clock-in-sim"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &["lint", "--no-such-flag"][..],
+        &["lint", "--json", "--sarif"][..],
+        &["lint", "--changed", "--write-baseline"][..],
+        &["lint", "--baseline"][..],
+        &["no-such-subcommand"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(code(&out), 2, "{args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn missing_explicit_baseline_exits_two_but_missing_default_is_fine() {
+    let root = fake_workspace("nobase", &[("crates/sim/src/lib.rs", CLEAN)]);
+    let out = run(&[
+        "lint",
+        "--root",
+        root.to_str().unwrap(),
+        "--baseline",
+        root.join("nope.txt").to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    // No xtask/lint-baseline.txt in the fake root — still clean.
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn malformed_baseline_exits_two() {
+    let root = fake_workspace(
+        "badbase",
+        &[
+            ("crates/sim/src/lib.rs", CLEAN),
+            ("xtask/lint-baseline.txt", "no-such-rule a.rs 1\n"),
+        ],
+    );
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+}
+
+#[test]
+fn baseline_suppression_exits_zero_and_stale_exits_one() {
+    let files = &[
+        ("crates/sim/src/lib.rs", DIRTY),
+        (
+            "xtask/lint-baseline.txt",
+            "wall-clock-in-sim crates/sim/src/lib.rs 1\n",
+        ),
+    ];
+    let root = fake_workspace("based", files);
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 baselined"), "{stdout}");
+
+    // --no-baseline reports the debt again.
+    let out = run(&["lint", "--root", root.to_str().unwrap(), "--no-baseline"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+
+    // Fix the violation but keep the baseline entry → stale, exit 1.
+    fs::write(root.join("crates/sim/src/lib.rs"), CLEAN).unwrap();
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale-baseline"), "{stdout}");
+}
+
+#[test]
+fn write_baseline_records_debt_then_lint_is_clean() {
+    let root = fake_workspace("write", &[("crates/sim/src/lib.rs", DIRTY)]);
+    let out = run(&["lint", "--root", root.to_str().unwrap(), "--write-baseline"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let text = fs::read_to_string(root.join("xtask/lint-baseline.txt")).unwrap();
+    assert!(
+        text.contains("wall-clock-in-sim crates/sim/src/lib.rs 1"),
+        "{text}"
+    );
+    let out = run(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn changed_mode_reports_only_changed_files() {
+    let root = fake_workspace(
+        "changed",
+        &[
+            ("crates/sim/src/lib.rs", CLEAN),
+            ("crates/core/src/lib.rs", CLEAN),
+        ],
+    );
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&root)
+            .args(args)
+            .output()
+            .expect("git runs");
+        assert!(out.status.success(), "git {args:?}: {out:?}");
+    };
+    git(&["init", "-q"]);
+    git(&["config", "user.email", "t@example.com"]);
+    git(&["config", "user.name", "t"]);
+    git(&["add", "-A"]);
+    git(&["commit", "-qm", "seed"]);
+
+    // An untracked dirty file is "changed" relative to HEAD.
+    fs::create_dir_all(root.join("crates/power/src")).unwrap();
+    fs::write(root.join("crates/power/src/lib.rs"), DIRTY).unwrap();
+    let out = run(&[
+        "lint",
+        "--root",
+        root.to_str().unwrap(),
+        "--changed",
+        "--base",
+        "HEAD",
+    ]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(1 changed)"), "{stdout}");
+    assert!(stdout.contains("crates/power/src/lib.rs"), "{stdout}");
+
+    // A bad base ref is an internal error.
+    let out = run(&[
+        "lint",
+        "--root",
+        root.to_str().unwrap(),
+        "--changed",
+        "--base",
+        "no-such-ref",
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+}
+
+#[test]
+fn sarif_and_json_outputs_carry_the_violation() {
+    let root = fake_workspace("formats", &[("crates/sim/src/lib.rs", DIRTY)]);
+    let out = run(&["lint", "--root", root.to_str().unwrap(), "--sarif"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        sarif.contains("\"ruleId\":\"wall-clock-in-sim\""),
+        "{sarif}"
+    );
+
+    let out = run(&["lint", "--root", root.to_str().unwrap(), "--json"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\":\"wall-clock-in-sim\""), "{json}");
+}
+
+/// `--list-rules` is informational and always exits 0.
+#[test]
+fn list_rules_exits_zero() {
+    let out = run(&["lint", "--list-rules"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["float-eq", "nondet-iter", "shared-mut-state"] {
+        assert!(stdout.contains(rule), "{stdout}");
+    }
+}

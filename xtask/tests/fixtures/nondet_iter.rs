@@ -1,0 +1,34 @@
+//! Seeded violations for the `nondet-iter` rule. This file is lint-test
+//! data, never compiled into the workspace.
+
+use std::collections::{BTreeMap, HashMap, HashSet as Seen};
+
+/// VIOLATION (line 9): for-loop over a hash map leaks hash order.
+pub fn sum_loop(map: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_id, v) in map {
+        total += v;
+    }
+    total
+}
+
+/// VIOLATION (line 17): `.iter()` on an aliased hash set.
+pub fn first_seen(seen: &Seen<u32>) -> Option<u32> {
+    seen.iter().next().copied()
+}
+
+/// NOT a violation: BTreeMap iterates in key order.
+pub fn ordered(map: &BTreeMap<u32, f64>) -> usize {
+    map.keys().count()
+}
+
+/// NOT a violation: keyed access into a hash map is deterministic.
+pub fn lookup(map: &HashMap<u32, f64>, id: u32) -> f64 {
+    map.get(&id).copied().unwrap_or(0.0)
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn count(map: &HashMap<u32, f64>) -> usize {
+    // xtask:allow(nondet-iter): count is order-insensitive
+    map.keys().count()
+}

@@ -1,0 +1,30 @@
+//! Seeded violations for the `shared-mut-state` rule. This file is
+//! lint-test data, never compiled into the workspace.
+
+use std::sync::OnceLock;
+
+/// VIOLATION (line 7): `static mut` is a data race in waiting.
+static mut EVENT_COUNT: u64 = 0;
+
+/// VIOLATION (line 10, twice): lazy global — annotation and constructor.
+static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+
+/// VIOLATION (line 13): lazy_static initializes on first touch.
+lazy_static! {
+    static ref SPEEDS: Vec<f64> = vec![1.0];
+}
+
+/// VIOLATION (line 18): thread-local state varies per thread.
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+
+/// NOT a violation: a plain const is immutable and deterministic.
+pub const LIMIT: usize = 64;
+
+/// NOT a violation: an eagerly initialized immutable static.
+pub static NAMES: [&str; 2] = ["edf", "st-edf"];
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+// xtask:allow(shared-mut-state): pure lookup table, initialized once
+static CACHE: OnceLock<u64> = OnceLock::new();

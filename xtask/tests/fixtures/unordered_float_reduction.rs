@@ -1,0 +1,40 @@
+//! Seeded violations for the `unordered-float-reduction` rule. This file
+//! is lint-test data, never compiled into the workspace.
+//!
+//! Hash iteration itself is `nondet-iter`'s concern; it is suppressed
+//! file-wide so the spans below stay single-rule.
+
+// xtask:allow-file(nondet-iter): this fixture exercises reductions only
+
+use std::collections::HashMap;
+
+/// VIOLATION (line 13): f64 sum over hash-map values.
+pub fn energy(map: &HashMap<u32, f64>) -> f64 {
+    map.values().map(|v| v * 2.0).sum::<f64>()
+}
+
+/// VIOLATION (line 18): reduce over a parallel iterator.
+pub fn par_total(values: &[f64]) -> f64 {
+    values.par_iter().copied().reduce(|| 0.0, |a, b| a + b)
+}
+
+/// NOT a violation: slice iteration is ordered.
+pub fn plain(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>()
+}
+
+/// NOT a violation: integer sums are associative (turbofish exempt).
+pub fn count(ids: &[u32]) -> u64 {
+    ids.par_iter().map(|x| u64::from(*x)).sum::<u64>()
+}
+
+/// NOT a violation: min/max folds are order-insensitive.
+pub fn peak(values: &[f64]) -> f64 {
+    values.par_iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn allowed(map: &HashMap<u32, f64>) -> f64 {
+    // xtask:allow(unordered-float-reduction): weights sum to 1 by construction
+    map.values().sum::<f64>()
+}

@@ -1,0 +1,41 @@
+//! Seeded violations for the `unseeded-rng` rule. This file is lint-test
+//! data, never compiled into the workspace.
+
+use rand::rngs::OsRng as Entropy;
+
+/// VIOLATION (line 8): thread_rng() seeds from the OS.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// VIOLATION (line 14): from_entropy() draws OS entropy.
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// VIOLATION (line 19): aliased OsRng is entropy-backed.
+pub fn os_backed() -> u64 {
+    Entropy.next_u64()
+}
+
+/// VIOLATION (line 24): rand::random() is thread-local entropy in disguise.
+pub fn coin() -> bool {
+    rand::random()
+}
+
+/// NOT a violation: explicitly seeded generators replay bit-identically.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// NOT a violation: `.random()` is a method on an explicit generator.
+pub fn draw(rng: &mut StdRng) -> f64 {
+    rng.random()
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn salted() -> u64 {
+    // xtask:allow(unseeded-rng): salt only perturbs log file names
+    rand::thread_rng().next_u64()
+}

@@ -1,0 +1,36 @@
+//! Seeded violations for the `wall-clock-in-sim` rule. This file is
+//! lint-test data, never compiled into the workspace.
+
+use std::time::SystemTime as Wall;
+use std::time::{Duration, Instant};
+
+/// VIOLATION (line 9): Instant::now() reads the host clock.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// VIOLATION (line 14): SystemTime::now() through an alias.
+pub fn wall() -> Wall {
+    Wall::now()
+}
+
+/// VIOLATION (line 19): fully pathed call.
+pub fn pathed() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// NOT a violation: `now` as simulated time is the whole point.
+pub fn remaining(now: f64, horizon: f64) -> f64 {
+    horizon - now
+}
+
+/// NOT a violation: Duration construction reads no clock.
+pub fn tick() -> Duration {
+    Duration::from_secs(1)
+}
+
+/// NOT a violation: suppressed with a reasoned allow directive.
+pub fn profiled() -> Instant {
+    // xtask:allow(wall-clock-in-sim): coarse profiling hook, not sim time
+    Instant::now()
+}
