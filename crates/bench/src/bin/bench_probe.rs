@@ -1,5 +1,6 @@
 //! Simulator throughput probe: events/sec and ns/event per governor, plus
-//! allocation counts and an end-to-end `fig1 --quick` wall-clock probe.
+//! allocation counts, a fleet-sweep throughput row (nodes/sec and peak
+//! RSS), and an end-to-end `fig1 --quick` wall-clock probe.
 //!
 //! Writes `BENCH_sim.json` at the repository root (or the current
 //! directory when not launched via cargo). Run through `cargo xtask bench`,
@@ -14,9 +15,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use stadvs_bench::peak_rss_bytes;
 use stadvs_core::sources::{DemandAnalysis, ReclaimedPool};
 use stadvs_experiments::experiments::{by_id, RunOptions};
 use stadvs_experiments::{make_governor, WorkloadCase};
+use stadvs_fleet::{run_fleet, FleetConfig, FleetSpec};
 use stadvs_power::{Platform, Processor, Speed};
 use stadvs_sim::{
     ActiveJob, FaultPlan, Governor, JobRecord, PlatformScratch, PlatformSim, SchedulerView,
@@ -322,6 +325,52 @@ fn probe_platform(budget_secs: f64) -> GovernorRecord {
     }
 }
 
+/// The fleet-sweep throughput row: one streaming `run_fleet` sweep over a
+/// small grid, reported with the same `ns_per_event` key as the governor
+/// records so the xtask regression gate picks it up, plus the fleet-specific
+/// rates (nodes/sec) and the process peak RSS. The sweep runs after every
+/// other probe, so `peak_rss_bytes` reflects the high-water mark including
+/// the fleet path — the acceptance bar is that it stays flat as the node
+/// count grows, which the CI fleet job checks at larger scales.
+struct FleetRecord {
+    nodes: u64,
+    events: u64,
+    ns_per_event: f64,
+    events_per_sec: f64,
+    nodes_per_sec: f64,
+    allocs_per_run: u64,
+    bytes_per_run: u64,
+    peak_rss_bytes: u64,
+}
+
+fn probe_fleet(quick: bool) -> FleetRecord {
+    let spec = if quick {
+        FleetSpec::tiny(42)
+    } else {
+        FleetSpec::tiny(42).with_nodes(4800)
+    };
+    let config = FleetConfig::default();
+
+    let (a0, b0) = alloc_snapshot();
+    let start = Instant::now();
+    let outcome = run_fleet(&spec, &config).expect("probe fleet sweep runs");
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let (a1, b1) = alloc_snapshot();
+    assert!(outcome.complete(), "probe fleet must sweep every node");
+
+    let agg = &outcome.aggregate;
+    FleetRecord {
+        nodes: agg.nodes,
+        events: agg.events,
+        ns_per_event: elapsed * 1.0e9 / agg.events as f64,
+        events_per_sec: agg.events as f64 / elapsed,
+        nodes_per_sec: agg.nodes as f64 / elapsed,
+        allocs_per_run: a1 - a0,
+        bytes_per_run: b1 - b0,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
 /// Formats an f64 for JSON: finite, shortest-ish representation.
 fn jnum(v: f64) -> String {
     if v.is_finite() {
@@ -334,6 +383,7 @@ fn jnum(v: f64) -> String {
 fn render_json(
     records: &[GovernorRecord],
     analysis: &[AnalysisRecord],
+    fleet: &FleetRecord,
     quick: bool,
     end_to_end_secs: f64,
 ) -> String {
@@ -342,12 +392,11 @@ fn render_json(
     out.push_str("  \"schema\": \"stadvs-bench-sim-v1\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"governors\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 < records.len() { "," } else { "" };
+    for r in records {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"workload\": \"{}\", \"events\": {}, \"reps\": {}, \
              \"ns_per_event\": {}, \"events_per_sec\": {}, \"allocs_per_run\": {}, \
-             \"bytes_per_run\": {} }}{comma}\n",
+             \"bytes_per_run\": {} }},\n",
             r.name,
             r.workload,
             r.events,
@@ -358,6 +407,23 @@ fn render_json(
             r.bytes_per_run,
         ));
     }
+    // The fleet sweep rides in the governors array (its `ns_per_event` key
+    // is what the xtask gate greps for); the extra fleet-only fields are
+    // ignored by the gate.
+    out.push_str(&format!(
+        "    {{ \"name\": \"fleet\", \"workload\": \"sweep\", \"events\": {}, \"reps\": 1, \
+         \"ns_per_event\": {}, \"events_per_sec\": {}, \"allocs_per_run\": {}, \
+         \"bytes_per_run\": {}, \"nodes\": {}, \"nodes_per_sec\": {}, \
+         \"peak_rss_bytes\": {} }}\n",
+        fleet.events,
+        jnum(fleet.ns_per_event),
+        jnum(fleet.events_per_sec),
+        fleet.allocs_per_run,
+        fleet.bytes_per_run,
+        fleet.nodes,
+        jnum(fleet.nodes_per_sec),
+        fleet.peak_rss_bytes,
+    ));
     out.push_str("  ],\n");
     out.push_str("  \"analysis\": [\n");
     for (i, r) in analysis.iter().enumerate() {
@@ -375,6 +441,10 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        fleet.peak_rss_bytes
+    ));
     out.push_str(&format!(
         "  \"end_to_end\": {{ \"name\": \"fig1_util_quick\", \"seconds\": {} }}\n",
         jnum(end_to_end_secs)
@@ -468,7 +538,21 @@ fn main() {
     assert!(!table.rows.is_empty(), "fig1 probe produced no rows");
     eprintln!("fig1_util --quick end-to-end: {end_to_end_secs:.3} s");
 
-    let json = render_json(&records, &analysis_rows, quick, end_to_end_secs);
+    // The fleet-sweep throughput row (last, so peak RSS covers the whole
+    // probe including the streaming path).
+    let fleet = probe_fleet(quick);
+    eprintln!(
+        "{:<12} {:<10} {:>9.1} ns/event  {:>12.0} events/s  {:>8.0} nodes/s  \
+         peak RSS {:.1} MiB",
+        "fleet",
+        "sweep",
+        fleet.ns_per_event,
+        fleet.events_per_sec,
+        fleet.nodes_per_sec,
+        fleet.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let json = render_json(&records, &analysis_rows, &fleet, quick, end_to_end_secs);
     // The compile-time manifest dir pins the workspace root regardless of
     // the invoking process's environment or working directory.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

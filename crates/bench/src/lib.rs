@@ -47,6 +47,35 @@ pub fn regenerate(id: &str, opts: &RunOptions) -> Table {
     table
 }
 
+/// Peak resident set size of this process, in bytes (`VmHWM` from
+/// `/proc/self/status`). Returns 0 on platforms without procfs or when
+/// the file is unreadable — callers treat 0 as "unknown", never as an
+/// actual measurement.
+///
+/// The fleet probes report this next to the allocation counters: the
+/// streaming engine's acceptance bar is a peak RSS that stays flat as
+/// the node count grows.
+pub fn peak_rss_bytes() -> u64 {
+    if !cfg!(target_os = "linux") {
+        return 0;
+    }
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// A gnuplot script rendering the table as line series over its numeric
 /// key column (`gnuplot results/<id>.gnuplot` → `results/<id>.svg`).
 /// Returns `None` for tables with non-numeric keys (bar-style tables).
@@ -87,6 +116,17 @@ pub fn gnuplot_script(table: &Table, id: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_reads_as_a_plausible_number() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test binary has certainly touched > 1 MiB.
+            assert!(rss > 1 << 20, "VmHWM parse produced {rss}");
+        } else {
+            assert_eq!(rss, 0);
+        }
+    }
 
     #[test]
     fn gnuplot_only_for_numeric_keys() {

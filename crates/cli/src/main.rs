@@ -10,6 +10,7 @@
 //! stadvs analyze 1e-3:10e-3 5e-3:40e-3     schedulability & speed bounds
 //! stadvs refsets                           the reference embedded task sets
 //! stadvs trace --governor st-edf --out trace.csv
+//! stadvs fleet --quick                     10⁴-node streaming sweep
 //! ```
 
 mod args;
@@ -30,6 +31,8 @@ USAGE:
   stadvs trace    [--governor NAME] [--tasks N | --refset NAME] [--util U]
                   [--bcet R] [--seed K] [--horizon S] [--processor P]
                   [--out FILE] [--chart]
+  stadvs fleet    [--quick] [--nodes N] [--seed K] [--threads T]
+                  [--shard-size N] [--checkpoint FILE] [--out DIR]
 
 PROCESSORS: ideal (default), xscale, strongarm, crusoe, levels:<n>
 GOVERNORS:  no-dvs, static-edf, lpps-edf, cc-edf, dra, dra-ote,
@@ -47,6 +50,7 @@ fn main() {
         Some("analyze") => commands::analyze(&args),
         Some("refsets") => commands::refsets(&args),
         Some("trace") => commands::trace(&args),
+        Some("fleet") => commands::fleet(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -12,6 +12,9 @@
 //! * [`experiments`] — one module per figure/table, each returning a
 //!   [`Table`]; [`experiments::all`] is the registry the bench binaries
 //!   iterate,
+//! * [`shard`] — deterministic sharded execution (shard-local work,
+//!   ordered merge) shared by the runner above and the fleet-scale sweep
+//!   engine in `stadvs-fleet`,
 //! * [`Table`] — markdown/CSV rendering, [`write_csv`] / [`write_markdown`]
 //!   for artifacts.
 //!
@@ -29,6 +32,7 @@
 mod csv;
 pub mod experiments;
 mod runner;
+pub mod shard;
 mod table;
 
 pub use csv::{write_csv, write_markdown};

@@ -443,55 +443,15 @@ impl Comparison {
 
     /// Runs all `cases` in parallel and returns the raw per-case outcomes.
     ///
-    /// Work-stealing over an atomic cursor; each worker owns a
-    /// [`SimScratch`] for the engine's queues and sends `(index, outcome)`
-    /// over a channel to the scope's owning thread, which performs the
-    /// per-slot result writes — no lock is held anywhere, so a slow case
-    /// never serializes the completion of the others.
+    /// Routed through [`crate::shard::run_sharded`] with one case per
+    /// shard: work-stealing over an atomic cursor, one [`SimScratch`] per
+    /// worker for the engine's queues, results combined in case order on
+    /// the calling thread — the same deterministic shard machinery the
+    /// fleet engine streams through, at experiment scale.
     pub fn run_cases_raw(&self, cases: &[WorkloadCase]) -> Vec<Vec<GovernorOutcome>> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(cases.len().max(1));
-        if threads <= 1 || cases.len() <= 1 {
-            let mut scratch = SimScratch::new();
-            return cases
-                .iter()
-                .map(|c| self.run_case_counted(c, &mut scratch).0)
-                .collect();
-        }
-        let mut results: Vec<Option<Vec<GovernorOutcome>>> = vec![None; cases.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let next = &next;
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<GovernorOutcome>)>();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let mut scratch = SimScratch::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cases.len() {
-                            break;
-                        }
-                        let outcome = self.run_case_counted(&cases[i], &mut scratch).0;
-                        if tx.send((i, outcome)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            // Drop the original sender so the receive loop ends once every
-            // worker has finished and released its clone.
-            drop(tx);
-            for (i, outcome) in rx {
-                results[i] = Some(outcome);
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every case was processed"))
-            .collect()
+        crate::shard::run_sharded(cases.len(), None, SimScratch::new, |scratch, i| {
+            self.run_case_counted(&cases[i], scratch).0
+        })
     }
 }
 
@@ -675,50 +635,13 @@ impl PlatformComparison {
     }
 
     /// Runs all `workloads` in parallel and returns raw per-case outcomes
-    /// (work-stealing over an atomic cursor, one [`PlatformScratch`] per
-    /// worker — the same structure as [`Comparison::run_cases_raw`]).
+    /// (one case per shard through [`crate::shard::run_sharded`], one
+    /// [`PlatformScratch`] per worker — the same structure as
+    /// [`Comparison::run_cases_raw`]).
     pub fn run_cases_raw(&self, workloads: &[PlatformWorkload]) -> Vec<Vec<GovernorOutcome>> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(workloads.len().max(1));
-        if threads <= 1 || workloads.len() <= 1 {
-            let mut scratch = PlatformScratch::new();
-            return workloads
-                .iter()
-                .map(|w| self.run_case_with(w, &mut scratch))
-                .collect();
-        }
-        let mut results: Vec<Option<Vec<GovernorOutcome>>> = vec![None; workloads.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let next = &next;
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<GovernorOutcome>)>();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let mut scratch = PlatformScratch::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= workloads.len() {
-                            break;
-                        }
-                        let outcome = self.run_case_with(&workloads[i], &mut scratch);
-                        if tx.send((i, outcome)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for (i, outcome) in rx {
-                results[i] = Some(outcome);
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every workload was processed"))
-            .collect()
+        crate::shard::run_sharded(workloads.len(), None, PlatformScratch::new, |scratch, i| {
+            self.run_case_with(&workloads[i], scratch)
+        })
     }
 }
 
@@ -748,6 +671,16 @@ pub struct AggregatedOutcome {
     pub cases: usize,
 }
 
+/// Aggregates raw per-case outcomes into per-governor statistics.
+///
+/// Numeric order is part of the contract: `results` arrives in case order
+/// (the shard merge in [`crate::shard`] pins it regardless of thread
+/// count), every f64 reduction below walks that order left to right, and
+/// the golden-pinned CSVs diff these exact bits. No sum here crosses a
+/// shard boundary unordered — an aggregation that cannot pin its input
+/// order (hash containers, unmerged parallel workers) must go through
+/// `stadvs_analysis::stable_sum` / `compensated_sum` instead, which is
+/// what the fleet engine's cross-shard accumulators do.
 fn aggregate(governors: &[String], results: &[Vec<GovernorOutcome>]) -> Vec<AggregatedOutcome> {
     governors
         .iter()

@@ -1,0 +1,182 @@
+//! The fleet engine's two determinism acceptance bars:
+//!
+//! 1. **Thread invariance** — the merged aggregate is bit-identical for
+//!    1 worker and N workers (any schedule), pinned by comparing the
+//!    rendered checkpoint text (every f64 as its IEEE bit pattern) and
+//!    the rendered family CSV.
+//! 2. **Resume invariance** — a sweep killed after k shards and resumed
+//!    from its checkpoint finishes bit-identical to an uninterrupted
+//!    run, even under a different thread count.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use stadvs_fleet::{
+    fleet_table, run_fleet, Checkpoint, FleetConfig, FleetOutcome, FleetSpec, PeriodSpread,
+};
+use stadvs_workload::DemandPattern;
+
+/// A one-cell fleet cheap enough to sweep repeatedly in debug builds.
+fn small_spec(master: u64, governor: &str, replications: u64) -> FleetSpec {
+    FleetSpec {
+        master_seed: master,
+        n_tasks: 4,
+        horizon: 0.25,
+        utilizations: vec![0.6],
+        spreads: vec![PeriodSpread::new("narrow", 0.05, 0.2)],
+        governors: vec![governor.to_string()],
+        replications,
+        pattern: DemandPattern::Uniform { min: 0.4, max: 1.0 },
+    }
+}
+
+/// Every output bit of a run, as text: checkpoint render (aggregate
+/// state, f64s as bit patterns) plus the family CSV.
+fn fingerprint(spec: &FleetSpec, shard_size: u64, outcome: &FleetOutcome) -> String {
+    let mut out = Checkpoint::render(spec, shard_size, outcome.shards_done, &outcome.aggregate);
+    out.push_str(&fleet_table(spec, outcome).to_csv());
+    out
+}
+
+fn sweep(spec: &FleetSpec, threads: usize) -> String {
+    let config = FleetConfig {
+        shard_size: 8,
+        threads: Some(threads),
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(spec, &config).expect("fleet runs");
+    assert!(outcome.complete());
+    fingerprint(spec, config.shard_size, &outcome)
+}
+
+#[test]
+fn threads_do_not_change_the_bits() {
+    for master in [1, 2, 3] {
+        // st-edf exercises the incremental slack analysis (with its
+        // debug-build oracle re-check), so it gets a smaller fleet.
+        for (governor, replications) in [("cc-edf", 48), ("st-edf", 16)] {
+            let spec = small_spec(master, governor, replications);
+            let serial = sweep(&spec, 1);
+            let parallel = sweep(&spec, 4);
+            assert_eq!(
+                serial, parallel,
+                "aggregate bits changed with thread count (master {master}, {governor})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn any_master_seed_is_thread_invariant(master in any::<u64>()) {
+        let spec = small_spec(master, "cc-edf", 24);
+        prop_assert_eq!(sweep(&spec, 1), sweep(&spec, 3));
+    }
+}
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stadvs-fleet-{tag}-{}.json", std::process::id()))
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_to_uninterrupted() {
+    let spec = small_spec(9, "cc-edf", 40);
+    let path = temp_checkpoint("resume");
+    let _ = std::fs::remove_file(&path);
+
+    let reference = {
+        let config = FleetConfig {
+            shard_size: 4,
+            threads: Some(2),
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(&spec, &config).expect("uninterrupted run");
+        fingerprint(&spec, config.shard_size, &outcome)
+    };
+
+    // "Kill" after 3 of 10 shards: the engine stops, leaving only the
+    // checkpoint behind.
+    let partial = run_fleet(
+        &spec,
+        &FleetConfig {
+            shard_size: 4,
+            threads: Some(2),
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            max_shards: Some(3),
+        },
+    )
+    .expect("partial run");
+    assert!(!partial.complete());
+    assert_eq!(partial.shards_done, 3);
+
+    // Resume under a *different* thread count.
+    let resumed = run_fleet(
+        &spec,
+        &FleetConfig {
+            shard_size: 4,
+            threads: Some(4),
+            checkpoint: Some(path.clone()),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("resumed run");
+    assert_eq!(resumed.resumed_from, 3);
+    assert!(resumed.complete());
+    assert_eq!(
+        fingerprint(&spec, 4, &resumed),
+        reference,
+        "resumed sweep diverged from the uninterrupted run"
+    );
+
+    // The final checkpoint on disk is complete, parseable and matches.
+    let cp = Checkpoint::load(&path).expect("final checkpoint loads");
+    cp.validate_against(&spec, 4).expect("matches the spec");
+    assert_eq!(cp.shards_done, resumed.shards_total);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_refuses_a_different_spec_or_shard_size() {
+    let spec = small_spec(11, "cc-edf", 16);
+    let path = temp_checkpoint("mismatch");
+    let _ = std::fs::remove_file(&path);
+
+    run_fleet(
+        &spec,
+        &FleetConfig {
+            shard_size: 4,
+            threads: Some(1),
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            max_shards: Some(2),
+        },
+    )
+    .expect("partial run");
+
+    let other = small_spec(12, "cc-edf", 16);
+    let err = run_fleet(
+        &other,
+        &FleetConfig {
+            shard_size: 4,
+            checkpoint: Some(path.clone()),
+            ..FleetConfig::default()
+        },
+    );
+    assert!(err.is_err(), "a different master seed must be rejected");
+
+    let err = run_fleet(
+        &spec,
+        &FleetConfig {
+            shard_size: 8,
+            checkpoint: Some(path.clone()),
+            ..FleetConfig::default()
+        },
+    );
+    assert!(err.is_err(), "a different shard size must be rejected");
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,73 @@
+//! Golden fixture for the `fleet` experiment family.
+//!
+//! Pins the rendered aggregate CSV — grid values *and* the totals /
+//! quantile-sketch notes — byte-for-byte for a fixed small fleet. The
+//! whole pipeline is deterministic (counter-based seeds, pinned shard
+//! merge, compensated sums), so any change to simulation, aggregation or
+//! rendering semantics shows up here as a readable diff.
+//!
+//! Regenerate (after an intentional semantic change) with:
+//!
+//! ```text
+//! STADVS_BLESS=1 cargo test -p stadvs-fleet --test fleet_golden
+//! ```
+
+use stadvs_fleet::{fleet_table, run_fleet, FleetConfig, FleetSpec};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fleet_family.csv");
+
+/// The committed artifact: CSV grid first, then the notes as `# `-prefixed
+/// trailer lines (CSV-comment convention, so the file still loads as CSV).
+fn render() -> String {
+    // 24 cells × 8 replications: every governor × utilization × spread
+    // combination exercised, small enough for debug-build CI.
+    let spec = FleetSpec::tiny(42).with_nodes(192);
+    let config = FleetConfig {
+        shard_size: 32,
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(&spec, &config).expect("fleet runs");
+    assert!(outcome.complete());
+    let table = fleet_table(&spec, &outcome);
+    let mut out = table.to_csv();
+    for note in &table.notes {
+        out.push_str("# ");
+        out.push_str(note);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fleet_family_matches_committed_csv() {
+    let actual = render();
+    if std::env::var("STADVS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+            .expect("create golden dir");
+        std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let expected = match std::fs::read_to_string(FIXTURE) {
+        Ok(text) => text,
+        Err(_) => {
+            // First run on a fresh checkout: create the fixture so it can
+            // be reviewed and committed, instead of failing opaquely.
+            std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+                .expect("create golden dir");
+            std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+            eprintln!("created missing golden fixture {FIXTURE}; review and commit it");
+            return;
+        }
+    };
+    assert_eq!(
+        expected, actual,
+        "fleet family output diverged from the golden CSV"
+    );
+}
+
+/// Two consecutive in-process runs must agree byte-for-byte.
+#[test]
+fn fleet_family_is_deterministic_across_consecutive_runs() {
+    assert_eq!(render(), render());
+}

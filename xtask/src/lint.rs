@@ -11,9 +11,10 @@
 //!   guarantee-critical crates (`sim`, `core`, `power`, `analysis`,
 //!   `baselines`);
 //! * `as-cast` runs in `core` (the claims/ledger arithmetic);
-//! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops) and in
+//! * `hot-path-alloc` runs in `sim` (the per-event dispatch loops), in
 //!   the per-dispatch analysis files `crates/core/src/sources/demand.rs`
-//!   and `crates/core/src/slack_edf.rs`;
+//!   and `crates/core/src/slack_edf.rs`, and in the fleet engine's
+//!   per-node shard loop `crates/fleet/src/engine.rs`;
 //! * the determinism rules (`nondet-iter`, `unordered-float-reduction`,
 //!   `wall-clock-in-sim`) run in the determinism-bound crates — everything
 //!   that executes between workload generation and CSV aggregation;
@@ -60,14 +61,16 @@ const HOT_PATH_CRATES: &[&str] = &["sim"];
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/sources/demand.rs",
     "crates/core/src/slack_edf.rs",
+    "crates/fleet/src/engine.rs",
 ];
 
 /// Crates bound by the determinism contract (DESIGN.md §12): everything
 /// whose behaviour feeds the bit-identity harnesses — the simulator and
-/// its governors, the slack analysis, workload generation, and the
-/// experiment aggregation that writes golden-pinned CSVs. `cli` only
-/// parses arguments and prints; `bench` and `xtask` measure the host on
-/// purpose.
+/// its governors, the slack analysis, workload generation, the experiment
+/// aggregation that writes golden-pinned CSVs, and the fleet sweep engine
+/// (whose merged aggregates and checkpoints must be bit-identical across
+/// thread counts). `cli` only parses arguments and prints; `bench` and
+/// `xtask` measure the host on purpose.
 const DETERMINISM_CRATES: &[&str] = &[
     "sim",
     "core",
@@ -76,6 +79,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "baselines",
     "workload",
     "experiments",
+    "fleet",
     "stadvs",
 ];
 
@@ -355,10 +359,23 @@ mod tests {
     }
 
     #[test]
+    fn hot_path_alloc_covers_the_fleet_engine() {
+        // The fleet engine's per-node shard loop runs once per simulated
+        // node — 10^5..10^6 times per sweep — so it keeps the same
+        // allocation discipline as the dispatch loops.
+        let src = "fn f() { for i in lo..hi { let v = xs.to_vec(); } }";
+        let report = one("crates/fleet/src/engine.rs", "fleet", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "hot-path-alloc");
+        // The rest of the fleet crate is not on the per-node path.
+        assert!(one("crates/fleet/src/spec.rs", "fleet", src).is_clean());
+    }
+
+    #[test]
     fn nondet_iter_scoped_to_determinism_crates() {
         let src = "use std::collections::HashMap;\n\
                    fn f(m: &HashMap<u32, f64>) { for k in m.keys() { go(k); } }";
-        for krate in ["sim", "experiments", "workload", "analysis"] {
+        for krate in ["sim", "experiments", "workload", "analysis", "fleet"] {
             let rel = format!("crates/{krate}/src/a.rs");
             assert_eq!(one(&rel, krate, src).violations.len(), 1, "{krate}");
         }
