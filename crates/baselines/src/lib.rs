@@ -39,5 +39,5 @@ pub use la_edf::LaEdf;
 pub use lpps_edf::LppsEdf;
 pub use no_dvs::NoDvs;
 pub use oracle::OracleStatic;
-pub use registry::{baseline_by_name, baseline_suite, BaselineEntry};
+pub use registry::{baseline_by_name, baseline_suite, BaselineEntry, GovernorCaps};
 pub use static_edf::StaticEdf;

@@ -3,25 +3,68 @@
 //! Every baseline is described by a single [`BaselineEntry`] — its stable
 //! name, a factory producing a *fresh* boxed instance (governors carry
 //! per-run state; a multiprocessor run needs one instance per core), and
-//! the `supports_jitter` capability flag. The flag is the single source of
-//! truth for the laEDF jitter exclusion: laEDF's deferral argument
-//! requires strictly periodic arrivals (DESIGN.md §10), so tests and
-//! experiments derive "safe under release jitter" from the table instead
-//! of keeping ad-hoc name lists.
+//! its [`GovernorCaps`] capability flags. The table is the single source
+//! of truth for every per-regime governor exclusion — jitter, sporadic
+//! arrivals, weakly-hard skips (DESIGN.md §10, §14) — so tests and
+//! experiments derive "safe under regime X" from it instead of keeping
+//! ad-hoc name lists.
 
 use stadvs_sim::Governor;
 
 use crate::{CcEdf, Dra, FeedbackEdf, LaEdf, LppsEdf, NoDvs, StaticEdf};
 
+/// Which workload regimes a governor's hard-real-time argument survives.
+///
+/// Doubles as a *requirement* vector: [`GovernorCaps::default`] requires
+/// nothing, and [`GovernorCaps::covers`] checks an entry's capabilities
+/// against a requirement built from the workload at hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernorCaps {
+    /// Bounded release jitter (delayed arrivals against the periodic
+    /// lattice).
+    pub jitter: bool,
+    /// Sporadic arrival processes (seeded inter-arrival stretches; the
+    /// same delay-only safety class as jitter).
+    pub sporadic: bool,
+    /// Weakly-hard (m,k) skip reclamation: jobs may complete instantly at
+    /// release with zero demand. Every work-conserving baseline treats a
+    /// skip as an (extreme) early completion, so this is universally safe.
+    pub weakly_hard: bool,
+}
+
+impl GovernorCaps {
+    /// Every regime supported.
+    pub const ALL: GovernorCaps = GovernorCaps {
+        jitter: true,
+        sporadic: true,
+        weakly_hard: true,
+    };
+
+    /// Strictly periodic arrivals only: laEDF's lookahead defers work
+    /// against *future periodic* releases, so every delayed-arrival
+    /// regime (jitter, sporadic) is excluded. Skips only remove demand,
+    /// so weakly-hard stays safe.
+    pub const PERIODIC_ONLY: GovernorCaps = GovernorCaps {
+        jitter: false,
+        sporadic: false,
+        weakly_hard: true,
+    };
+
+    /// Whether these capabilities cover `required` — every regime the
+    /// requirement names is supported.
+    pub fn covers(&self, required: GovernorCaps) -> bool {
+        (self.jitter || !required.jitter)
+            && (self.sporadic || !required.sporadic)
+            && (self.weakly_hard || !required.weakly_hard)
+    }
+}
+
 /// One row of the baseline registry.
 pub struct BaselineEntry {
     /// Stable governor name (what [`make`] resolves).
     pub name: &'static str,
-    /// Whether the governor's hard-real-time argument survives bounded
-    /// release jitter (delayed, sporadic-separated arrivals). `false` only
-    /// for laEDF, whose lookahead defers work against *future periodic*
-    /// releases.
-    pub supports_jitter: bool,
+    /// The workload regimes this governor's guarantee argument survives.
+    pub caps: GovernorCaps,
     factory: fn() -> Box<dyn Governor>,
 }
 
@@ -38,42 +81,42 @@ impl BaselineEntry {
 static BASELINES: &[BaselineEntry] = &[
     BaselineEntry {
         name: "no-dvs",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(NoDvs::new()),
     },
     BaselineEntry {
         name: "static-edf",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(StaticEdf::new()),
     },
     BaselineEntry {
         name: "lpps-edf",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(LppsEdf::new()),
     },
     BaselineEntry {
         name: "cc-edf",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(CcEdf::new()),
     },
     BaselineEntry {
         name: "dra",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(Dra::new()),
     },
     BaselineEntry {
         name: "dra-ote",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(Dra::with_one_task_extension()),
     },
     BaselineEntry {
         name: "feedback-edf",
-        supports_jitter: true,
+        caps: GovernorCaps::ALL,
         factory: || Box::new(FeedbackEdf::new()),
     },
     BaselineEntry {
         name: "la-edf",
-        supports_jitter: false,
+        caps: GovernorCaps::PERIODIC_ONLY,
         factory: || Box::new(LaEdf::new()),
     },
 ];
@@ -150,11 +193,49 @@ mod tests {
     fn only_la_edf_lacks_jitter_support() {
         let unsafe_names: Vec<&str> = entries()
             .iter()
-            .filter(|e| !e.supports_jitter)
+            .filter(|e| !e.caps.jitter)
             .map(|e| e.name)
             .collect();
         assert_eq!(unsafe_names, ["la-edf"]);
         assert!(entry("la-edf").is_some());
         assert!(entry("bogus").is_none());
+    }
+
+    #[test]
+    fn sporadic_exclusions_match_jitter_exclusions() {
+        // Sporadic arrivals are delay-only, the same safety class as
+        // jitter — the two columns must agree for every entry.
+        for e in entries() {
+            assert_eq!(e.caps.jitter, e.caps.sporadic, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn every_baseline_supports_weakly_hard_skips() {
+        // A skip is an extreme early completion; every work-conserving
+        // baseline already handles those.
+        for e in entries() {
+            assert!(e.caps.weakly_hard, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn caps_cover_requirements() {
+        let none = GovernorCaps::default();
+        assert!(GovernorCaps::ALL.covers(none));
+        assert!(GovernorCaps::ALL.covers(GovernorCaps::ALL));
+        assert!(GovernorCaps::PERIODIC_ONLY.covers(none));
+        assert!(GovernorCaps::PERIODIC_ONLY.covers(GovernorCaps {
+            weakly_hard: true,
+            ..none
+        }));
+        assert!(!GovernorCaps::PERIODIC_ONLY.covers(GovernorCaps {
+            jitter: true,
+            ..none
+        }));
+        assert!(!GovernorCaps::PERIODIC_ONLY.covers(GovernorCaps {
+            sporadic: true,
+            ..none
+        }));
     }
 }

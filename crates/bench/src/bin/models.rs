@@ -1,0 +1,6 @@
+//! Regenerates the `models` experiment (see DESIGN.md §14).
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let _ = stadvs_bench::regenerate("models", &opts);
+}

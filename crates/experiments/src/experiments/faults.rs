@@ -67,8 +67,8 @@ pub fn run(opts: &RunOptions) -> Table {
     for (label, spec) in regimes() {
         let plan = spec.build().expect("named regimes are valid");
         // laEDF's safety argument does not extend to jittered releases
-        // (module docs); the registry's `supports_jitter` flag keeps it
-        // off regimes without periodic arrivals.
+        // (module docs); the registry's capability table keeps it off
+        // regimes without periodic arrivals.
         let lineup = jitter_safe_lineup(STANDARD_LINEUP, &plan);
         let comparison = Comparison::new(Processor::ideal_continuous(), opts.horizon)
             .with_governors(lineup.iter().copied())

@@ -9,6 +9,7 @@ pub mod fig5_overhead;
 pub mod fig6_patterns;
 pub mod fig7_leakage;
 pub mod fig8_cores;
+pub mod models;
 pub mod tab1_refsets;
 pub mod tab2_bound;
 pub mod tab3_misses;
@@ -153,6 +154,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Graceful degradation under injected faults",
             run: faults::run,
         },
+        Experiment {
+            id: "models",
+            title: "Task models beyond hard-periodic (weakly-hard, sporadic, frame)",
+            run: models::run,
+        },
     ]
 }
 
@@ -176,7 +182,8 @@ mod tests {
         assert!(by_id("fig1_util").is_some());
         assert!(by_id("nope").is_none());
         assert!(by_id("faults").is_some());
-        assert_eq!(experiments.len(), 16);
+        assert!(by_id("models").is_some());
+        assert_eq!(experiments.len(), 17);
     }
 
     #[test]

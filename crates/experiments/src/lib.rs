@@ -37,8 +37,9 @@ mod table;
 
 pub use csv::{write_csv, write_markdown};
 pub use runner::{
-    governor_supports_jitter, jitter_safe_lineup, make_governor, AggregatedOutcome, Comparison,
-    GovernorOutcome, PlatformComparison, PlatformWorkload, WorkloadCase, ORACLE, STANDARD_LINEUP,
-    YDS_BOUND,
+    capable_lineup, governor_caps, governor_supports_jitter, jitter_safe_lineup, make_governor,
+    required_caps, AggregatedOutcome, Comparison, GovernorOutcome, PlatformComparison,
+    PlatformWorkload, WorkloadCase, ORACLE, STANDARD_LINEUP, YDS_BOUND,
 };
+pub use stadvs_baselines::GovernorCaps;
 pub use table::Table;

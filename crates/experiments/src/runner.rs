@@ -1,7 +1,7 @@
 //! The comparison machinery: run many governors on identical workloads.
 
 use stadvs_analysis::{due_within, materialize_jobs, optimal_static_speed, yds_schedule, WorkKind};
-use stadvs_baselines::{registry, OracleStatic};
+use stadvs_baselines::{registry, GovernorCaps, OracleStatic};
 use stadvs_core::{SlackEdf, SlackEdfConfig};
 use stadvs_power::{Platform, Processor, Speed};
 use stadvs_sim::{
@@ -240,29 +240,67 @@ pub fn make_governor(name: &str) -> Option<Box<dyn Governor>> {
         .or_else(|| registry::make(name))
 }
 
-/// Whether `name`'s hard-real-time argument survives bounded release
-/// jitter, derived from the governor tables (the baseline registry's
-/// `supports_jitter` flag; every `st-edf` variant supports jitter).
-/// `None` for unknown names and pseudo-governors.
+/// The capability flags for `name`, derived from the governor tables (the
+/// baseline registry's [`GovernorCaps`] column; every `st-edf` variant
+/// supports every regime). `None` for unknown names and pseudo-governors.
 ///
-/// This is the single source of truth behind the laEDF jitter exclusion —
-/// tests and experiments filter lineups through it instead of hard-coding
-/// name lists.
-pub fn governor_supports_jitter(name: &str) -> Option<bool> {
+/// This is the single source of truth behind every per-regime governor
+/// exclusion (jitter, sporadic, weakly-hard) — tests and experiments
+/// filter lineups through it instead of hard-coding name lists.
+pub fn governor_caps(name: &str) -> Option<GovernorCaps> {
     if ST_EDF_VARIANTS.iter().any(|v| v.name == name) {
-        return Some(true);
+        return Some(GovernorCaps::ALL);
     }
-    registry::entry(name).map(|e| e.supports_jitter)
+    registry::entry(name).map(|e| e.caps)
+}
+
+/// Whether `name`'s hard-real-time argument survives bounded release
+/// jitter (the jitter column of [`governor_caps`]). `None` for unknown
+/// names and pseudo-governors.
+pub fn governor_supports_jitter(name: &str) -> Option<bool> {
+    governor_caps(name).map(|c| c.jitter)
+}
+
+/// Filters a lineup down to the governors whose capabilities cover
+/// `required` (see [`GovernorCaps::covers`]); unknown names are dropped.
+pub fn capable_lineup<'a>(names: &[&'a str], required: GovernorCaps) -> Vec<&'a str> {
+    names
+        .iter()
+        .copied()
+        .filter(|name| governor_caps(name).is_some_and(|caps| caps.covers(required)))
+        .collect()
 }
 
 /// Filters a lineup down to the governors safe to run under a plan with
 /// release jitter (no-op for plans without a jitter channel).
 pub fn jitter_safe_lineup<'a>(names: &[&'a str], plan: &FaultPlan) -> Vec<&'a str> {
-    names
-        .iter()
-        .copied()
-        .filter(|name| !plan.has_jitter() || governor_supports_jitter(name).unwrap_or(false))
-        .collect()
+    if !plan.has_jitter() {
+        return names.to_vec();
+    }
+    capable_lineup(
+        names,
+        GovernorCaps {
+            jitter: true,
+            ..GovernorCaps::default()
+        },
+    )
+}
+
+/// The capability requirements of running `tasks`: sporadic and
+/// weakly-hard flags are set when the set contains a task of that model.
+/// Frame tasks require no extra capability — the boost floor is applied
+/// by the simulator above whatever speed the governor picks.
+pub fn required_caps(tasks: &TaskSet) -> GovernorCaps {
+    use stadvs_sim::TaskKind;
+    let mut required = GovernorCaps::default();
+    for (_, t) in tasks.iter() {
+        match t.kind() {
+            TaskKind::Hard | TaskKind::Frame { .. } => {}
+            TaskKind::WeaklyHard { .. } => required.weakly_hard = true,
+            TaskKind::Sporadic { .. } => required.sporadic = true,
+        }
+    }
+    required
 }
 
 /// A configured comparison: platform, horizon, and governor lineup.
@@ -851,6 +889,53 @@ mod tests {
         assert_eq!(filtered.len(), STANDARD_LINEUP.len() - 1);
         let quiet = jitter_safe_lineup(STANDARD_LINEUP, &FaultPlan::NONE);
         assert_eq!(quiet, STANDARD_LINEUP);
+    }
+
+    #[test]
+    fn caps_are_table_derived() {
+        assert_eq!(governor_caps("la-edf"), Some(GovernorCaps::PERIODIC_ONLY));
+        assert_eq!(governor_caps("cc-edf"), Some(GovernorCaps::ALL));
+        assert_eq!(governor_caps("st-edf"), Some(GovernorCaps::ALL));
+        assert_eq!(governor_caps("st-edf-pace"), Some(GovernorCaps::ALL));
+        assert_eq!(governor_caps(ORACLE), None);
+        assert_eq!(governor_caps("bogus"), None);
+
+        // Sporadic requirements exclude exactly the jitter exclusions.
+        let sporadic_need = GovernorCaps {
+            sporadic: true,
+            ..GovernorCaps::default()
+        };
+        let filtered = capable_lineup(STANDARD_LINEUP, sporadic_need);
+        assert!(!filtered.contains(&"la-edf"));
+        assert_eq!(filtered.len(), STANDARD_LINEUP.len() - 1);
+        // Weakly-hard requirements exclude nobody.
+        let wh_need = GovernorCaps {
+            weakly_hard: true,
+            ..GovernorCaps::default()
+        };
+        assert_eq!(capable_lineup(STANDARD_LINEUP, wh_need), STANDARD_LINEUP);
+        // No requirements: unknown names are still dropped.
+        let with_bogus = ["cc-edf", "bogus"];
+        assert_eq!(
+            capable_lineup(&with_bogus, GovernorCaps::default()),
+            ["cc-edf"]
+        );
+    }
+
+    #[test]
+    fn required_caps_reflect_task_models() {
+        use stadvs_sim::Task;
+        let hard = TaskSet::new(vec![Task::new(1.0, 4.0).unwrap()]).unwrap();
+        assert_eq!(required_caps(&hard), GovernorCaps::default());
+        let mixed = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(1.0, 4.0).unwrap().weakly_hard(1, 2).unwrap(),
+            Task::new(1.0, 8.0).unwrap().sporadic(0.5, 3).unwrap(),
+            Task::new(1.0, 8.0).unwrap().frame(0.5).unwrap(),
+        ])
+        .unwrap();
+        let required = required_caps(&mixed);
+        assert!(required.weakly_hard && required.sporadic && !required.jitter);
     }
 
     #[test]

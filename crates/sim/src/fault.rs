@@ -426,8 +426,10 @@ fn check_probability(field: &'static str, p: f64) -> Result<(), SimError> {
 }
 
 /// The same avalanche mixer the workload crate uses for per-job demand
-/// draws — decorrelated from it by the stream constants above.
-fn splitmix64(mut x: u64) -> u64 {
+/// draws — decorrelated from it by the stream constants above. Shared with
+/// the task-model draws (sporadic gaps, seeded skips), which use their own
+/// stream constants from the same family.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskKind};
 
 /// Identifier of one job: the releasing task and the job's 0-based index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -37,6 +37,9 @@ pub struct ActiveJob {
     pub deadline: f64,
     /// Worst-case execution time at full speed (the job's work budget).
     pub wcet: f64,
+    /// The releasing task's scheduling model, visible to governors so
+    /// model-aware policies can treat weakly-hard or frame jobs specially.
+    pub kind: TaskKind,
     pub(crate) executed: f64,
     pub(crate) wall_used: f64,
     pub(crate) actual: f64,
@@ -65,6 +68,7 @@ impl ActiveJob {
             release,
             deadline,
             wcet,
+            kind: TaskKind::Hard,
             executed: 0.0,
             wall_used: 0.0,
             actual: actual.clamp(0.0, wcet),

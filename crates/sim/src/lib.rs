@@ -50,6 +50,7 @@ mod exec;
 mod fault;
 mod governor;
 mod job;
+mod model;
 mod outcome;
 mod platform_sim;
 mod queue;
@@ -58,15 +59,16 @@ mod simulator;
 mod task;
 mod trace;
 
-pub use audit::{audit_outcome, AuditIssue, AuditReport};
+pub use audit::{audit_outcome, AuditIssue, AuditReport, MkWindow};
 pub use error::SimError;
 pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
+pub use model::{ModelReport, SkipPolicy};
 pub use outcome::{AnalysisStats, SimOutcome};
 pub use platform_sim::{PlatformOutcome, PlatformScratch, PlatformSim};
 pub use render::render_gantt;
 pub use simulator::{MissPolicy, SimConfig, SimScratch, Simulator, TIME_EPS, WORK_EPS};
-pub use task::{Task, TaskId, TaskSet};
+pub use task::{Task, TaskId, TaskKind, TaskSet};
 pub use trace::{Segment, SegmentKind, Trace};

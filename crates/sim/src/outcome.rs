@@ -5,6 +5,7 @@ use stadvs_power::EnergyBreakdown;
 
 use crate::fault::FaultReport;
 use crate::job::JobRecord;
+use crate::model::ModelReport;
 use crate::trace::Trace;
 
 /// Demand-analysis effort counters reported by governors that run a
@@ -46,6 +47,10 @@ pub struct SimOutcome {
     /// without fault injection).
     #[serde(default)]
     pub faults: FaultReport,
+    /// Task-model activity — (m,k) skips, sporadic/frame job counts, frame
+    /// miss streaks (quiet for all-hard task sets).
+    #[serde(default)]
+    pub models: ModelReport,
     /// Demand-analysis effort counters (quiet for governors without a
     /// per-dispatch slack analysis).
     #[serde(default)]
@@ -154,6 +159,7 @@ mod tests {
             idle_time: 99.0,
             transition_time: 0.0,
             faults: FaultReport::default(),
+            models: ModelReport::default(),
             analysis: AnalysisStats::default(),
             trace: None,
         }

@@ -381,6 +381,7 @@ impl PlatformSim {
             idle_time: horizon,
             transition_time: 0.0,
             faults: FaultReport::default(),
+            models: crate::model::ModelReport::default(),
             analysis: crate::outcome::AnalysisStats::default(),
             trace,
         }

@@ -7,9 +7,10 @@ use crate::exec::ExecutionSource;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 use crate::governor::{Governor, SchedulerView};
 use crate::job::{ActiveJob, JobId, JobRecord};
+use crate::model::{mk_skip_allowed, ModelReport, SkipPolicy};
 use crate::outcome::SimOutcome;
 use crate::queue::{ReadySet, ReleaseQueue};
-use crate::task::{TaskId, TaskSet};
+use crate::task::{TaskId, TaskKind, TaskSet};
 use crate::trace::{Segment, SegmentKind, Trace};
 use crate::SimError;
 
@@ -37,6 +38,10 @@ pub struct SimConfig {
     record_trace: bool,
     miss_policy: MissPolicy,
     max_events: u64,
+    /// Defaulted on deserialization so pre-model configurations load
+    /// unchanged.
+    #[serde(default)]
+    skip_policy: SkipPolicy,
 }
 
 impl Default for SimConfig {
@@ -51,6 +56,7 @@ impl Default for SimConfig {
             record_trace: false,
             miss_policy: MissPolicy::Record,
             max_events: 20_000_000,
+            skip_policy: SkipPolicy::Greedy,
         }
     }
 }
@@ -102,6 +108,13 @@ impl SimConfig {
         self
     }
 
+    /// Sets the (m,k)-firm skip policy (see [`SkipPolicy`]); irrelevant for
+    /// task sets without weakly-hard tasks.
+    pub fn with_skip_policy(mut self, policy: SkipPolicy) -> SimConfig {
+        self.skip_policy = policy;
+        self
+    }
+
     /// Sets the runaway guard (maximum scheduler events).
     ///
     /// # Errors
@@ -132,6 +145,11 @@ impl SimConfig {
     pub fn miss_policy(&self) -> MissPolicy {
         self.miss_policy
     }
+
+    /// The (m,k)-firm skip policy.
+    pub fn skip_policy(&self) -> SkipPolicy {
+        self.skip_policy
+    }
 }
 
 /// Reusable working memory for [`Simulator::run_with_scratch`].
@@ -152,6 +170,16 @@ pub struct SimScratch {
     /// release is suppressed. Fully reset at the start of each run — a
     /// stale flag would silently shed a job of the *next* workload.
     skip_next: Vec<bool>,
+    /// Per-task (m,k) outcome rings for weakly-hard tasks: bit `index % 64`
+    /// is set iff that job completed on time. Since `k ≤ 64`, the trailing
+    /// `k − 1` outcomes a skip decision inspects are always collision-free.
+    /// Fully reset per run.
+    mk_met: Vec<u64>,
+    /// Per-task frame-recovery flag: set while a frame task is past a
+    /// missed frame and not yet back on time (its dispatches are boosted).
+    frame_boost: Vec<bool>,
+    /// Per-task current run of consecutive late frames.
+    frame_streak: Vec<u64>,
 }
 
 impl SimScratch {
@@ -332,6 +360,14 @@ impl Simulator {
         // the periodic one only in the absence of delays.
         let faults_on = !plan.is_none();
         let jittered = faults_on && plan.has_jitter();
+        // Task-model state. `models_on` plays the same role for the model
+        // bookkeeping that `faults_on` plays for the fault channels: checked
+        // once per run, so all-hard task sets simulate bit-identically to
+        // the pre-model engine.
+        let models_on = !tasks.all_hard();
+        let skip_policy = self.config.skip_policy;
+        let mut model_report = ModelReport::default();
+        let mut skipped_ids: Vec<JobId> = Vec::new();
         let mut report = FaultReport::default();
         let mut contaminated_ids: Vec<JobId> = Vec::new();
         let mut contamination_active = false;
@@ -358,6 +394,12 @@ impl Simulator {
         scratch.due.clear();
         scratch.skip_next.clear();
         scratch.skip_next.resize(n, false);
+        scratch.mk_met.clear();
+        scratch.mk_met.resize(n, 0);
+        scratch.frame_boost.clear();
+        scratch.frame_boost.resize(n, false);
+        scratch.frame_streak.clear();
+        scratch.frame_streak.resize(n, 0);
         // Pre-size for the jobs this horizon generates (capped: the records
         // move into the outcome, so a hostile horizon must not pre-book
         // unbounded memory).
@@ -420,13 +462,36 @@ impl Simulator {
                     && scratch.releases.time(i) < horizon
                 {
                     let task = tasks.task(TaskId(i));
+                    let kind = task.kind();
                     let id = JobId {
                         task: TaskId(i),
                         index: scratch.next_index[i],
                     };
                     let release = scratch.releases.time(i);
-                    let skipped = faults_on && scratch.skip_next[i];
-                    if skipped {
+                    let fault_shed = faults_on && scratch.skip_next[i];
+                    if models_on {
+                        match kind {
+                            TaskKind::Hard => {}
+                            TaskKind::WeaklyHard { .. } => {
+                                model_report.weakly_hard_jobs += 1;
+                                // The ring slot wraps to this job: its
+                                // outcome starts as "lost" and is only set
+                                // on an on-time completion. Position
+                                // `index % 64` is outside every trailing
+                                // window a skip decision inspects (k ≤ 64),
+                                // so clearing before deciding is safe.
+                                scratch.mk_met[i] &= !(1u64 << (id.index % 64));
+                            }
+                            TaskKind::Sporadic { .. } => model_report.sporadic_jobs += 1,
+                            TaskKind::Frame { .. } => model_report.frame_jobs += 1,
+                        }
+                    }
+                    // A fault-shed (OverrunPolicy::SkipNext) takes priority
+                    // over a model skip; the latter only applies to
+                    // weakly-hard jobs whose (m,k) contract stays
+                    // satisfiable AND which the run's SkipPolicy elects.
+                    let mut shed_record: Option<JobRecord> = None;
+                    if fault_shed {
                         // OverrunPolicy::SkipNext sheds this release: the
                         // job is recorded as never run and fault-attributed.
                         scratch.skip_next[i] = false;
@@ -448,40 +513,85 @@ impl Simulator {
                             preemptions: 0,
                         });
                     } else {
-                        let actual = exec.actual_work(id.task, task, id.index);
-                        let mut job = ActiveJob::new(
-                            id,
-                            release,
-                            release + task.deadline(),
-                            task.wcet(),
-                            actual,
-                        );
-                        if faults_on {
-                            // Multiplying by exactly 1.0 (the not-selected
-                            // case) is a bit-exact no-op, so no branch.
-                            job.actual *= plan.overrun_factor(id.task, id.index);
-                            if jittered && release > task.release_of(id.index) + TIME_EPS {
-                                report.jittered_releases += 1;
-                                report.events.push(FaultEvent {
-                                    job: id,
-                                    at: release,
-                                    kind: FaultKind::JitteredRelease {
-                                        delay: release - task.release_of(id.index),
-                                    },
-                                });
-                            }
-                            if contamination_active {
-                                job.contaminated = true;
+                        let mut model_skip = false;
+                        if models_on {
+                            if let TaskKind::WeaklyHard { m, k } = kind {
+                                model_skip = mk_skip_allowed(scratch.mk_met[i], id.index, m, k)
+                                    && skip_policy.wants_skip(id);
                             }
                         }
-                        scratch.ready.push(job);
+                        if model_skip {
+                            // Energy-aware skip: shed the job at release as
+                            // an instant zero-work completion. The governor
+                            // sees the completion (not the release), so
+                            // reclaiming governors bank the entire WCET as
+                            // slack. The met bit stays cleared: a skipped
+                            // job is a loss in the (m,k) window.
+                            model_report.skips += 1;
+                            skipped_ids.push(id);
+                            shed_record = Some(JobRecord {
+                                id,
+                                release,
+                                deadline: release + task.deadline(),
+                                wcet: task.wcet(),
+                                actual: 0.0,
+                                completion: Some(release),
+                                wall_time: 0.0,
+                                preemptions: 0,
+                            });
+                        } else {
+                            let actual = exec.actual_work(id.task, task, id.index);
+                            let mut job = ActiveJob::new(
+                                id,
+                                release,
+                                release + task.deadline(),
+                                task.wcet(),
+                                actual,
+                            );
+                            job.kind = kind;
+                            if faults_on {
+                                // Multiplying by exactly 1.0 (the
+                                // not-selected case) is a bit-exact no-op,
+                                // so no branch.
+                                job.actual *= plan.overrun_factor(id.task, id.index);
+                                if jittered && release > task.release_of(id.index) + TIME_EPS {
+                                    report.jittered_releases += 1;
+                                    report.events.push(FaultEvent {
+                                        job: id,
+                                        at: release,
+                                        kind: FaultKind::JitteredRelease {
+                                            delay: release - task.release_of(id.index),
+                                        },
+                                    });
+                                }
+                                if contamination_active {
+                                    job.contaminated = true;
+                                }
+                            }
+                            scratch.ready.push(job);
+                        }
                     }
                     scratch.next_index[i] += 1;
-                    if jittered {
-                        // Sporadic recurrence: delay the nominal release but
-                        // never compress inter-arrival times below the
-                        // period — compression could overload even a
-                        // full-speed EDF schedule, which would make the
+                    if models_on && matches!(kind, TaskKind::Sporadic { .. }) {
+                        // Sporadic recurrence: the next arrival trails this
+                        // one by the seeded gap (≥ the period, so arrivals
+                        // never precede the periodic lattice — the same
+                        // safety class as delay-only jitter). Under a jitter
+                        // channel the injected delay adds on top.
+                        let gap = task.arrival_gap(scratch.next_index[i]);
+                        let next = if jittered {
+                            release
+                                + gap
+                                + plan.release_delay(id.task, scratch.next_index[i], task.period())
+                        } else {
+                            release + gap
+                        };
+                        scratch.releases.set_time(i, next);
+                    } else if jittered {
+                        // Jittered periodic recurrence: delay the nominal
+                        // release but never compress inter-arrival times
+                        // below the period — compression could overload even
+                        // a full-speed EDF schedule, which would make the
                         // injected jitter indistinguishable from an
                         // algorithm bug.
                         let nominal = task.release_of(scratch.next_index[i]);
@@ -496,7 +606,7 @@ impl Simulator {
                             .set_time(i, task.release_of(scratch.next_index[i]));
                     }
                     release_epoch += 1;
-                    if !skipped {
+                    if !fault_shed {
                         // Due tasks from `d` on are still staged out of the
                         // release heap; fold their instants back in so the
                         // view's next-arrival query stays exact mid-release.
@@ -511,7 +621,13 @@ impl Simulator {
                             current_speed,
                             release_epoch,
                         );
-                        if let Some(released) = scratch.ready.last() {
+                        if let Some(record) = shed_record {
+                            // The skipped job never enters the ready set:
+                            // the governor observes an instant zero-work
+                            // completion at the release instant.
+                            governor.on_completion(&view, &record);
+                            records.push(record);
+                        } else if let Some(released) = scratch.ready.last() {
                             governor.on_release(&view, released);
                         }
                     }
@@ -615,6 +731,19 @@ impl Simulator {
                 speed
             };
             let mut speed = processor.quantize_up(requested);
+            if models_on && !forced {
+                // Frame-recovery boost: after a missed frame, the task's
+                // dispatches are floored at its boost ratio until it
+                // completes on time again. A speed floor (like the level
+                // clamp below) only ever raises speeds, so other tasks'
+                // deadlines are never endangered.
+                if let TaskKind::Frame { boost, .. } = scratch.ready.job(ji).kind {
+                    if scratch.frame_boost[cur_id.task.0] && speed.ratio() < boost {
+                        speed = processor.quantize_up(Speed::clamped(boost, processor.min_speed()));
+                        model_report.boosted_dispatches += 1;
+                    }
+                }
+            }
             if faults_on && !forced {
                 // Level-floor clamp: the platform's lowest operating points
                 // are unavailable, so every selection is raised to the
@@ -830,6 +959,31 @@ impl Simulator {
                     });
                 }
                 last_running = None;
+                if models_on {
+                    let on_time = !record.missed(horizon);
+                    match job.kind {
+                        TaskKind::Hard | TaskKind::Sporadic { .. } => {}
+                        TaskKind::WeaklyHard { .. } => {
+                            if on_time {
+                                scratch.mk_met[record.id.task.0] |= 1u64 << (record.id.index % 64);
+                            }
+                        }
+                        TaskKind::Frame { .. } => {
+                            let ti = record.id.task.0;
+                            if on_time {
+                                scratch.frame_boost[ti] = false;
+                                scratch.frame_streak[ti] = 0;
+                            } else {
+                                scratch.frame_boost[ti] = true;
+                                scratch.frame_streak[ti] += 1;
+                                model_report.frame_misses += 1;
+                                if scratch.frame_streak[ti] > model_report.max_frame_miss_streak {
+                                    model_report.max_frame_miss_streak = scratch.frame_streak[ti];
+                                }
+                            }
+                        }
+                    }
+                }
                 let view = SchedulerView::new(
                     now,
                     tasks,
@@ -890,6 +1044,11 @@ impl Simulator {
             contaminated_ids.dedup();
             report.contaminated = contaminated_ids;
         }
+        if models_on {
+            skipped_ids.sort_unstable();
+            skipped_ids.dedup();
+            model_report.skipped = skipped_ids;
+        }
 
         let (busy, idle, transition) = match trace.as_ref() {
             Some(tr) => (tr.busy_time(), tr.idle_time(), tr.transition_time()),
@@ -910,6 +1069,7 @@ impl Simulator {
             idle_time: idle,
             transition_time: transition,
             faults: report,
+            models: model_report,
             analysis: governor.analysis_stats().unwrap_or_default(),
             trace,
         })
@@ -1229,6 +1389,137 @@ mod tests {
         let out = s.run(&mut Spinner, &WorstCase).unwrap();
         assert!(out.all_deadlines_met());
         assert_eq!(out.completed_jobs(), 13);
+    }
+
+    #[test]
+    fn all_hard_run_has_quiet_model_report() {
+        let s = sim(two_task_set(), 32.0);
+        let out = s.run(&mut FullSpeed, &ConstantRatio::new(0.7)).unwrap();
+        assert!(out.models.is_quiet(), "{:?}", out.models);
+    }
+
+    fn mixed_set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(1.0, 4.0).unwrap().weakly_hard(1, 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_skip_alternates_and_records_instant_completions() {
+        let s = sim(mixed_set(), 32.0);
+        let out = s.run(&mut FullSpeed, &WorstCase).unwrap();
+        assert!(out.all_deadlines_met());
+        // (1,2) under Greedy: even indices are licensed (the odd
+        // predecessor met) and shed; odd indices are not (the even
+        // predecessor was a loss).
+        assert_eq!(out.models.skips, 4);
+        assert_eq!(out.models.weakly_hard_jobs, 8);
+        let skipped: Vec<u64> = out.models.skipped.iter().map(|j| j.index).collect();
+        assert_eq!(skipped, vec![0, 2, 4, 6]);
+        assert!(out.models.skipped.iter().all(|j| j.task == TaskId(1)));
+        for r in out.jobs.iter().filter(|r| out.models.is_skipped(r.id)) {
+            assert_eq!(r.actual, 0.0);
+            assert_eq!(r.completion, Some(r.release));
+            assert_eq!(r.wall_time, 0.0);
+        }
+        // The shed WCETs never execute: busy time is 8 hard + 4 executed
+        // weakly-hard jobs.
+        assert!((out.busy_time - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_policy_executes_every_weakly_hard_job() {
+        let s = Simulator::new(
+            mixed_set(),
+            stadvs_power::Processor::ideal_continuous(),
+            SimConfig::new(32.0)
+                .unwrap()
+                .with_skip_policy(SkipPolicy::Never),
+        )
+        .unwrap();
+        let out = s.run(&mut FullSpeed, &WorstCase).unwrap();
+        assert!(out.all_deadlines_met());
+        assert_eq!(out.models.skips, 0);
+        assert!(out.models.skipped.is_empty());
+        assert_eq!(out.models.weakly_hard_jobs, 8);
+        assert!((out.busy_time - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_policy_replays_bit_identically() {
+        let s = Simulator::new(
+            mixed_set(),
+            stadvs_power::Processor::ideal_continuous(),
+            SimConfig::new(64.0)
+                .unwrap()
+                .with_skip_policy(SkipPolicy::seeded(0.5, 9).unwrap()),
+        )
+        .unwrap();
+        let a = s.run(&mut FullSpeed, &WorstCase).unwrap();
+        let b = s.run(&mut FullSpeed, &WorstCase).unwrap();
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.models, b.models);
+        // Seeded at 0.5 takes some licensed skips but not all 8.
+        assert!(a.models.skips < 8, "skips {}", a.models.skips);
+    }
+
+    #[test]
+    fn sporadic_releases_follow_seeded_gaps() {
+        let tasks = TaskSet::new(vec![
+            Task::new(1.0, 4.0).unwrap(),
+            Task::new(1.0, 10.0).unwrap().sporadic(0.5, 42).unwrap(),
+        ])
+        .unwrap();
+        let sporadic = tasks.task(TaskId(1)).clone();
+        let s = sim(tasks, 100.0);
+        let out = s.run(&mut FullSpeed, &WorstCase).unwrap();
+        assert!(out.all_deadlines_met());
+        let releases: Vec<f64> = out
+            .jobs
+            .iter()
+            .filter(|r| r.id.task == TaskId(1))
+            .map(|r| r.release)
+            .collect();
+        assert!(releases.len() > 5, "horizon must cover several arrivals");
+        assert_eq!(releases[0], 0.0);
+        for (i, pair) in releases.windows(2).enumerate() {
+            let gap = pair[1] - pair[0];
+            let expected = sporadic.arrival_gap(i as u64 + 1);
+            assert!(
+                (gap - expected).abs() < 1e-9,
+                "gap {gap} != seeded {expected} at #{i}"
+            );
+            assert!(gap >= 10.0, "sporadic gap compressed below the period");
+        }
+        assert_eq!(out.models.sporadic_jobs, releases.len() as u64);
+        assert_eq!(out.models.skips, 0, "sporadic jobs are never skipped");
+    }
+
+    #[test]
+    fn frame_boost_floors_dispatches_until_recovery() {
+        // One frame task at fixed 0.4 speed: each job takes 5 s against a
+        // 4 s deadline, so un-boosted frames miss; the post-miss boost
+        // floor (1.0) makes the *next* frame complete on time, which
+        // clears the boost again — miss / recover / miss / recover.
+        let tasks = TaskSet::new(vec![Task::new(2.0, 4.0).unwrap().frame(1.0).unwrap()]).unwrap();
+        let s = Simulator::new(
+            tasks,
+            stadvs_power::Processor::ideal_continuous(),
+            SimConfig::new(16.0).unwrap(),
+        )
+        .unwrap();
+        let out = s.run(&mut Fixed(0.4), &WorstCase).unwrap();
+        assert_eq!(out.models.frame_jobs, 4);
+        assert_eq!(out.models.frame_misses, 2);
+        assert_eq!(out.models.max_frame_miss_streak, 1);
+        assert_eq!(out.models.boosted_dispatches, 2);
+        assert_eq!(out.miss_count(), 2);
+        // The recovered frames really completed on time.
+        let completions: Vec<f64> = out.jobs.iter().filter_map(|r| r.completion).collect();
+        assert!((completions[1] - 7.0).abs() < 1e-9);
+        assert!((completions[3] - 15.0).abs() < 1e-9);
     }
 
     #[test]

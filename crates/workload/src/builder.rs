@@ -64,7 +64,8 @@ impl TaskSetBuilder {
     }
 
     /// Rescales every WCET so the set's total worst-case utilization equals
-    /// `target` (names, periods, and relative shares are preserved).
+    /// `target` (names, periods, phases, task models, and relative shares
+    /// are preserved).
     ///
     /// # Errors
     ///
@@ -88,11 +89,16 @@ impl TaskSetBuilder {
         let scale = target / current;
         let mut scaled = Vec::with_capacity(self.tasks.len());
         for t in &self.tasks {
+            // Scaling touches only the WCET; the period, deadline, and
+            // phase carry over unchanged, so re-attaching the task model
+            // revalidates against identical pins and cannot fail.
             let mut nt = Task::with_deadline(
                 (t.wcet() * scale).min(t.deadline()),
                 t.period(),
                 t.deadline(),
-            )?;
+            )?
+            .with_phase(t.phase())?
+            .with_kind(t.kind())?;
             if let Some(name) = t.name() {
                 nt = nt.named(name);
             }
@@ -147,6 +153,37 @@ mod tests {
         assert!(b.clone().scaled_to_utilization(0.0).is_err());
         assert!(b.clone().scaled_to_utilization(1.5).is_err());
         assert!(b.scaled_to_utilization(1.0).is_ok());
+    }
+
+    #[test]
+    fn scaling_preserves_task_models_and_phases() {
+        use stadvs_sim::TaskKind;
+        let ts = TaskSetBuilder::new()
+            .push(Task::new(1.0, 10.0).unwrap().weakly_hard(2, 5).unwrap())
+            .push(
+                Task::new(1.0, 5.0)
+                    .unwrap()
+                    .with_phase(0.5)
+                    .unwrap()
+                    .sporadic(0.25, 7)
+                    .unwrap(),
+            )
+            .push(Task::new(1.0, 8.0).unwrap().frame(0.4).unwrap())
+            .scaled_to_utilization(0.85)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!((ts.utilization() - 0.85).abs() < 1e-12);
+        assert!(matches!(
+            ts.tasks()[0].kind(),
+            TaskKind::WeaklyHard { m: 2, k: 5 }
+        ));
+        assert!(matches!(
+            ts.tasks()[1].kind(),
+            TaskKind::Sporadic { seed: 7, .. }
+        ));
+        assert_eq!(ts.tasks()[1].phase(), 0.5);
+        assert!(matches!(ts.tasks()[2].kind(), TaskKind::Frame { .. }));
     }
 
     #[test]

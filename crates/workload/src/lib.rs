@@ -5,6 +5,8 @@
 //! * [`uunifast`] / [`uunifast_capped`] — unbiased utilization splitting,
 //! * [`PeriodGenerator`] — log-uniform / menu / harmonic period draws,
 //! * [`TaskSetSpec`] — a seeded, fully reproducible task-set recipe,
+//! * [`ModelMix`] — positional assignment of weakly-hard, sporadic, and
+//!   frame task models within a generated set,
 //! * [`ExecutionModel`] + [`DemandPattern`] — deterministic per-job actual
 //!   demand (uniform BCET/WCET, clamped normal, bimodal, sinusoidal drift,
 //!   bursty phases),
@@ -53,5 +55,5 @@ pub use partition::{
 };
 pub use periods::PeriodGenerator;
 pub use recorded::RecordedDemand;
-pub use spec::TaskSetSpec;
+pub use spec::{ModelMix, TaskSetSpec};
 pub use uunifast::{uunifast, uunifast_capped};

@@ -268,6 +268,99 @@ proptest! {
         }
     }
 
+    /// Hard tasks keep the zero-miss guarantee when co-scheduled with
+    /// weakly-hard and sporadic tasks under every fault regime: skips,
+    /// stretched arrivals, in- and out-of-contract overruns, jitter, and
+    /// dropped switches may degrade the model-bearing tasks, but a hard
+    /// miss outside the contamination closure is an algorithm bug.
+    /// (`la-edf` is excluded by the capability table: the sets carry
+    /// sporadic arrivals.)
+    #[test]
+    fn mixed_models_preserve_the_hard_guarantee_under_faults(
+        n_tasks in 3usize..8,
+        utilization in 0.2f64..=0.9,
+        weakly_hard in 1usize..3,
+        sporadic in 1usize..3,
+        k in 2u32..=4,
+        burst in 0.0f64..=1.0,
+        bcet in 0.1f64..=1.0,
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000_000,
+        overrun_p in 0.0f64..=0.4,
+        factor in 0.5f64..=2.0,
+        jitter_p in 0.0f64..=0.4,
+        jitter_frac in 0.0f64..=0.3,
+        drop_p in 0.0f64..=0.3,
+    ) {
+        use stadvs::experiments::governor_caps;
+        use stadvs::sim::OverrunPolicy;
+        use stadvs::workload::{ExecutionModel, ModelMix, TaskSetSpec};
+        // Keep at least one hard task in every set — the property under
+        // test is *their* guarantee.
+        let weakly_hard = weakly_hard.min(n_tasks - 2);
+        let sporadic = sporadic.min(n_tasks - 1 - weakly_hard);
+        let tasks = TaskSetSpec::new(n_tasks, utilization)
+            .expect("valid")
+            .with_model_mix(
+                ModelMix::new()
+                    .with_weakly_hard(weakly_hard, 1, k)
+                    .expect("contract in range")
+                    .with_sporadic(sporadic, burst)
+                    .expect("burst in range"),
+            )
+            .expect("mix fits")
+            .with_seed(seed)
+            .generate()
+            .expect("generates");
+        let exec = ExecutionModel::uniform_bcet(bcet)
+            .expect("valid")
+            .with_seed(seed ^ 0xFEED);
+        let plan = FaultPlan::new(fault_seed)
+            .with_overrun(overrun_p, factor).expect("valid channel")
+            .with_release_jitter(jitter_p, jitter_frac).expect("valid channel")
+            .with_switch_drops(drop_p).expect("valid channel")
+            .with_policy_override(OverrunPolicy::CompleteAtMax);
+        let processor = Processor::ideal_continuous();
+        let sim = Simulator::new(
+            tasks.clone(),
+            processor,
+            SimConfig::new(1.2)
+                .expect("valid horizon")
+                .with_miss_policy(MissPolicy::Fail),
+        )
+        .expect("feasible");
+        for name in GOVERNORS
+            .iter()
+            .filter(|n| governor_caps(n).expect("lineup names are known").sporadic)
+        {
+            let mut governor = make_governor(name).expect("resolves");
+            let outcome = sim
+                .run_faulted(governor.as_mut(), &exec, &plan)
+                .unwrap_or_else(|e| panic!("{name} violated the hard guarantee: {e}"));
+            prop_assert_eq!(
+                outcome.unattributed_misses(), 0,
+                "{}: miss outside the contamination closure in a mixed set", name
+            );
+            if factor <= 1.0 {
+                prop_assert_eq!(outcome.miss_count(), 0, "{} missed in-contract", name);
+            }
+            // Hard jobs must never miss without fault attribution, and
+            // must never be skipped.
+            for r in outcome.jobs.iter().filter(|r| tasks.task(r.id.task).is_hard()) {
+                prop_assert!(
+                    !r.missed(outcome.horizon) || outcome.faults.is_contaminated(r.id),
+                    "{}: hard job {:?} missed uncontaminated", name, r.id
+                );
+            }
+            prop_assert!(
+                outcome.models.skipped.iter().all(|id| !tasks.task(id.task).is_hard()),
+                "{}: a hard job was skipped", name
+            );
+            let audit = audit_outcome(&outcome, &tasks, &plan);
+            prop_assert!(audit.is_clean(), "{} failed the audit: {}", name, audit);
+        }
+    }
+
     /// With transition overhead, the overhead-aware variant must still be
     /// spotless (the oblivious ones are allowed to fail here — that hazard
     /// is the point of the fig5 experiment).

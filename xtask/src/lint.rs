@@ -372,6 +372,31 @@ mod tests {
     }
 
     #[test]
+    fn model_subsystem_files_inherit_the_guarantee_discipline() {
+        // The task-model layer (skip admissibility in `sim::model`, seeded
+        // sporadic arrival draws in `workload::spec`) sits inside the
+        // scanned scopes: determinism rules cover both crates and the
+        // no-panic rule covers `sim`, with no per-file scope edits.
+        let unseeded = "fn f() { let mut r = rand::thread_rng(); }";
+        for (rel, krate) in [
+            ("crates/sim/src/model.rs", "sim"),
+            ("crates/workload/src/spec.rs", "workload"),
+        ] {
+            assert_eq!(one(rel, krate, unseeded).violations.len(), 1, "{rel}");
+        }
+        let panicky = "fn f() { x.unwrap(); }";
+        assert_eq!(
+            one("crates/sim/src/model.rs", "sim", panicky)
+                .violations
+                .len(),
+            1
+        );
+        // `workload` is not a guarantee crate: its validation surface
+        // returns `Result`s, so no-panic does not apply there.
+        assert!(one("crates/workload/src/spec.rs", "workload", panicky).is_clean());
+    }
+
+    #[test]
     fn nondet_iter_scoped_to_determinism_crates() {
         let src = "use std::collections::HashMap;\n\
                    fn f(m: &HashMap<u32, f64>) { for k in m.keys() { go(k); } }";
