@@ -22,8 +22,9 @@ use stadvs_experiments::{make_governor, WorkloadCase};
 use stadvs_fleet::{run_fleet, FleetConfig, FleetSpec};
 use stadvs_power::{Platform, Processor, Speed};
 use stadvs_sim::{
-    ActiveJob, FaultPlan, Governor, JobRecord, PlatformScratch, PlatformSim, SchedulerView,
-    SimConfig, SimScratch, Simulator, TaskSet,
+    ActiveJob, ComponentCtx, ComponentId, EventHandler, EventKind, FaultPlan, Governor, JobRecord,
+    Kernel, PlatformScratch, PlatformSim, SchedulerView, SimConfig, SimError, SimEvent, SimScratch,
+    Simulator, TaskSet,
 };
 use stadvs_workload::{partitioner_by_name, reference, DemandPattern};
 
@@ -325,6 +326,90 @@ fn probe_platform(budget_secs: f64) -> GovernorRecord {
     }
 }
 
+/// Self-rescheduling load component for the kernel dispatch microbench:
+/// every delivery re-emits one event to itself until the shared budget of
+/// deliveries is spent, so the measured loop is pure kernel work — queue
+/// push, ordered pop, counter update, handler dispatch — with no
+/// scheduling logic on top.
+struct EchoLoad {
+    /// Total deliveries (across all components) after which re-emission
+    /// stops and the queue drains.
+    budget: u64,
+}
+
+impl EventHandler for EchoLoad {
+    fn handle(&mut self, event: SimEvent, ctx: &mut ComponentCtx<'_>) -> Result<(), SimError> {
+        if ctx.delivered() < self.budget {
+            ctx.emit(ctx.now() + 1.0e-6, EventKind::Dispatch, event.target);
+        }
+        Ok(())
+    }
+}
+
+/// The kernel dispatch microbench: four self-rescheduling components over
+/// one shared kernel, reported as `name: "kernel"` with the standard
+/// `ns_per_event` key. This row isolates the typed-event machinery the
+/// `Simulator`/`PlatformSim` facades stand on, so a regression in queue
+/// ordering or delivery bookkeeping is caught even when the end-to-end
+/// governor rows hide it behind scheduler work. Gated at ≤1.3× by
+/// `cargo xtask bench`.
+fn probe_kernel(budget_secs: f64) -> GovernorRecord {
+    const COMPONENTS: usize = 4;
+    const EVENTS_PER_REP: u64 = 100_000;
+    let mut kernel = Kernel::new();
+    let mut loads: Vec<EchoLoad> = (0..COMPONENTS)
+        .map(|_| EchoLoad {
+            budget: EVENTS_PER_REP,
+        })
+        .collect();
+
+    let run_once = |kernel: &mut Kernel, loads: &mut [EchoLoad]| {
+        kernel.reset(COMPONENTS, None);
+        for c in 0..COMPONENTS {
+            kernel.schedule(SimEvent {
+                time: 0.0,
+                kind: EventKind::Dispatch,
+                source: ComponentId(c),
+                target: ComponentId(c),
+            });
+        }
+        let mut handlers: Vec<&mut dyn EventHandler> = loads
+            .iter_mut()
+            .map(|l| l as &mut dyn EventHandler)
+            .collect();
+        kernel.run(&mut handlers).expect("echo loads never fail");
+        kernel.delivered()
+    };
+
+    // Warm-up run: grows the queue buffer and the handler table.
+    let (a0, b0) = alloc_snapshot();
+    let events = run_once(&mut kernel, &mut loads);
+    let (a1, b1) = alloc_snapshot();
+
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        let delivered = run_once(&mut kernel, &mut loads);
+        assert_eq!(delivered, events, "probe runs must be deterministic");
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_events = events as f64 * f64::from(reps);
+    GovernorRecord {
+        name: "kernel".to_string(),
+        workload: "microqueue",
+        events,
+        reps,
+        ns_per_event: elapsed * 1.0e9 / total_events,
+        events_per_sec: total_events / elapsed,
+        allocs_per_run: a1 - a0,
+        bytes_per_run: b1 - b0,
+    }
+}
+
 /// The fleet-sweep throughput row: one streaming `run_fleet` sweep over a
 /// small grid, reported with the same `ns_per_event` key as the governor
 /// records so the xtask regression gate picks it up, plus the fleet-specific
@@ -511,6 +596,18 @@ fn main() {
         platform.allocs_per_run
     );
     records.push(platform);
+
+    // The kernel dispatch microbench (pure queue/delivery machinery).
+    let kernel = probe_kernel(budget_secs);
+    eprintln!(
+        "{:<12} {:<10} {:>9.1} ns/event  {:>12.0} events/s  {:>6} allocs/run",
+        kernel.name,
+        kernel.workload,
+        kernel.ns_per_event,
+        kernel.events_per_sec,
+        kernel.allocs_per_run
+    );
+    records.push(kernel);
 
     // The slack-analysis microbench: per-analysis cost in isolation, on
     // the same two workloads the governor rows use.

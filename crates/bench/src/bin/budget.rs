@@ -1,0 +1,6 @@
+//! Regenerates the `budget` experiment (see DESIGN.md §15).
+
+fn main() {
+    let opts = stadvs_bench::options_from_env();
+    let _ = stadvs_bench::regenerate("budget", &opts);
+}

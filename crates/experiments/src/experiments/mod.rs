@@ -1,5 +1,6 @@
 //! One module per reproduced figure/table, plus the experiment registry.
 
+pub mod budget;
 pub mod faults;
 pub mod fig1_util;
 pub mod fig2_bcet;
@@ -159,6 +160,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Task models beyond hard-periodic (weakly-hard, sporadic, frame)",
             run: models::run,
         },
+        Experiment {
+            id: "budget",
+            title: "Shared platform power cap (kernel budget component)",
+            run: budget::run,
+        },
     ]
 }
 
@@ -183,7 +189,8 @@ mod tests {
         assert!(by_id("nope").is_none());
         assert!(by_id("faults").is_some());
         assert!(by_id("models").is_some());
-        assert_eq!(experiments.len(), 17);
+        assert!(by_id("budget").is_some());
+        assert_eq!(experiments.len(), 18);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Golden fixture for the `budget` experiment.
+//!
+//! Pins the shared-power-cap sweep's entire quick-run artifact — the CSV
+//! grid *and* the notes — byte-for-byte. The budgeted platform path is
+//! deterministic end to end (seeded workloads, fixed-order grant
+//! arbitration inside the kernel's shared ledger, stable event ordering),
+//! so two consecutive runs must agree exactly, and any change to the
+//! kernel's delivery order or the ledger's bisection shows up here as a
+//! readable CSV diff.
+//!
+//! Regenerate (after an intentional semantic change) with:
+//!
+//! ```text
+//! STADVS_BLESS=1 cargo test -p stadvs-experiments --test budget_golden
+//! ```
+
+use stadvs_experiments::experiments::{by_id, RunOptions};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/budget_sweep.csv"
+);
+
+/// The committed artifact: CSV grid first, then the notes as `# `-prefixed
+/// trailer lines (CSV-comment convention, so the file still loads as CSV).
+fn render() -> String {
+    let experiment = by_id("budget").expect("budget experiment is registered");
+    let table = (experiment.run)(&RunOptions::quick());
+    let mut out = table.to_csv();
+    for note in &table.notes {
+        out.push_str("# ");
+        out.push_str(note);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn budget_sweep_matches_committed_csv() {
+    let actual = render();
+    if std::env::var("STADVS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+            .expect("create golden dir");
+        std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let expected = match std::fs::read_to_string(FIXTURE) {
+        Ok(text) => text,
+        Err(_) => {
+            // First run on a fresh checkout: create the fixture so it can
+            // be reviewed and committed, instead of failing opaquely.
+            std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().expect("parent"))
+                .expect("create golden dir");
+            std::fs::write(FIXTURE, &actual).expect("write golden fixture");
+            eprintln!("created missing golden fixture {FIXTURE}; review and commit it");
+            return;
+        }
+    };
+    assert_eq!(
+        expected, actual,
+        "budget sweep output diverged from the golden CSV"
+    );
+}
+
+/// Two consecutive in-process runs must agree byte-for-byte — the
+/// acceptance bar for the budgeted kernel path's determinism.
+#[test]
+fn budget_sweep_is_deterministic_across_consecutive_runs() {
+    assert_eq!(render(), render());
+}

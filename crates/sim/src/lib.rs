@@ -9,14 +9,21 @@
 //! * [`ExecutionSource`] — deterministic per-job *actual* execution demand,
 //! * [`Governor`] — the plug-in interface every DVS algorithm implements;
 //!   it sees a non-clairvoyant [`SchedulerView`] at each scheduling point,
-//! * [`Simulator`] — the preemptive EDF engine: releases, dispatches,
-//!   preempts, applies speed changes (with optional transition latency and
-//!   energy), integrates energy, and records [`JobRecord`]s and an optional
+//! * [`Kernel`] — the discrete-event core: a deterministic queue of typed
+//!   [`SimEvent`]s with a stable `(time, seq, component)` total order,
+//!   delivered to pre-registered [`EventHandler`] components,
+//! * [`Simulator`] — the preemptive EDF engine (a thin facade over one
+//!   kernel-driven core component): releases, dispatches, preempts,
+//!   applies speed changes (with optional transition latency and energy),
+//!   integrates energy, and records [`JobRecord`]s and an optional
 //!   [`Trace`],
 //! * [`SimOutcome`] — energy breakdown, deadline audit, switch counts,
-//! * [`PlatformSim`] — N per-core simulators under partitioned
-//!   multiprocessor EDF (fresh governor, scratch, and energy account per
-//!   core; no migration), aggregated into a [`PlatformOutcome`].
+//!   per-component event accounting ([`KernelStats`]),
+//! * [`PlatformSim`] — N per-core engines under partitioned multiprocessor
+//!   EDF composed on one shared kernel (fresh governor, scratch, and
+//!   energy account per core; no migration), aggregated into a
+//!   [`PlatformOutcome`] — optionally under a shared power cap
+//!   ([`BudgetLedger`]).
 //!
 //! ```
 //! use stadvs_power::{Processor, Speed};
@@ -45,11 +52,15 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod budget;
+mod component;
 mod error;
+mod event;
 mod exec;
 mod fault;
 mod governor;
 mod job;
+mod kernel;
 mod model;
 mod outcome;
 mod platform_sim;
@@ -60,11 +71,15 @@ mod task;
 mod trace;
 
 pub use audit::{audit_outcome, AuditIssue, AuditReport, MkWindow};
+pub use budget::{BudgetLedger, BudgetReport};
+pub use component::{ComponentCtx, EventHandler, TraceSink};
 pub use error::SimError;
+pub use event::{ComponentId, EventKind, SimEvent, EVENT_KINDS};
 pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};
 pub use job::{ActiveJob, JobId, JobRecord};
+pub use kernel::{Kernel, KernelStats, SharedState};
 pub use model::{ModelReport, SkipPolicy};
 pub use outcome::{AnalysisStats, SimOutcome};
 pub use platform_sim::{PlatformOutcome, PlatformScratch, PlatformSim};

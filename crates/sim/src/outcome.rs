@@ -5,6 +5,7 @@ use stadvs_power::EnergyBreakdown;
 
 use crate::fault::FaultReport;
 use crate::job::JobRecord;
+use crate::kernel::KernelStats;
 use crate::model::ModelReport;
 use crate::trace::Trace;
 
@@ -55,6 +56,12 @@ pub struct SimOutcome {
     /// per-dispatch slack analysis).
     #[serde(default)]
     pub analysis: AnalysisStats,
+    /// The core engine's per-kind event accounting from the simulation
+    /// kernel (`emitted` = wakes and notes this core's engine scheduled,
+    /// `handled` = events delivered to it). Zeroed for idle cores and on
+    /// the kernel-less oracle drive path.
+    #[serde(default)]
+    pub kernel: KernelStats,
     /// The full execution trace, if recording was enabled.
     pub trace: Option<Trace>,
 }
@@ -161,6 +168,7 @@ mod tests {
             faults: FaultReport::default(),
             models: ModelReport::default(),
             analysis: AnalysisStats::default(),
+            kernel: KernelStats::default(),
             trace: None,
         }
     }

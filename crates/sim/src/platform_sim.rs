@@ -1,30 +1,39 @@
 //! Partitioned multiprocessor simulation: N per-core EDF-DVS simulators.
 //!
-//! Under partitioned EDF there is no migration and no shared frequency
-//! rail: each core schedules its own task subset with its own governor,
-//! its own speed state, and its own energy account. The per-core event
-//! streams are therefore *causally independent* — no event on core `k`
-//! can influence any event on core `j`. [`PlatformSim`] exploits this:
-//! it drives the N per-core [`Simulator`]s over the one shared clock
-//! `[0, horizon)` by running each core's event stream to the horizon in
-//! core order, which is observationally identical to interleaving the
-//! streams in lockstep (every per-core event happens at the same instant,
-//! with the same state, either way). A 1-core platform is *bit-identical*
-//! to the legacy uniprocessor [`Simulator`] — the differential tests pin
-//! this.
+//! Under partitioned EDF there is no migration: each core schedules its
+//! own task subset with its own governor, its own speed state, and its
+//! own energy account. [`PlatformSim`] drives the N per-core engines as
+//! components of one shared [`crate::Kernel`]: every core is a
+//! pre-registered [`crate::EventHandler`] slot, the kernel pops the
+//! per-core wake events in global `(time, seq, component)` order, and
+//! each delivery executes exactly one step of that core's legacy loop.
+//! Because partitioned cores share no mutable state, this interleaving is
+//! bit-identical per core to running the streams sequentially — and a
+//! 1-core platform is *bit-identical* to the uniprocessor [`Simulator`]
+//! (the differential tests pin both).
+//!
+//! What the shared kernel adds over sequential stepping is *coupling*:
+//! [`PlatformSim::run_budgeted`] threads a [`BudgetLedger`] through the
+//! kernel's shared state, and because grants happen in global time order
+//! the ledger sees a time-consistent picture of all cores' draws — the
+//! platform-level power cap the old per-core loop could not express.
 //!
 //! Each core gets a **fresh governor instance** from the caller's factory
 //! (governors carry per-run state; sharing one across cores would leak
-//! slack estimates between task subsets), its own [`SimScratch`] (from
+//! slack estimates between task subsets), its own scratch buffers (from
 //! [`PlatformScratch`]), and the fault plan applied independently. Cores
 //! with no assigned tasks idle for the whole horizon and are charged idle
 //! energy — an "empty" core is still powered.
 
+use crate::budget::{BudgetLedger, BudgetReport};
+use crate::component::{CoreEngine, CoreScratch, EventHandler, TraceSink};
+use crate::event::{ComponentId, EventKind, SimEvent};
 use crate::exec::ExecutionSource;
 use crate::fault::{FaultPlan, FaultReport};
 use crate::governor::Governor;
+use crate::kernel::{Kernel, KernelStats};
 use crate::outcome::SimOutcome;
-use crate::simulator::{SimConfig, SimScratch, Simulator};
+use crate::simulator::{SimConfig, Simulator};
 use crate::task::TaskSet;
 use crate::trace::{Segment, SegmentKind, Trace};
 use crate::SimError;
@@ -34,11 +43,13 @@ use crate::audit::{audit_outcome, AuditReport};
 
 /// Reusable per-core working memory for [`PlatformSim`] runs.
 ///
-/// One [`SimScratch`] per core, grown on demand and reused across runs —
-/// the platform stepping loop itself never allocates per event.
+/// One [`CoreScratch`] per core plus the shared kernel, grown on demand
+/// and reused across runs — the platform event path never allocates per
+/// event.
 #[derive(Debug, Clone, Default)]
 pub struct PlatformScratch {
-    per_core: Vec<SimScratch>,
+    per_core: Vec<CoreScratch>,
+    kernel: Kernel,
 }
 
 impl PlatformScratch {
@@ -47,10 +58,10 @@ impl PlatformScratch {
         PlatformScratch::default()
     }
 
-    /// Ensures one [`SimScratch`] exists per core (grows, never shrinks).
+    /// Ensures one [`CoreScratch`] exists per core (grows, never shrinks).
     fn ensure(&mut self, cores: usize) {
         if self.per_core.len() < cores {
-            self.per_core.resize_with(cores, SimScratch::new);
+            self.per_core.resize_with(cores, CoreScratch::default);
         }
     }
 }
@@ -280,9 +291,10 @@ impl PlatformSim {
     /// plan's seeded draws key on each core's *local* task ids), and
     /// reusable scratch memory.
     ///
-    /// The platform stepping loop visits cores in order; because partitioned
-    /// cores share no mutable state, this is observationally identical to a
-    /// lockstep interleaving over the shared clock (module docs).
+    /// All cores are driven as components of one shared kernel; because
+    /// partitioned cores share no mutable state, the global event
+    /// interleaving is bit-identical per core to sequential stepping
+    /// (module docs).
     ///
     /// # Errors
     ///
@@ -293,11 +305,60 @@ impl PlatformSim {
     ///   [`SimError::EventLimitExceeded`], …).
     pub fn run_faulted_with_scratch<G, E>(
         &self,
-        mut make_governor: G,
+        make_governor: G,
         execs: &[E],
         plan: &FaultPlan,
         scratch: &mut PlatformScratch,
     ) -> Result<PlatformOutcome, SimError>
+    where
+        G: FnMut(usize) -> Box<dyn Governor>,
+        E: ExecutionSource,
+    {
+        self.run_kernel_backed(make_governor, execs, plan, None, scratch)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Runs the platform under a shared power budget: aggregate active
+    /// draw across all cores is capped at `cap_watts`, and per-core speed
+    /// grants are throttled to the remaining headroom at every dispatch
+    /// (see [`BudgetLedger`]). Run under [`crate::MissPolicy::Record`]:
+    /// a tight cap knowingly trades deadlines for power, and the misses
+    /// are part of the result.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if `cap_watts` is not finite positive;
+    /// * otherwise as [`PlatformSim::run_faulted_with_scratch`].
+    pub fn run_budgeted<G, E>(
+        &self,
+        make_governor: G,
+        execs: &[E],
+        cap_watts: f64,
+        scratch: &mut PlatformScratch,
+    ) -> Result<(PlatformOutcome, BudgetReport), SimError>
+    where
+        G: FnMut(usize) -> Box<dyn Governor>,
+        E: ExecutionSource,
+    {
+        let ledger = BudgetLedger::new(cap_watts, self.cores.len())?;
+        let (outcome, report) =
+            self.run_kernel_backed(make_governor, execs, &FaultPlan::NONE, Some(ledger), scratch)?;
+        Ok((outcome, report.unwrap_or_default()))
+    }
+
+    /// The one platform drive path: registers every core engine, the note
+    /// sink, and (when budgeted) the budget observer with the shared
+    /// kernel, seeds each non-idle core's initial release wake, and drains
+    /// the queue. Component layout: core `k` is slot `k`, the sink is slot
+    /// `n`, the budget observer (budgeted runs only) slot `n + 1`.
+    fn run_kernel_backed<G, E>(
+        &self,
+        mut make_governor: G,
+        execs: &[E],
+        plan: &FaultPlan,
+        cap: Option<BudgetLedger>,
+        scratch: &mut PlatformScratch,
+    ) -> Result<(PlatformOutcome, Option<BudgetReport>), SimError>
     where
         G: FnMut(usize) -> Box<dyn Governor>,
         E: ExecutionSource,
@@ -308,18 +369,90 @@ impl PlatformSim {
                 provided: execs.len(),
             });
         }
-        scratch.ensure(self.cores.len());
-        let mut outcomes = Vec::with_capacity(self.cores.len());
-        for (core, sim) in self.cores.iter().enumerate() {
-            let mut governor = make_governor(core);
-            let outcome = self.run_core(
-                core,
-                sim.as_ref(),
-                governor.as_mut(),
-                &execs[core],
-                plan,
-                &mut scratch.per_core[core],
-            )?;
+        let n = self.cores.len();
+        scratch.ensure(n);
+        let PlatformScratch { per_core, kernel } = scratch;
+        let sink_id = ComponentId(n);
+        let budgeted = cap.is_some();
+        let budget_id = if budgeted {
+            Some(ComponentId(n + 1))
+        } else {
+            None
+        };
+        kernel.reset(n + 1 + usize::from(budgeted), cap);
+
+        // Build the engines in core order — every core (idle or not) gets
+        // a fresh governor instance, so factory side effects stay
+        // core-ordered exactly as under sequential stepping.
+        let mut engines: Vec<Option<CoreEngine<'_, Box<dyn Governor>, E>>> =
+            Vec::with_capacity(n);
+        let mut idle_names: Vec<Option<String>> = Vec::with_capacity(n);
+        for ((core, sim), core_scratch) in
+            self.cores.iter().enumerate().zip(per_core.iter_mut())
+        {
+            let governor = make_governor(core);
+            match sim {
+                Some(sim) => {
+                    engines.push(Some(CoreEngine::new(
+                        sim.tasks(),
+                        sim.processor(),
+                        &self.config,
+                        governor,
+                        &execs[core],
+                        plan,
+                        core_scratch,
+                        ComponentId(core),
+                        sink_id,
+                        budget_id,
+                        core,
+                    )));
+                    idle_names.push(None);
+                }
+                None => {
+                    engines.push(None);
+                    // xtask:allow(hot-path-alloc): once per idle core at setup
+                    idle_names.push(Some(governor.name().to_string()));
+                }
+            }
+        }
+        for core in 0..n {
+            if engines[core].is_some() {
+                kernel.schedule(SimEvent {
+                    time: 0.0,
+                    kind: EventKind::Release,
+                    source: ComponentId(core),
+                    target: ComponentId(core),
+                });
+            }
+        }
+        let mut sink = TraceSink;
+        let mut budget_observer = TraceSink;
+        // Idle cores' handler slots are backed by zero-sized sinks; no
+        // events ever target them (nothing is seeded for an idle core).
+        let mut placeholders: Vec<TraceSink> = vec![TraceSink; n];
+        {
+            let mut handlers: Vec<&mut dyn EventHandler> = Vec::with_capacity(n + 2);
+            for (engine, placeholder) in engines.iter_mut().zip(placeholders.iter_mut()) {
+                match engine {
+                    Some(e) => handlers.push(e),
+                    None => handlers.push(placeholder),
+                }
+            }
+            handlers.push(&mut sink);
+            if budgeted {
+                handlers.push(&mut budget_observer);
+            }
+            kernel.run(&mut handlers)?;
+        }
+        let budget_report = kernel.take_budget().map(|ledger| ledger.report());
+        let mut outcomes = Vec::with_capacity(n);
+        for (core, engine) in engines.into_iter().enumerate() {
+            let outcome = match engine {
+                Some(engine) => engine.finish(kernel.stats_for(ComponentId(core)))?,
+                None => {
+                    self.idle_outcome(core, idle_names[core].as_deref().unwrap_or_default())
+                }
+            };
             outcomes.push(outcome);
         }
         // A platform always has at least one core, but stay panic-free.
@@ -327,30 +460,14 @@ impl PlatformSim {
             .first()
             .map(|o| o.governor.clone())
             .unwrap_or_default();
-        Ok(PlatformOutcome {
-            governor,
-            horizon: self.config.horizon(),
-            cores: outcomes,
-        })
-    }
-
-    /// Runs (or synthesizes, for an idle core) one core's outcome.
-    fn run_core<E>(
-        &self,
-        core: usize,
-        sim: Option<&Simulator>,
-        governor: &mut dyn Governor,
-        exec: &E,
-        plan: &FaultPlan,
-        scratch: &mut SimScratch,
-    ) -> Result<SimOutcome, SimError>
-    where
-        E: ExecutionSource,
-    {
-        match sim {
-            Some(sim) => sim.run_faulted_with_scratch(governor, exec, plan, scratch),
-            None => Ok(self.idle_outcome(core, governor.name())),
-        }
+        Ok((
+            PlatformOutcome {
+                governor,
+                horizon: self.config.horizon(),
+                cores: outcomes,
+            },
+            budget_report,
+        ))
     }
 
     /// The outcome of a core with no assigned tasks: pure idle time,
@@ -383,6 +500,7 @@ impl PlatformSim {
             faults: FaultReport::default(),
             models: crate::model::ModelReport::default(),
             analysis: crate::outcome::AnalysisStats::default(),
+            kernel: KernelStats::default(),
             trace,
         }
     }

@@ -1,17 +1,17 @@
 //! The event-driven preemptive EDF / DVS simulation engine.
 
 use serde::{Deserialize, Serialize};
-use stadvs_power::{Processor, Speed};
+use stadvs_power::Processor;
 
+use crate::component::{CoreEngine, CoreScratch, EventHandler, Step, TraceSink};
+use crate::event::{ComponentId, EventKind, SimEvent};
 use crate::exec::ExecutionSource;
-use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
-use crate::governor::{Governor, SchedulerView};
-use crate::job::{ActiveJob, JobId, JobRecord};
-use crate::model::{mk_skip_allowed, ModelReport, SkipPolicy};
+use crate::fault::FaultPlan;
+use crate::governor::Governor;
+use crate::kernel::{Kernel, KernelStats};
+use crate::model::SkipPolicy;
 use crate::outcome::SimOutcome;
-use crate::queue::{ReadySet, ReleaseQueue};
-use crate::task::{TaskId, TaskKind, TaskSet};
-use crate::trace::{Segment, SegmentKind, Trace};
+use crate::task::TaskSet;
 use crate::SimError;
 
 /// Absolute tolerance for event-time comparisons (1 ns).
@@ -150,36 +150,26 @@ impl SimConfig {
     pub fn skip_policy(&self) -> SkipPolicy {
         self.skip_policy
     }
+
+    /// The scheduler-event budget before the run aborts.
+    pub fn max_events(&self) -> u64 {
+        self.max_events
+    }
 }
 
 /// Reusable working memory for [`Simulator::run_with_scratch`].
 ///
-/// One simulation run needs a ready set, a release queue, per-task release
-/// counters, and a due-task staging buffer. All of them are sized by the
-/// task set, not the horizon, and all of them are fully reset at the start
-/// of each run — so a single `SimScratch` can be threaded through thousands
-/// of runs (the experiment sweeps do exactly this, one scratch per worker
-/// thread) without re-allocating per case.
+/// One simulation run needs the per-core scheduling buffers (ready set,
+/// release queue, per-task counters) plus the kernel's event queue and
+/// counter tables. All of them are sized by the task set, not the
+/// horizon, and all of them are fully reset at the start of each run — so
+/// a single `SimScratch` can be threaded through thousands of runs (the
+/// experiment sweeps do exactly this, one scratch per worker thread)
+/// without re-allocating per case.
 #[derive(Debug, Clone, Default)]
 pub struct SimScratch {
-    ready: ReadySet,
-    releases: ReleaseQueue,
-    next_index: Vec<u64>,
-    due: Vec<usize>,
-    /// Per-task flag set by [`OverrunPolicy::SkipNext`]: the task's next
-    /// release is suppressed. Fully reset at the start of each run — a
-    /// stale flag would silently shed a job of the *next* workload.
-    skip_next: Vec<bool>,
-    /// Per-task (m,k) outcome rings for weakly-hard tasks: bit `index % 64`
-    /// is set iff that job completed on time. Since `k ≤ 64`, the trailing
-    /// `k − 1` outcomes a skip decision inspects are always collision-free.
-    /// Fully reset per run.
-    mk_met: Vec<u64>,
-    /// Per-task frame-recovery flag: set while a frame task is past a
-    /// missed frame and not yet back on time (its dispatches are boosted).
-    frame_boost: Vec<bool>,
-    /// Per-task current run of consecutive late frames.
-    frame_streak: Vec<u64>,
+    pub(crate) core: CoreScratch,
+    pub(crate) kernel: Kernel,
 }
 
 impl SimScratch {
@@ -349,730 +339,81 @@ impl Simulator {
         G: Governor + ?Sized,
         E: ExecutionSource + ?Sized,
     {
-        let tasks = &self.tasks;
-        let processor = &self.processor;
-        let horizon = self.config.horizon;
-        let n = tasks.len();
-
-        // Fault-injection state. `faults_on` is checked once per gate so the
-        // no-fault path stays branch-predictable; `jittered` additionally
-        // gates the sporadic release recurrence, which is float-identical to
-        // the periodic one only in the absence of delays.
-        let faults_on = !plan.is_none();
-        let jittered = faults_on && plan.has_jitter();
-        // Task-model state. `models_on` plays the same role for the model
-        // bookkeeping that `faults_on` plays for the fault channels: checked
-        // once per run, so all-hard task sets simulate bit-identically to
-        // the pre-model engine.
-        let models_on = !tasks.all_hard();
-        let skip_policy = self.config.skip_policy;
-        let mut model_report = ModelReport::default();
-        let mut skipped_ids: Vec<JobId> = Vec::new();
-        let mut report = FaultReport::default();
-        let mut contaminated_ids: Vec<JobId> = Vec::new();
-        let mut contamination_active = false;
-        let mut recovery_start: Option<f64> = None;
-        let mut switch_ordinal: u64 = 0;
-        // Bumped whenever any task's next-release instant advances, so
-        // governors can key release-derived caches on the epoch (see
-        // [`SchedulerView::release_epoch`]).
-        let mut release_epoch: u64 = 0;
-
-        let mut now = 0.0_f64;
-        scratch.ready.reset(n);
-        if jittered {
-            scratch.releases.reset(
-                tasks
-                    .iter()
-                    .map(|(id, t)| t.phase() + plan.release_delay(id, 0, t.period())),
-            );
-        } else {
-            scratch.releases.reset(tasks.iter().map(|(_, t)| t.phase()));
+        let SimScratch { core, kernel } = scratch;
+        // Fixed component layout: the engine is slot 0, the note sink
+        // slot 1 — identical to a 1-core platform's layout, which is what
+        // keeps the uniprocessor and platform event accounting bit-equal.
+        const ENGINE: ComponentId = ComponentId(0);
+        const SINK: ComponentId = ComponentId(1);
+        kernel.reset(2, None);
+        let mut engine = CoreEngine::new(
+            &self.tasks,
+            &self.processor,
+            &self.config,
+            governor,
+            exec,
+            plan,
+            core,
+            ENGINE,
+            SINK,
+            None,
+            0,
+        );
+        kernel.schedule(SimEvent {
+            time: 0.0,
+            kind: EventKind::Release,
+            source: ENGINE,
+            target: ENGINE,
+        });
+        let mut sink = TraceSink;
+        {
+            let mut handlers: [&mut dyn EventHandler; 2] = [&mut engine, &mut sink];
+            kernel.run(&mut handlers)?;
         }
-        scratch.next_index.clear();
-        scratch.next_index.resize(n, 0);
-        scratch.due.clear();
-        scratch.skip_next.clear();
-        scratch.skip_next.resize(n, false);
-        scratch.mk_met.clear();
-        scratch.mk_met.resize(n, 0);
-        scratch.frame_boost.clear();
-        scratch.frame_boost.resize(n, false);
-        scratch.frame_streak.clear();
-        scratch.frame_streak.resize(n, 0);
-        // Pre-size for the jobs this horizon generates (capped: the records
-        // move into the outcome, so a hostile horizon must not pre-book
-        // unbounded memory).
-        let expected_jobs: usize = tasks
-            .iter()
-            .map(|(_, t)| {
-                if t.phase() >= horizon {
-                    0
-                } else {
-                    ((horizon - t.phase()) / t.period()).ceil() as usize + 1
-                }
-            })
-            .sum();
-        let mut records: Vec<JobRecord> = Vec::with_capacity(expected_jobs.min(1 << 20));
-        let mut acc = processor.energy_accumulator();
-        let mut trace = self.config.record_trace.then(Trace::new);
-        let mut current_speed = Speed::FULL;
-        let mut last_running: Option<JobId> = None;
-        // Set after a speed transition: the job the speed was committed
-        // for. If it is still the EDF choice afterwards, the commitment
-        // holds and the governor is not re-consulted — re-consulting would
-        // let the latency-shrunk slack demand a marginally different speed
-        // and chain transitions forever (real platforms commit too).
-        let mut committed_for: Option<JobId> = None;
-        let mut events: u64 = 0;
-        // Runtime invariant audit (debug builds only): the clock must never
-        // move backwards, and idle + transition + execution time must tile
-        // `[0, now]` — a gap or overlap means the trace and the energy
-        // accounting have diverged from wall-clock time.
-        let mut audit_prev_now = now;
-        let mut audit_accounted = 0.0_f64;
+        let stats = kernel.stats_for(ENGINE);
+        engine.finish(stats)
+    }
 
-        governor.on_start(tasks, processor);
-
+    /// Drives the very same [`CoreEngine`] the kernel-backed facade uses,
+    /// but directly — no event queue, no kernel clock — as the oracle for
+    /// the kernel differential harness: any divergence between this path
+    /// and [`Simulator::run_faulted_with_scratch`] is a bug in the kernel
+    /// plumbing, not in the engine. [`SimOutcome::kernel`] is zeroed on
+    /// this path (there is no kernel to count events).
+    ///
+    /// Not part of the supported API; use the regular run methods.
+    #[doc(hidden)]
+    pub fn run_faulted_direct<G, E>(
+        &self,
+        governor: &mut G,
+        exec: &E,
+        plan: &FaultPlan,
+        scratch: &mut SimScratch,
+    ) -> Result<SimOutcome, SimError>
+    where
+        G: Governor + ?Sized,
+        E: ExecutionSource + ?Sized,
+    {
+        let mut engine = CoreEngine::new(
+            &self.tasks,
+            &self.processor,
+            &self.config,
+            governor,
+            exec,
+            plan,
+            &mut scratch.core,
+            ComponentId(0),
+            ComponentId(1),
+            None,
+            0,
+        );
         loop {
-            events += 1;
-            if events > self.config.max_events {
-                return Err(SimError::EventLimitExceeded {
-                    limit: self.config.max_events,
-                });
-            }
-            debug_assert!(
-                now >= audit_prev_now,
-                "clock moved backwards: {audit_prev_now} -> {now}"
-            );
-            debug_assert!(
-                (audit_accounted - now).abs() <= TIME_EPS * events as f64,
-                "timeline not tiled: accounted {audit_accounted}, clock {now}"
-            );
-            audit_prev_now = now;
-
-            // 1. Release every job due at (or within tolerance of) `now`,
-            //    in ascending task order (the release queue stages the due
-            //    tasks; each may owe several jobs if its period is tiny).
-            scratch.releases.pop_due(now, horizon, &mut scratch.due);
-            let mut d = 0;
-            while d < scratch.due.len() {
-                let i = scratch.due[d];
-                while scratch.releases.time(i) <= now + TIME_EPS
-                    && scratch.releases.time(i) < horizon
-                {
-                    let task = tasks.task(TaskId(i));
-                    let kind = task.kind();
-                    let id = JobId {
-                        task: TaskId(i),
-                        index: scratch.next_index[i],
-                    };
-                    let release = scratch.releases.time(i);
-                    let fault_shed = faults_on && scratch.skip_next[i];
-                    if models_on {
-                        match kind {
-                            TaskKind::Hard => {}
-                            TaskKind::WeaklyHard { .. } => {
-                                model_report.weakly_hard_jobs += 1;
-                                // The ring slot wraps to this job: its
-                                // outcome starts as "lost" and is only set
-                                // on an on-time completion. Position
-                                // `index % 64` is outside every trailing
-                                // window a skip decision inspects (k ≤ 64),
-                                // so clearing before deciding is safe.
-                                scratch.mk_met[i] &= !(1u64 << (id.index % 64));
-                            }
-                            TaskKind::Sporadic { .. } => model_report.sporadic_jobs += 1,
-                            TaskKind::Frame { .. } => model_report.frame_jobs += 1,
-                        }
-                    }
-                    // A fault-shed (OverrunPolicy::SkipNext) takes priority
-                    // over a model skip; the latter only applies to
-                    // weakly-hard jobs whose (m,k) contract stays
-                    // satisfiable AND which the run's SkipPolicy elects.
-                    let mut shed_record: Option<JobRecord> = None;
-                    if fault_shed {
-                        // OverrunPolicy::SkipNext sheds this release: the
-                        // job is recorded as never run and fault-attributed.
-                        scratch.skip_next[i] = false;
-                        report.skipped_releases += 1;
-                        report.events.push(FaultEvent {
-                            job: id,
-                            at: release,
-                            kind: FaultKind::SkippedRelease,
-                        });
-                        contaminated_ids.push(id);
-                        records.push(JobRecord {
-                            id,
-                            release,
-                            deadline: release + task.deadline(),
-                            wcet: task.wcet(),
-                            actual: 0.0,
-                            completion: None,
-                            wall_time: 0.0,
-                            preemptions: 0,
-                        });
-                    } else {
-                        let mut model_skip = false;
-                        if models_on {
-                            if let TaskKind::WeaklyHard { m, k } = kind {
-                                model_skip = mk_skip_allowed(scratch.mk_met[i], id.index, m, k)
-                                    && skip_policy.wants_skip(id);
-                            }
-                        }
-                        if model_skip {
-                            // Energy-aware skip: shed the job at release as
-                            // an instant zero-work completion. The governor
-                            // sees the completion (not the release), so
-                            // reclaiming governors bank the entire WCET as
-                            // slack. The met bit stays cleared: a skipped
-                            // job is a loss in the (m,k) window.
-                            model_report.skips += 1;
-                            skipped_ids.push(id);
-                            shed_record = Some(JobRecord {
-                                id,
-                                release,
-                                deadline: release + task.deadline(),
-                                wcet: task.wcet(),
-                                actual: 0.0,
-                                completion: Some(release),
-                                wall_time: 0.0,
-                                preemptions: 0,
-                            });
-                        } else {
-                            let actual = exec.actual_work(id.task, task, id.index);
-                            let mut job = ActiveJob::new(
-                                id,
-                                release,
-                                release + task.deadline(),
-                                task.wcet(),
-                                actual,
-                            );
-                            job.kind = kind;
-                            if faults_on {
-                                // Multiplying by exactly 1.0 (the
-                                // not-selected case) is a bit-exact no-op,
-                                // so no branch.
-                                job.actual *= plan.overrun_factor(id.task, id.index);
-                                if jittered && release > task.release_of(id.index) + TIME_EPS {
-                                    report.jittered_releases += 1;
-                                    report.events.push(FaultEvent {
-                                        job: id,
-                                        at: release,
-                                        kind: FaultKind::JitteredRelease {
-                                            delay: release - task.release_of(id.index),
-                                        },
-                                    });
-                                }
-                                if contamination_active {
-                                    job.contaminated = true;
-                                }
-                            }
-                            scratch.ready.push(job);
-                        }
-                    }
-                    scratch.next_index[i] += 1;
-                    if models_on && matches!(kind, TaskKind::Sporadic { .. }) {
-                        // Sporadic recurrence: the next arrival trails this
-                        // one by the seeded gap (≥ the period, so arrivals
-                        // never precede the periodic lattice — the same
-                        // safety class as delay-only jitter). Under a jitter
-                        // channel the injected delay adds on top.
-                        let gap = task.arrival_gap(scratch.next_index[i]);
-                        let next = if jittered {
-                            release
-                                + gap
-                                + plan.release_delay(id.task, scratch.next_index[i], task.period())
-                        } else {
-                            release + gap
-                        };
-                        scratch.releases.set_time(i, next);
-                    } else if jittered {
-                        // Jittered periodic recurrence: delay the nominal
-                        // release but never compress inter-arrival times
-                        // below the period — compression could overload even
-                        // a full-speed EDF schedule, which would make the
-                        // injected jitter indistinguishable from an
-                        // algorithm bug.
-                        let nominal = task.release_of(scratch.next_index[i]);
-                        let delay =
-                            plan.release_delay(id.task, scratch.next_index[i], task.period());
-                        scratch
-                            .releases
-                            .set_time(i, (nominal + delay).max(release + task.period()));
-                    } else {
-                        scratch
-                            .releases
-                            .set_time(i, task.release_of(scratch.next_index[i]));
-                    }
-                    release_epoch += 1;
-                    if !fault_shed {
-                        // Due tasks from `d` on are still staged out of the
-                        // release heap; fold their instants back in so the
-                        // view's next-arrival query stays exact mid-release.
-                        let next_arrival = scratch.releases.min_with_pending(&scratch.due[d..]);
-                        let view = SchedulerView::new(
-                            now,
-                            tasks,
-                            processor,
-                            scratch.ready.jobs(),
-                            scratch.releases.times(),
-                            next_arrival,
-                            current_speed,
-                            release_epoch,
-                        );
-                        if let Some(record) = shed_record {
-                            // The skipped job never enters the ready set:
-                            // the governor observes an instant zero-work
-                            // completion at the release instant.
-                            governor.on_completion(&view, &record);
-                            records.push(record);
-                        } else if let Some(released) = scratch.ready.last() {
-                            governor.on_release(&view, released);
-                        }
-                    }
-                }
-                scratch.releases.requeue(i);
-                d += 1;
-            }
-
-            if now >= horizon - TIME_EPS {
-                break;
-            }
-
-            let next_arrival = scratch.releases.next_arrival();
-
-            // 2. Idle until the next arrival (or the horizon) if nothing is
-            //    ready. An empty ready set also ends any overrun recovery
-            //    episode: backlog contamination cannot cross an idle
-            //    instant.
-            if scratch.ready.is_empty() {
-                if faults_on && contamination_active {
-                    contamination_active = false;
-                    if let Some(start) = recovery_start.take() {
-                        let recovery = now - start;
-                        report.recovery_episodes += 1;
-                        report.recovery_time += recovery;
-                        if recovery > report.max_recovery_latency {
-                            report.max_recovery_latency = recovery;
-                        }
-                    }
-                }
-                {
-                    let view = SchedulerView::new(
-                        now,
-                        tasks,
-                        processor,
-                        scratch.ready.jobs(),
-                        scratch.releases.times(),
-                        next_arrival,
-                        current_speed,
-                        release_epoch,
-                    );
-                    governor.on_idle(&view);
-                }
-                let wake = next_arrival.min(horizon).max(now);
-                if wake > now {
-                    acc.add_idle(wake - now);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(Segment {
-                            start: now,
-                            end: wake,
-                            speed: current_speed,
-                            kind: SegmentKind::Idle,
-                        });
-                    }
-                    audit_accounted += wake - now;
-                    now = wake;
-                }
-                continue;
-            }
-
-            // 3. Dispatch the EDF job (`O(log n)` via the lazy-deletion
-            //    heap; the selection order is identical to a linear scan).
-            let Some(ji) = scratch.ready.edf_index() else {
-                // Unreachable: the ready set was checked non-empty above.
-                break;
-            };
-            let cur_id = scratch.ready.job(ji).id;
-            if let Some(prev) = last_running {
-                if prev != cur_id {
-                    if let Some(p) = scratch.ready.job_mut_by_id(prev) {
-                        p.preemptions += 1;
-                    }
-                }
-            }
-            last_running = Some(cur_id);
-
-            // 4. Select (and if needed transition to) the execution speed,
-            //    and ask for an optional intra-job review point. A job
-            //    forced to full speed by an overrun policy bypasses the
-            //    governor entirely — its certificate is already invalid.
-            let committed = committed_for.take() == Some(cur_id);
-            let forced = faults_on && scratch.ready.job(ji).forced_max;
-            let mut review: Option<f64> = None;
-            let requested = if forced {
-                Speed::FULL
-            } else if committed {
-                current_speed
-            } else {
-                let view = SchedulerView::new(
-                    now,
-                    tasks,
-                    processor,
-                    scratch.ready.jobs(),
-                    scratch.releases.times(),
-                    next_arrival,
-                    current_speed,
-                    release_epoch,
-                );
-                let speed = governor.select_speed(&view, scratch.ready.job(ji));
-                review = governor.review_after(&view, scratch.ready.job(ji));
-                speed
-            };
-            let mut speed = processor.quantize_up(requested);
-            if models_on && !forced {
-                // Frame-recovery boost: after a missed frame, the task's
-                // dispatches are floored at its boost ratio until it
-                // completes on time again. A speed floor (like the level
-                // clamp below) only ever raises speeds, so other tasks'
-                // deadlines are never endangered.
-                if let TaskKind::Frame { boost, .. } = scratch.ready.job(ji).kind {
-                    if scratch.frame_boost[cur_id.task.0] && speed.ratio() < boost {
-                        speed = processor.quantize_up(Speed::clamped(boost, processor.min_speed()));
-                        model_report.boosted_dispatches += 1;
-                    }
-                }
-            }
-            if faults_on && !forced {
-                // Level-floor clamp: the platform's lowest operating points
-                // are unavailable, so every selection is raised to the
-                // floor (deadline-safe: speeds only ever increase).
-                if let Some(floor) = plan.level_floor() {
-                    if speed.ratio() < floor {
-                        speed = processor.quantize_up(Speed::clamped(floor, processor.min_speed()));
-                        report.clamped_selections += 1;
-                    }
-                }
-                // Switch-drop channel: each candidate *downward* switch may
-                // be dropped (the DVS command was lost; the processor keeps
-                // its previous, faster speed). Upward switches always go
-                // through — dropping those could cause unattributed misses.
-                if speed.ratio() < current_speed.ratio() && !speed.same_point(current_speed) {
-                    let ordinal = switch_ordinal;
-                    switch_ordinal += 1;
-                    if plan.drops_switch(ordinal) {
-                        report.dropped_switches += 1;
-                        report.events.push(FaultEvent {
-                            job: cur_id,
-                            at: now,
-                            kind: FaultKind::DroppedSwitch,
-                        });
-                        speed = current_speed;
-                    }
-                }
-            }
-            if !speed.same_point(current_speed) {
-                acc.add_transition(current_speed, speed);
-                current_speed = speed;
-                let latency = processor.overhead().latency();
-                if latency > 0.0 {
-                    let end = (now + latency).min(horizon);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(Segment {
-                            start: now,
-                            end,
-                            speed,
-                            kind: SegmentKind::Transition,
-                        });
-                    }
-                    audit_accounted += end - now;
-                    now = end;
-                    // Re-enter the loop: releases that occurred during the
-                    // transition are processed; if this job is still the
-                    // EDF choice it executes at the committed speed.
-                    committed_for = Some(cur_id);
-                    continue;
-                }
-            }
-
-            // 5. Execute until completion, next arrival, or the horizon —
-            //    whichever comes first.
-            let job = scratch.ready.job_mut(ji);
-            let dt_complete = job.remaining_actual() / speed.ratio();
-            let dt_arrival = (next_arrival - now).max(0.0);
-            let dt_horizon = horizon - now;
-            // Governor-requested power-management point (floored to keep
-            // progress even against a misbehaving governor).
-            let dt_review = review.map_or(f64::INFINITY, |r| r.max(1.0e-6));
-            // Budget bound: a job whose injected demand exceeds its WCET
-            // must stop *at* the WCET crossing so the overrun is detected
-            // at the exact instant the certificate becomes invalid.
-            let dt_budget = if faults_on && !job.overrun && job.actual > job.wcet + WORK_EPS {
-                (job.wcet - job.executed).max(0.0) / speed.ratio()
-            } else {
-                f64::INFINITY
-            };
-            let dt = dt_complete
-                .min(dt_arrival)
-                .min(dt_horizon)
-                .min(dt_review)
-                .min(dt_budget)
-                .max(0.0);
-            if dt > 0.0 {
-                debug_assert!(dt.is_finite(), "non-finite execution step at {now}");
-                job.executed += speed.ratio() * dt;
-                job.wall_used += dt;
-                debug_assert!(
-                    job.remaining_actual() >= -WORK_EPS,
-                    "job {:?} executed past its actual demand by {}",
-                    cur_id,
-                    -job.remaining_actual()
-                );
-                acc.add_execution(speed, dt);
-                audit_accounted += dt;
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(Segment {
-                        start: now,
-                        end: now + dt,
-                        speed,
-                        kind: SegmentKind::Execute { job: cur_id },
-                    });
-                }
-                now += dt;
-            }
-
-            // 5b. Overrun detection: the instant executed work crosses the
-            //     WCET with demand still remaining, the governor's budget
-            //     certificate is invalid. Everything currently ready (and
-            //     everything released until the backlog drains) is
-            //     contaminated: its misses are fault-attributed.
-            if faults_on {
-                let j = scratch.ready.job(ji);
-                let detected = !j.overrun
-                    && j.actual > j.wcet + WORK_EPS
-                    && j.executed >= j.wcet - WORK_EPS
-                    && j.remaining_actual() > WORK_EPS;
-                let factor = j.actual / j.wcet;
-                if detected {
-                    report.overruns += 1;
-                    report.events.push(FaultEvent {
-                        job: cur_id,
-                        at: now,
-                        kind: FaultKind::WcetOverrun { factor },
-                    });
-                    contamination_active = true;
-                    if recovery_start.is_none() {
-                        recovery_start = Some(now);
-                    }
-                    for ready_job in scratch.ready.jobs_mut() {
-                        ready_job.contaminated = true;
-                    }
-                    scratch.ready.job_mut(ji).overrun = true;
-                    {
-                        let view = SchedulerView::new(
-                            now,
-                            tasks,
-                            processor,
-                            scratch.ready.jobs(),
-                            scratch.releases.times(),
-                            next_arrival,
-                            current_speed,
-                            release_epoch,
-                        );
-                        governor.on_overrun(&view, scratch.ready.job(ji));
-                    }
-                    // Exhaustive on purpose (no `_` arm): a new policy
-                    // variant must force a decision at this exact point
-                    // (enforced by the `fault-policy-exhaustive` lint).
-                    match plan.resolve_policy(governor.overrun_policy()) {
-                        OverrunPolicy::Abort => {
-                            let job = scratch.ready.complete(ji);
-                            report.aborted += 1;
-                            report.events.push(FaultEvent {
-                                job: job.id,
-                                at: now,
-                                kind: FaultKind::Aborted,
-                            });
-                            contaminated_ids.push(job.id);
-                            last_running = None;
-                            records.push(JobRecord {
-                                id: job.id,
-                                release: job.release,
-                                deadline: job.deadline,
-                                wcet: job.wcet,
-                                actual: job.actual,
-                                completion: None,
-                                wall_time: job.wall_used,
-                                preemptions: job.preemptions,
-                            });
-                        }
-                        OverrunPolicy::CompleteAtMax => {
-                            scratch.ready.job_mut(ji).forced_max = true;
-                            report.forced_full_speed += 1;
-                            report.events.push(FaultEvent {
-                                job: cur_id,
-                                at: now,
-                                kind: FaultKind::ForcedFullSpeed,
-                            });
-                        }
-                        OverrunPolicy::SkipNext => {
-                            scratch.ready.job_mut(ji).forced_max = true;
-                            report.forced_full_speed += 1;
-                            report.events.push(FaultEvent {
-                                job: cur_id,
-                                at: now,
-                                kind: FaultKind::ForcedFullSpeed,
-                            });
-                            scratch.skip_next[cur_id.task.0] = true;
-                        }
-                    }
-                    continue;
-                }
-            }
-
-            // 6. Completion handling.
-            if scratch.ready.job(ji).remaining_actual() <= WORK_EPS {
-                let job = scratch.ready.complete(ji);
-                let fault_attributed = faults_on && job.contaminated;
-                if fault_attributed {
-                    contaminated_ids.push(job.id);
-                }
-                let record = JobRecord {
-                    id: job.id,
-                    release: job.release,
-                    deadline: job.deadline,
-                    wcet: job.wcet,
-                    actual: job.actual,
-                    completion: Some(now),
-                    wall_time: job.wall_used,
-                    preemptions: job.preemptions,
-                };
-                if self.config.miss_policy == MissPolicy::Fail
-                    && now > record.deadline + TIME_EPS
-                    && !fault_attributed
-                {
-                    return Err(SimError::DeadlineMiss {
-                        job: record.id,
-                        deadline: record.deadline,
-                        completed: now,
-                    });
-                }
-                last_running = None;
-                if models_on {
-                    let on_time = !record.missed(horizon);
-                    match job.kind {
-                        TaskKind::Hard | TaskKind::Sporadic { .. } => {}
-                        TaskKind::WeaklyHard { .. } => {
-                            if on_time {
-                                scratch.mk_met[record.id.task.0] |= 1u64 << (record.id.index % 64);
-                            }
-                        }
-                        TaskKind::Frame { .. } => {
-                            let ti = record.id.task.0;
-                            if on_time {
-                                scratch.frame_boost[ti] = false;
-                                scratch.frame_streak[ti] = 0;
-                            } else {
-                                scratch.frame_boost[ti] = true;
-                                scratch.frame_streak[ti] += 1;
-                                model_report.frame_misses += 1;
-                                if scratch.frame_streak[ti] > model_report.max_frame_miss_streak {
-                                    model_report.max_frame_miss_streak = scratch.frame_streak[ti];
-                                }
-                            }
-                        }
-                    }
-                }
-                let view = SchedulerView::new(
-                    now,
-                    tasks,
-                    processor,
-                    scratch.ready.jobs(),
-                    scratch.releases.times(),
-                    next_arrival,
-                    current_speed,
-                    release_epoch,
-                );
-                governor.on_completion(&view, &record);
-                records.push(record);
+            match engine.step(&mut None)? {
+                Step::Continue => {}
+                Step::Done => break,
             }
         }
-
-        // Jobs still incomplete when the horizon ended.
-        for job in scratch.ready.drain_jobs() {
-            let fault_attributed = faults_on && job.contaminated;
-            if fault_attributed {
-                contaminated_ids.push(job.id);
-            }
-            let record = JobRecord {
-                id: job.id,
-                release: job.release,
-                deadline: job.deadline,
-                wcet: job.wcet,
-                actual: job.actual,
-                completion: None,
-                wall_time: job.wall_used,
-                preemptions: job.preemptions,
-            };
-            if self.config.miss_policy == MissPolicy::Fail
-                && record.missed(horizon)
-                && !fault_attributed
-            {
-                return Err(SimError::DeadlineMiss {
-                    job: record.id,
-                    deadline: record.deadline,
-                    completed: horizon,
-                });
-            }
-            records.push(record);
-        }
-        records.sort_by_key(|r| (r.id.task, r.id.index));
-
-        // A recovery episode still open at the horizon is closed there: the
-        // latency lower-bounds what a longer horizon would have measured.
-        if let Some(start) = recovery_start.take() {
-            let recovery = now - start;
-            report.recovery_episodes += 1;
-            report.recovery_time += recovery;
-            if recovery > report.max_recovery_latency {
-                report.max_recovery_latency = recovery;
-            }
-        }
-        if faults_on {
-            contaminated_ids.sort_unstable();
-            contaminated_ids.dedup();
-            report.contaminated = contaminated_ids;
-        }
-        if models_on {
-            skipped_ids.sort_unstable();
-            skipped_ids.dedup();
-            model_report.skipped = skipped_ids;
-        }
-
-        let (busy, idle, transition) = match trace.as_ref() {
-            Some(tr) => (tr.busy_time(), tr.idle_time(), tr.transition_time()),
-            None => {
-                let busy: f64 = records.iter().map(|r| r.wall_time).sum();
-                (busy, 0.0, 0.0) // idle/transition splits need a trace
-            }
-        };
-
-        Ok(SimOutcome {
-            governor: governor.name().to_string(),
-            horizon,
-            energy: acc.breakdown(),
-            switches: acc.switch_count(),
-            jobs: records,
-            events,
-            busy_time: busy,
-            idle_time: idle,
-            transition_time: transition,
-            faults: report,
-            models: model_report,
-            analysis: governor.analysis_stats().unwrap_or_default(),
-            trace,
-        })
+        engine.finish(KernelStats::default())
     }
 }
 
@@ -1080,7 +421,11 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::exec::{ConstantRatio, WorstCase};
-    use crate::task::Task;
+    use crate::governor::SchedulerView;
+    use crate::job::ActiveJob;
+    use crate::task::{Task, TaskId};
+    use crate::trace::SegmentKind;
+    use stadvs_power::Speed;
 
     /// Runs everything at full speed.
     struct FullSpeed;
