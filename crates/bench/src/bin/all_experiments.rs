@@ -1,14 +1,18 @@
 //! Regenerates every figure and table of the evaluation in report order,
-//! writing `results/<id>.{md,csv}` — the source of EXPERIMENTS.md.
+//! writing `results/<id>.{md,csv}` — the source of EXPERIMENTS.md — and
+//! then the `fleet` family artifact, which lives outside the experiment
+//! registry (`experiments` cannot depend on `fleet`).
 
-use stadvs_experiments::experiments::all;
+use stadvs_experiments::experiments::{all, RunOptions};
 
 fn main() {
     let opts = stadvs_bench::options_from_env();
+    let quick = opts == RunOptions::quick();
     let start = std::time::Instant::now();
     for experiment in all() {
         let _ = stadvs_bench::regenerate(experiment.id, &opts);
     }
+    let _ = stadvs_bench::regenerate_fleet(quick, None);
     eprintln!(
         "all experiments regenerated in {:.1} s",
         start.elapsed().as_secs_f64()

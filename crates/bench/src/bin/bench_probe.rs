@@ -1,6 +1,14 @@
 //! Simulator throughput probe: events/sec and ns/event per governor, plus
-//! allocation counts, a fleet-sweep throughput row (nodes/sec and peak
-//! RSS), and an end-to-end `fig1 --quick` wall-clock probe.
+//! allocation counts, event-queue occupancy high-water marks, the
+//! same-instant release batch histogram, a fleet-sweep throughput row
+//! (nodes/sec and peak RSS), and an end-to-end `fig1 --quick` wall-clock
+//! probe.
+//!
+//! Each row's repetition count is calibrated from one measured
+//! steady-state run against a fixed wall-time budget (see
+//! [`calibrate_reps`]), so fast workloads are no longer pinned at an
+//! arbitrary rep cap and the allocation columns bracket a steady-state
+//! run rather than cold scratch growth.
 //!
 //! Writes `BENCH_sim.json` at the repository root (or the current
 //! directory when not launched via cargo). Run through `cargo xtask bench`,
@@ -72,6 +80,24 @@ struct GovernorRecord {
     events_per_sec: f64,
     allocs_per_run: u64,
     bytes_per_run: u64,
+    /// High-water mark of armed timing-wheel buckets (distinct pending
+    /// timestamps beyond the queue's front cache) during one run.
+    wheel_occupancy_hwm: u64,
+    /// High-water mark of events sharing one pending timestamp.
+    bucket_len_hwm: u64,
+    /// Same-instant release batch size histogram, summed over the run
+    /// (buckets 1, 2, 3, 4, 5–8, 9–16, 17–32, 33+).
+    release_batches: [u64; 8],
+}
+
+/// Computes a fixed repetition count from one measured run, so every row
+/// spends roughly `budget_secs` regardless of workload size. A fixed
+/// count (instead of a per-rep deadline check) keeps the rep count — and
+/// therefore the measured distribution — stable across runs whose
+/// first-rep time wobbles, which previously pinned fast workloads at an
+/// arbitrary cap.
+fn calibrate_reps(est_secs: f64, budget_secs: f64) -> u32 {
+    (budget_secs / est_secs.max(1.0e-9)).clamp(3.0, 20_000.0) as u32
 }
 
 /// The probed lineup: every standard governor plus the overhead-aware
@@ -97,30 +123,41 @@ fn probe_governor(
     .expect("probe task sets are feasible");
     let mut scratch = SimScratch::new();
 
-    // Warm-up run: grows the scratch buffers and faults in code paths, and
-    // brackets the steady-state allocation count of one full run.
+    // Cold warm-up run: grows the scratch buffers and faults in code
+    // paths. Its allocations are one-time growth, so it is *not* the run
+    // the allocation columns bracket.
     let mut governor = make_governor(name).expect("probe lineup resolves");
-    let (a0, b0) = alloc_snapshot();
     let warm = sim
         .run_with_scratch(governor.as_mut(), &case.exec, &mut scratch)
         .expect("probe simulation succeeds");
-    let (a1, b1) = alloc_snapshot();
     let events = warm.events;
 
+    // Steady-state run: every buffer is at its high-water mark, so the
+    // bracket reports what one full rep (fresh governor included, as the
+    // experiment runner makes one) inherently allocates. Also times the
+    // run to calibrate the rep count.
+    let mut governor = make_governor(name).expect("probe lineup resolves");
+    let (a0, b0) = alloc_snapshot();
+    let est_start = Instant::now();
+    let steady = sim
+        .run_with_scratch(governor.as_mut(), &case.exec, &mut scratch)
+        .expect("probe simulation succeeds");
+    let est_secs = est_start.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    assert_eq!(steady.events, events, "probe runs must be deterministic");
+    let release_batches = steady.release_batches;
+    let queue_stats = scratch.queue_stats();
+
     // Timed repetitions: fresh governor per rep (as the experiment runner
-    // does), shared scratch (likewise).
-    let mut reps = 0u32;
+    // does), shared scratch (likewise), fixed calibrated count.
+    let reps = calibrate_reps(est_secs, budget_secs);
     let start = Instant::now();
-    loop {
+    for _ in 0..reps {
         let mut governor = make_governor(name).expect("probe lineup resolves");
         let out = sim
             .run_with_scratch(governor.as_mut(), &case.exec, &mut scratch)
             .expect("probe simulation succeeds");
         assert_eq!(out.events, events, "probe runs must be deterministic");
-        reps += 1;
-        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
-            break;
-        }
     }
     let elapsed = start.elapsed().as_secs_f64();
     let total_events = events as f64 * f64::from(reps);
@@ -133,6 +170,9 @@ fn probe_governor(
         events_per_sec: total_events / elapsed,
         allocs_per_run: a1 - a0,
         bytes_per_run: b1 - b0,
+        wheel_occupancy_hwm: queue_stats.wheel_occupancy_hwm,
+        bucket_len_hwm: queue_stats.bucket_len_hwm,
+        release_batches,
     }
 }
 
@@ -222,17 +262,19 @@ fn probe_analysis(
     };
 
     // Warm-up run: grows the analysis caches, the merge tree and the sim
-    // scratch. The timed reps after it must not allocate at all.
+    // scratch. The timed reps after it must not allocate at all. Also
+    // times the run to calibrate the rep count.
+    let est_start = Instant::now();
     sim.run_with_scratch(&mut probe, &case.exec, &mut scratch)
         .expect("probe simulation succeeds");
+    let est_secs = est_start.elapsed().as_secs_f64();
 
-    let mut reps = 0u32;
+    let reps = calibrate_reps(est_secs, budget_secs);
     let mut spent_ns = 0u64;
     let mut analyses = 0u64;
     let mut events_swept = 0u64;
     let (a0, _) = alloc_snapshot();
-    let start = Instant::now();
-    loop {
+    for _ in 0..reps {
         probe.spent_ns = 0;
         sim.run_with_scratch(&mut probe, &case.exec, &mut scratch)
             .expect("probe simulation succeeds");
@@ -240,10 +282,6 @@ fn probe_analysis(
         spent_ns += probe.spent_ns;
         analyses += stats.analyses;
         events_swept += stats.events_swept;
-        reps += 1;
-        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
-            break;
-        }
     }
     let (a1, _) = alloc_snapshot();
     assert!(probe.slack_sum.is_finite(), "probe slack sink overflowed");
@@ -293,24 +331,40 @@ fn probe_platform(budget_secs: f64) -> GovernorRecord {
     let mut scratch = PlatformScratch::new();
 
     let make = |_core: usize| make_governor("st-edf").expect("probe lineup resolves");
-    let (a0, b0) = alloc_snapshot();
+
+    // Cold warm-up run: grows the per-core scratch set and the stepping
+    // kernel's buffers.
     let warm = sim
         .run_faulted_with_scratch(make, &execs, &FaultPlan::NONE, &mut scratch)
         .expect("probe simulation succeeds");
-    let (a1, b1) = alloc_snapshot();
     let events = warm.events();
 
-    let mut reps = 0u32;
+    // Steady-state run: brackets the inherent per-rep allocations and
+    // times one rep for calibration. Release batches are summed across
+    // the per-core outcomes (the stepping kernel itself releases nothing).
+    let (a0, b0) = alloc_snapshot();
+    let est_start = Instant::now();
+    let steady = sim
+        .run_faulted_with_scratch(make, &execs, &FaultPlan::NONE, &mut scratch)
+        .expect("probe simulation succeeds");
+    let est_secs = est_start.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    assert_eq!(steady.events(), events, "probe runs must be deterministic");
+    let mut release_batches = [0u64; 8];
+    for core in &steady.cores {
+        for (sum, n) in release_batches.iter_mut().zip(core.release_batches) {
+            *sum += n;
+        }
+    }
+    let queue_stats = scratch.queue_stats();
+
+    let reps = calibrate_reps(est_secs, budget_secs);
     let start = Instant::now();
-    loop {
+    for _ in 0..reps {
         let out = sim
             .run_faulted_with_scratch(make, &execs, &FaultPlan::NONE, &mut scratch)
             .expect("probe simulation succeeds");
         assert_eq!(out.events(), events, "probe runs must be deterministic");
-        reps += 1;
-        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
-            break;
-        }
     }
     let elapsed = start.elapsed().as_secs_f64();
     let total_events = events as f64 * f64::from(reps);
@@ -323,6 +377,9 @@ fn probe_platform(budget_secs: f64) -> GovernorRecord {
         events_per_sec: total_events / elapsed,
         allocs_per_run: a1 - a0,
         bytes_per_run: b1 - b0,
+        wheel_occupancy_hwm: queue_stats.wheel_occupancy_hwm,
+        bucket_len_hwm: queue_stats.bucket_len_hwm,
+        release_batches,
     }
 }
 
@@ -381,20 +438,25 @@ fn probe_kernel(budget_secs: f64) -> GovernorRecord {
         kernel.delivered()
     };
 
-    // Warm-up run: grows the queue buffer and the handler table.
-    let (a0, b0) = alloc_snapshot();
+    // Cold warm-up run: grows the queue buffer and the handler table.
     let events = run_once(&mut kernel, &mut loads);
-    let (a1, b1) = alloc_snapshot();
 
-    let mut reps = 0u32;
+    // Steady-state run: brackets inherent allocations (zero by design)
+    // and times one rep for calibration. The echo load never batches
+    // lattice releases, so that histogram stays all-zero here.
+    let (a0, b0) = alloc_snapshot();
+    let est_start = Instant::now();
+    let delivered = run_once(&mut kernel, &mut loads);
+    let est_secs = est_start.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    assert_eq!(delivered, events, "probe runs must be deterministic");
+    let queue_stats = kernel.queue_stats();
+
+    let reps = calibrate_reps(est_secs, budget_secs);
     let start = Instant::now();
-    loop {
+    for _ in 0..reps {
         let delivered = run_once(&mut kernel, &mut loads);
         assert_eq!(delivered, events, "probe runs must be deterministic");
-        reps += 1;
-        if start.elapsed().as_secs_f64() >= budget_secs || reps >= 1000 {
-            break;
-        }
     }
     let elapsed = start.elapsed().as_secs_f64();
     let total_events = events as f64 * f64::from(reps);
@@ -407,6 +469,9 @@ fn probe_kernel(budget_secs: f64) -> GovernorRecord {
         events_per_sec: total_events / elapsed,
         allocs_per_run: a1 - a0,
         bytes_per_run: b1 - b0,
+        wheel_occupancy_hwm: queue_stats.wheel_occupancy_hwm,
+        bucket_len_hwm: queue_stats.bucket_len_hwm,
+        release_batches: [0; 8],
     }
 }
 
@@ -478,10 +543,12 @@ fn render_json(
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"governors\": [\n");
     for r in records {
+        let batches: Vec<String> = r.release_batches.iter().map(u64::to_string).collect();
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"workload\": \"{}\", \"events\": {}, \"reps\": {}, \
              \"ns_per_event\": {}, \"events_per_sec\": {}, \"allocs_per_run\": {}, \
-             \"bytes_per_run\": {} }},\n",
+             \"bytes_per_run\": {}, \"wheel_occupancy_hwm\": {}, \"bucket_len_hwm\": {}, \
+             \"release_batches\": [{}] }},\n",
             r.name,
             r.workload,
             r.events,
@@ -490,6 +557,9 @@ fn render_json(
             jnum(r.events_per_sec),
             r.allocs_per_run,
             r.bytes_per_run,
+            r.wheel_occupancy_hwm,
+            r.bucket_len_hwm,
+            batches.join(", "),
         ));
     }
     // The fleet sweep rides in the governors array (its `ns_per_event` key

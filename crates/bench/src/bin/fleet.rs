@@ -4,13 +4,12 @@
 //! Standard scale is ~10⁵ nodes; `--quick` (or `STADVS_QUICK=1`) drops
 //! to ~10⁴. `--threads N` pins the worker count — the table bits are
 //! identical either way (that is the engine's contract); only the
-//! wall-clock changes.
+//! wall-clock changes. The sweep itself lives in
+//! [`stadvs_bench::regenerate_fleet`], shared with `all_experiments`.
 
 use std::time::Instant;
 
-use stadvs_bench::peak_rss_bytes;
-use stadvs_experiments::{write_csv, write_markdown};
-use stadvs_fleet::{fleet_table, run_fleet, FleetConfig, FleetSpec};
+use stadvs_bench::{peak_rss_bytes, regenerate_fleet};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,38 +21,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|raw| raw.parse().expect("--threads takes a thread count"));
 
-    let spec = if quick {
-        FleetSpec::quick(42)
-    } else {
-        FleetSpec::standard(42)
-    };
-    let config = FleetConfig {
-        threads,
-        ..FleetConfig::default()
-    };
-    eprintln!(
-        "running fleet ({} nodes, {} cells x {} replications)...",
-        spec.nodes(),
-        spec.cell_count(),
-        spec.replications
-    );
     let start = Instant::now();
-    let outcome = run_fleet(&spec, &config).expect("fleet sweep runs");
+    let table = regenerate_fleet(quick, threads);
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    assert!(outcome.complete(), "an unchecked run sweeps everything");
-
-    let table = fleet_table(&spec, &outcome);
-    println!("{table}");
-    write_markdown(&table, "results/fleet.md").expect("write results markdown");
-    write_csv(&table, "results/fleet.csv").expect("write results csv");
-
-    let agg = &outcome.aggregate;
     eprintln!(
-        "fleet: {} nodes in {elapsed:.2} s — {:.0} nodes/s, {:.0} events/s, \
-         peak RSS {:.1} MiB",
-        agg.nodes,
-        agg.nodes as f64 / elapsed,
-        agg.events as f64 / elapsed,
+        "fleet: {} rows in {elapsed:.2} s, peak RSS {:.1} MiB",
+        table.rows.len(),
         peak_rss_bytes() as f64 / (1024.0 * 1024.0)
     );
 }

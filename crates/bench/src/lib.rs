@@ -14,6 +14,7 @@
 
 use stadvs_experiments::experiments::{by_id, RunOptions};
 use stadvs_experiments::{write_csv, write_markdown, Table};
+use stadvs_fleet::{fleet_table, run_fleet, FleetConfig, FleetSpec};
 
 /// Resolves run options from the process arguments/environment: `--quick`
 /// or `STADVS_QUICK=1` selects the reduced preset.
@@ -44,6 +45,43 @@ pub fn regenerate(id: &str, opts: &RunOptions) -> Table {
     if let Some(script) = gnuplot_script(&table, id) {
         std::fs::write(format!("results/{id}.gnuplot"), script).expect("write gnuplot script");
     }
+    table
+}
+
+/// Runs the fleet sweep (the `fleet` family artifact, which lives outside
+/// the experiment registry because `experiments` cannot depend on
+/// `fleet`), prints its markdown table, and writes
+/// `results/fleet.{md,csv}`. `quick` selects the ~10⁴-node preset instead
+/// of the standard ~10⁵; `threads` pins the worker count — the table bits
+/// are identical either way (the engine's contract), only the wall-clock
+/// changes.
+///
+/// # Panics
+///
+/// Panics if the sweep fails, leaves nodes unswept, or the result files
+/// cannot be written (binaries crash loudly on harness errors).
+pub fn regenerate_fleet(quick: bool, threads: Option<usize>) -> Table {
+    let spec = if quick {
+        FleetSpec::quick(42)
+    } else {
+        FleetSpec::standard(42)
+    };
+    let config = FleetConfig {
+        threads,
+        ..FleetConfig::default()
+    };
+    eprintln!(
+        "running fleet ({} nodes, {} cells x {} replications)...",
+        spec.nodes(),
+        spec.cell_count(),
+        spec.replications
+    );
+    let outcome = run_fleet(&spec, &config).expect("fleet sweep runs");
+    assert!(outcome.complete(), "an unchecked run sweeps everything");
+    let table = fleet_table(&spec, &outcome);
+    println!("{table}");
+    write_markdown(&table, "results/fleet.md").expect("write results markdown");
+    write_csv(&table, "results/fleet.csv").expect("write results csv");
     table
 }
 

@@ -183,6 +183,143 @@ fn delivery_sequence(components: usize, events: &[SimEvent]) -> Vec<(u64, usize)
     merged.into_iter().map(|(_, time, source)| (time, source)).collect()
 }
 
+/// The reference model the queue's total order is defined against: stamp
+/// each event with its per-source sequence number in registration order,
+/// then stable-sort by the `(time bits, seq, source)` key — exactly what
+/// the retired binary heap guaranteed and the wheel must preserve.
+fn model_sequence(components: usize, events: &[SimEvent]) -> Vec<(u64, usize)> {
+    let mut seqs = vec![0u64; components];
+    let mut keyed: Vec<([u64; 3], SimEvent)> = events
+        .iter()
+        .map(|&event| {
+            let seq = seqs[event.source.0];
+            seqs[event.source.0] += 1;
+            ([event.time.to_bits(), seq, event.source.0 as u64], event)
+        })
+        .collect();
+    keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    keyed
+        .into_iter()
+        .map(|(_, event)| (event.time.to_bits(), event.source.0))
+        .collect()
+}
+
+#[test]
+fn wheel_pop_order_matches_heap_model_through_overflow() {
+    // Enough distinct pending timestamps to walk the queue through all
+    // three tiers: the sorted front cache, the timing wheel, and the heap
+    // overflow rail (which arms past cache + wheel capacity, well under
+    // the 240 distinct times scheduled here). The kernel's own stats
+    // prove the rail actually engaged.
+    const COMPONENTS: usize = 4;
+    const PER_SOURCE: usize = 60;
+    let mut per_source: Vec<Vec<SimEvent>> = (0..COMPONENTS)
+        .map(|source| {
+            (0..PER_SOURCE)
+                .map(|i| SimEvent {
+                    // Distinct across all sources: interleaved lattices.
+                    time: (i * COMPONENTS + source) as f64 * 0.125,
+                    kind: EventKind::Dispatch,
+                    source: ComponentId(source),
+                    target: ComponentId((source + 1) % COMPONENTS),
+                })
+                .collect()
+        })
+        .collect();
+    // A seeded round-robin interleaving (preserving per-source emission
+    // order, which the per-source seq stamp makes part of the contract).
+    let mut state = 0x1234_5678_9ABC_DEF1u64;
+    let mut schedule = Vec::with_capacity(COMPONENTS * PER_SOURCE);
+    while per_source.iter().any(|q| !q.is_empty()) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = (state >> 33) as usize % COMPONENTS;
+        for offset in 0..COMPONENTS {
+            let source = (pick + offset) % COMPONENTS;
+            if !per_source[source].is_empty() {
+                schedule.push(per_source[source].remove(0));
+                break;
+            }
+        }
+    }
+
+    let mut kernel = Kernel::new();
+    kernel.reset(COMPONENTS, None);
+    for &event in &schedule {
+        kernel.schedule(event);
+    }
+    let mut probes: Vec<Probe> = (0..COMPONENTS).map(|_| Probe::default()).collect();
+    {
+        let mut handlers: Vec<&mut dyn EventHandler> =
+            probes.iter_mut().map(|p| p as &mut dyn EventHandler).collect();
+        kernel.run(&mut handlers).expect("probe handlers never fail");
+    }
+    let stats = kernel.queue_stats();
+    assert!(
+        stats.overflow_pushes > 0,
+        "stress must spill past the wheel: {stats:?}"
+    );
+    let mut merged: Vec<(u64, u64, usize)> =
+        probes.into_iter().flat_map(|p| p.seen).collect();
+    merged.sort_unstable();
+    let actual: Vec<(u64, usize)> =
+        merged.into_iter().map(|(_, time, source)| (time, source)).collect();
+    assert_eq!(model_sequence(COMPONENTS, &schedule), actual);
+}
+
+// ---------------------------------------------------------------------
+// SoA field sync
+// ---------------------------------------------------------------------
+
+#[test]
+fn soa_job_parameters_match_the_task_structs() {
+    // The per-core engine reads task parameters from its SoA hot table,
+    // not from the `Task` structs. Every job record a run produces must
+    // carry parameters bit-identical to what the struct-of-arrays source
+    // of truth derives — any copy-in drift (wrong stride, stale column,
+    // reordered tasks) shows up as a bit diff here. Periodic tasks and a
+    // fault-free plan keep the nominal lattice exact.
+    for seed in [11u64, 23, 47] {
+        let case =
+            WorkloadCase::synthetic(6, 0.75, DemandPattern::Uniform { min: 0.3, max: 1.0 }, seed);
+        let sim = Simulator::new(
+            case.tasks.clone(),
+            Processor::ideal_continuous(),
+            config(12.0),
+        )
+        .expect("test task sets are feasible");
+        let mut governor = make_governor("st-edf").expect("lineup names resolve");
+        let outcome = sim
+            .run_with_scratch(governor.as_mut(), &case.exec, &mut SimScratch::new())
+            .expect("run succeeds");
+        assert!(!outcome.jobs.is_empty(), "seed {seed}: no jobs released");
+        for record in &outcome.jobs {
+            let task = case.tasks.task(record.id.task);
+            let expected_release = task.release_of(record.id.index);
+            let expected_deadline = task.deadline_of(record.id.index);
+            assert_eq!(
+                record.release.to_bits(),
+                expected_release.to_bits(),
+                "seed {seed}/{}: release drifted from the task struct",
+                record.id
+            );
+            assert_eq!(
+                record.deadline.to_bits(),
+                expected_deadline.to_bits(),
+                "seed {seed}/{}: deadline drifted from the task struct",
+                record.id
+            );
+            assert_eq!(
+                record.wcet.to_bits(),
+                task.wcet().to_bits(),
+                "seed {seed}/{}: wcet drifted from the task struct",
+                record.id
+            );
+        }
+    }
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -244,6 +381,35 @@ mod proptests {
             }
             let actual = delivery_sequence(components, &permuted);
             prop_assert_eq!(expected, actual);
+        }
+
+        /// Property: the kernel's delivery order is bit-identical to the
+        /// heap model (per-source seq stamping + stable sort on the
+        /// `(time bits, seq, source)` key) for arbitrary event sets —
+        /// from all-ties (one bucket) through wide spreads that spill
+        /// past the wheel onto the overflow rail.
+        #[test]
+        fn wheel_delivery_matches_heap_model(
+            per_component in proptest::collection::vec(
+                proptest::collection::vec(0u16..120, 1..50),
+                2..5,
+            ),
+        ) {
+            let components = per_component.len();
+            let schedule: Vec<SimEvent> = per_component
+                .iter()
+                .enumerate()
+                .flat_map(|(source, times)| {
+                    times.iter().map(move |&t| SimEvent {
+                        time: f64::from(t) * 0.125,
+                        kind: EventKind::Dispatch,
+                        source: ComponentId(source),
+                        target: ComponentId((source + 1) % components),
+                    })
+                })
+                .collect();
+            let actual = delivery_sequence(components, &schedule);
+            prop_assert_eq!(model_sequence(components, &schedule), actual);
         }
     }
 }

@@ -140,6 +140,47 @@ pub(crate) enum Step {
     Done,
 }
 
+/// Structure-of-arrays copy of the per-task hot parameters, filled once
+/// per run from the [`TaskSet`] so the release scan reads contiguous
+/// `f64` lanes instead of pointer-hopping `Task` structs (which also
+/// carry a name `String` and model payloads the hot path never needs).
+/// The values are verbatim copies — every formula computed from them
+/// (e.g. `phase + index * period`) is the exact expression the `Task`
+/// methods evaluate, so the arithmetic is bit-identical.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TaskHot {
+    pub(crate) wcet: Vec<f64>,
+    /// Relative deadline.
+    pub(crate) deadline: Vec<f64>,
+    pub(crate) period: Vec<f64>,
+    pub(crate) phase: Vec<f64>,
+    pub(crate) kind: Vec<TaskKind>,
+}
+
+impl TaskHot {
+    /// Refills the arrays from `tasks` (allocation-free once warm).
+    fn fill(&mut self, tasks: &TaskSet) {
+        self.wcet.clear();
+        self.deadline.clear();
+        self.period.clear();
+        self.phase.clear();
+        self.kind.clear();
+        for (_, t) in tasks.iter() {
+            self.wcet.push(t.wcet());
+            self.deadline.push(t.deadline());
+            self.period.push(t.period());
+            self.phase.push(t.phase());
+            self.kind.push(t.kind());
+        }
+    }
+
+    /// Nominal release instant of job `index` of `task` — the same
+    /// expression as [`crate::task::Task::release_of`].
+    fn release_of(&self, task: usize, index: u64) -> f64 {
+        self.phase[task] + index as f64 * self.period[task]
+    }
+}
+
 /// The per-task scheduling buffers of one core, reused across runs (the
 /// guts of the legacy `SimScratch`, shared by the uniprocessor and the
 /// platform paths).
@@ -147,6 +188,7 @@ pub(crate) enum Step {
 pub(crate) struct CoreScratch {
     pub(crate) ready: ReadySet,
     pub(crate) releases: ReleaseQueue,
+    pub(crate) hot: TaskHot,
     pub(crate) next_index: Vec<u64>,
     pub(crate) due: Vec<usize>,
     /// Per-task flag set by [`OverrunPolicy::SkipNext`]: the task's next
@@ -208,6 +250,9 @@ pub(crate) struct CoreEngine<'s, G, E: ?Sized> {
     /// governors can key release-derived caches on the epoch (see
     /// [`SchedulerView::release_epoch`]).
     release_epoch: u64,
+    /// Histogram of same-instant release batch sizes (see
+    /// [`crate::SimOutcome::release_batches`] for the bucket geometry).
+    release_batches: [u64; 8],
     model_report: ModelReport,
     skipped_ids: Vec<JobId>,
     report: FaultReport,
@@ -259,6 +304,7 @@ where
         let models_on = !tasks.all_hard();
 
         scratch.ready.reset(n);
+        scratch.hot.fill(tasks);
         if jittered {
             scratch.releases.reset(
                 tasks
@@ -326,6 +372,7 @@ where
             committed_for: None,
             switch_ordinal: 0,
             release_epoch: 0,
+            release_batches: [0; 8],
             model_report: ModelReport::default(),
             skipped_ids: Vec::new(),
             report: FaultReport::default(),
@@ -375,9 +422,13 @@ where
         let horizon = self.horizon;
         let now = self.now;
 
-        // 1. Release every job due at (or within tolerance of) `now`,
-        //    in ascending task order (the release queue stages the due
-        //    tasks; each may owe several jobs if its period is tiny).
+        // 1. Release every job due at (or within tolerance of) `now`, in
+        //    ascending task order, draining the whole same-instant batch
+        //    in one pass (the due scan collects the batch; each task may
+        //    owe several jobs if its period is tiny). Per-task parameters
+        //    come from the SoA copy in scratch; the `Task` struct is only
+        //    touched on the lazy paths (demand sampling, sporadic gaps).
+        let mut batch_size: u64 = 0;
         self.scratch
             .releases
             .pop_due(now, horizon, &mut self.scratch.due);
@@ -387,8 +438,8 @@ where
             while self.scratch.releases.time(i) <= now + TIME_EPS
                 && self.scratch.releases.time(i) < horizon
             {
-                let task = self.tasks.task(TaskId(i));
-                let kind = task.kind();
+                batch_size += 1;
+                let kind = self.scratch.hot.kind[i];
                 let id = JobId {
                     task: TaskId(i),
                     index: self.scratch.next_index[i],
@@ -440,8 +491,8 @@ where
                     self.records.push(JobRecord {
                         id,
                         release,
-                        deadline: release + task.deadline(),
-                        wcet: task.wcet(),
+                        deadline: release + self.scratch.hot.deadline[i],
+                        wcet: self.scratch.hot.wcet[i],
                         actual: 0.0,
                         completion: None,
                         wall_time: 0.0,
@@ -468,20 +519,21 @@ where
                         shed_record = Some(JobRecord {
                             id,
                             release,
-                            deadline: release + task.deadline(),
-                            wcet: task.wcet(),
+                            deadline: release + self.scratch.hot.deadline[i],
+                            wcet: self.scratch.hot.wcet[i],
                             actual: 0.0,
                             completion: Some(release),
                             wall_time: 0.0,
                             preemptions: 0,
                         });
                     } else {
+                        let task = self.tasks.task(TaskId(i));
                         let actual = self.exec.actual_work(id.task, task, id.index);
                         let mut job = ActiveJob::new(
                             id,
                             release,
-                            release + task.deadline(),
-                            task.wcet(),
+                            release + self.scratch.hot.deadline[i],
+                            self.scratch.hot.wcet[i],
                             actual,
                         );
                         job.kind = kind;
@@ -490,13 +542,14 @@ where
                             // not-selected case) is a bit-exact no-op,
                             // so no branch.
                             job.actual *= self.plan.overrun_factor(id.task, id.index);
-                            if self.jittered && release > task.release_of(id.index) + TIME_EPS {
+                            let nominal = self.scratch.hot.release_of(i, id.index);
+                            if self.jittered && release > nominal + TIME_EPS {
                                 self.report.jittered_releases += 1;
                                 self.report.events.push(FaultEvent {
                                     job: id,
                                     at: release,
                                     kind: FaultKind::JitteredRelease {
-                                        delay: release - task.release_of(id.index),
+                                        delay: release - nominal,
                                     },
                                 });
                                 note(ctx.as_deref_mut(), now, EventKind::Fault, self.sink);
@@ -515,14 +568,17 @@ where
                     // never precede the periodic lattice — the same
                     // safety class as delay-only jitter). Under a jitter
                     // channel the injected delay adds on top.
-                    let gap = task.arrival_gap(self.scratch.next_index[i]);
+                    let gap = self
+                        .tasks
+                        .task(TaskId(i))
+                        .arrival_gap(self.scratch.next_index[i]);
                     let next = if self.jittered {
                         release
                             + gap
                             + self.plan.release_delay(
                                 id.task,
                                 self.scratch.next_index[i],
-                                task.period(),
+                                self.scratch.hot.period[i],
                             )
                     } else {
                         release + gap
@@ -535,27 +591,28 @@ where
                     // a full-speed EDF schedule, which would make the
                     // injected jitter indistinguishable from an
                     // algorithm bug.
-                    let nominal = task.release_of(self.scratch.next_index[i]);
-                    let delay =
-                        self.plan
-                            .release_delay(id.task, self.scratch.next_index[i], task.period());
+                    let nominal = self.scratch.hot.release_of(i, self.scratch.next_index[i]);
+                    let delay = self.plan.release_delay(
+                        id.task,
+                        self.scratch.next_index[i],
+                        self.scratch.hot.period[i],
+                    );
                     self.scratch
                         .releases
-                        .set_time(i, (nominal + delay).max(release + task.period()));
+                        .set_time(i, (nominal + delay).max(release + self.scratch.hot.period[i]));
                 } else {
                     self.scratch
                         .releases
-                        .set_time(i, task.release_of(self.scratch.next_index[i]));
+                        .set_time(i, self.scratch.hot.release_of(i, self.scratch.next_index[i]));
                 }
                 self.release_epoch += 1;
                 if !fault_shed {
-                    // Due tasks from `d` on are still staged out of the
-                    // release heap; fold their instants back in so the
-                    // view's next-arrival query stays exact mid-release.
-                    let next_arrival = self
-                        .scratch
-                        .releases
-                        .min_with_pending(&self.scratch.due[d..]);
+                    // The dense release array already holds this task's
+                    // advanced instant (set_time above) and the not-yet-
+                    // processed due tasks' current ones, so the plain
+                    // fold-min is exact mid-batch — no staging to fold
+                    // back in.
+                    let next_arrival = self.scratch.releases.next_arrival();
                     let view = SchedulerView::new(
                         now,
                         self.tasks,
@@ -577,8 +634,18 @@ where
                     }
                 }
             }
-            self.scratch.releases.requeue(i);
             d += 1;
+        }
+        if batch_size > 0 {
+            // Exponential buckets: 1, 2, 3, 4, 5–8, 9–16, 17–32, 33+.
+            let bucket = match batch_size {
+                1..=4 => batch_size as usize - 1,
+                5..=8 => 4,
+                9..=16 => 5,
+                17..=32 => 6,
+                _ => 7,
+            };
+            self.release_batches[bucket] += 1;
         }
 
         if now >= horizon - TIME_EPS {
@@ -640,8 +707,8 @@ where
             return Ok(Step::Continue);
         }
 
-        // 3. Dispatch the EDF job (`O(log n)` via the lazy-deletion
-        //    heap; the selection order is identical to a linear scan).
+        // 3. Dispatch the EDF job (argmin over the packed key array; the
+        //    selection order is identical to a linear scan of the jobs).
         let Some(ji) = self.scratch.ready.edf_index() else {
             // Unreachable: the ready set was checked non-empty above.
             self.done = true;
@@ -1022,7 +1089,10 @@ where
             }
             self.records.push(record);
         }
-        self.records.sort_by_key(|r| (r.id.task, r.id.index));
+        // Unstable sort is safe: `(task, index)` job ids are unique, so
+        // there are no equal keys whose relative order could differ.
+        self.records
+            .sort_unstable_by_key(|r| (r.id.task, r.id.index));
 
         // A recovery episode still open at the horizon is closed there: the
         // latency lower-bounds what a longer horizon would have measured.
@@ -1065,6 +1135,7 @@ where
             transition_time: transition,
             faults: self.report,
             models: self.model_report,
+            release_batches: self.release_batches,
             analysis: self.governor.analysis_stats().unwrap_or_default(),
             kernel,
             trace: self.trace,

@@ -123,6 +123,12 @@ impl Kernel {
         self.queue.len()
     }
 
+    /// The event queue's timing-wheel occupancy counters for the current
+    /// run (reset by [`Kernel::reset`]).
+    pub fn queue_stats(&self) -> crate::event::QueueStats {
+        self.queue.stats()
+    }
+
     /// Seeds an event before (or outside) [`Kernel::run`], stamped with
     /// the source component's next sequence number and counted as an
     /// emission of that component.

@@ -74,7 +74,7 @@ pub use audit::{audit_outcome, AuditIssue, AuditReport, MkWindow};
 pub use budget::{BudgetLedger, BudgetReport};
 pub use component::{ComponentCtx, EventHandler, TraceSink};
 pub use error::SimError;
-pub use event::{ComponentId, EventKind, SimEvent, EVENT_KINDS};
+pub use event::{ComponentId, EventKind, QueueStats, SimEvent, EVENT_KINDS};
 pub use exec::{ConstantRatio, ExecutionSource, WorstCase};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, OverrunPolicy};
 pub use governor::{Governor, SchedulerView};

@@ -52,6 +52,14 @@ pub struct SimOutcome {
     /// miss streaks (quiet for all-hard task sets).
     #[serde(default)]
     pub models: ModelReport,
+    /// Histogram of same-instant release batch sizes, one increment per
+    /// engine step that released at least one job. Buckets: 1, 2, 3, 4,
+    /// 5–8, 9–16, 17–32, 33+ releases drained in that step's single
+    /// release pass. Diagnostic only (how batched the hyperperiod
+    /// lattice actually is); identical on the facade and direct drive
+    /// paths because both run the same step body.
+    #[serde(default)]
+    pub release_batches: [u64; 8],
     /// Demand-analysis effort counters (quiet for governors without a
     /// per-dispatch slack analysis).
     #[serde(default)]
@@ -167,6 +175,7 @@ mod tests {
             transition_time: 0.0,
             faults: FaultReport::default(),
             models: ModelReport::default(),
+            release_batches: [0; 8],
             analysis: AnalysisStats::default(),
             kernel: KernelStats::default(),
             trace: None,

@@ -50,6 +50,9 @@ use crate::audit::{audit_outcome, AuditReport};
 pub struct PlatformScratch {
     per_core: Vec<CoreScratch>,
     kernel: Kernel,
+    /// Idle cores' governor names, rebuilt each run (the `String`s are
+    /// per-run, the `Vec` spine is reused).
+    idle_names: Vec<Option<String>>,
 }
 
 impl PlatformScratch {
@@ -63,6 +66,12 @@ impl PlatformScratch {
         if self.per_core.len() < cores {
             self.per_core.resize_with(cores, CoreScratch::default);
         }
+    }
+
+    /// The shared event queue's timing-wheel occupancy counters from the
+    /// last run through this scratch (zeroed before each run).
+    pub fn queue_stats(&self) -> crate::QueueStats {
+        self.kernel.queue_stats()
     }
 }
 
@@ -371,7 +380,11 @@ impl PlatformSim {
         }
         let n = self.cores.len();
         scratch.ensure(n);
-        let PlatformScratch { per_core, kernel } = scratch;
+        let PlatformScratch {
+            per_core,
+            kernel,
+            idle_names,
+        } = scratch;
         let sink_id = ComponentId(n);
         let budgeted = cap.is_some();
         let budget_id = if budgeted {
@@ -386,7 +399,7 @@ impl PlatformSim {
         // core-ordered exactly as under sequential stepping.
         let mut engines: Vec<Option<CoreEngine<'_, Box<dyn Governor>, E>>> =
             Vec::with_capacity(n);
-        let mut idle_names: Vec<Option<String>> = Vec::with_capacity(n);
+        idle_names.clear();
         for ((core, sim), core_scratch) in
             self.cores.iter().enumerate().zip(per_core.iter_mut())
         {
@@ -499,6 +512,7 @@ impl PlatformSim {
             transition_time: 0.0,
             faults: FaultReport::default(),
             models: crate::model::ModelReport::default(),
+            release_batches: [0; 8],
             analysis: crate::outcome::AnalysisStats::default(),
             kernel: KernelStats::default(),
             trace,

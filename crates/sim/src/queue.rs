@@ -1,86 +1,68 @@
 //! Priority structures for the dispatch loop.
 //!
 //! The simulator's two per-event questions — *which ready job does EDF
-//! dispatch?* and *when is the next release?* — were answered by linear
-//! scans in the original engine. Both are answered here in `O(log n)` by
-//! binary heaps while preserving the engine's observable behaviour
-//! bit-for-bit:
+//! dispatch?* and *when is the next release?* — are answered by dense
+//! parallel arrays, not heaps. The ready set and the release set are both
+//! tiny (a handful to a few dozen entries), so a branch-light linear scan
+//! over contiguous `u64`/`f64` words beats heap sift paths and their
+//! pointer-chasing comparisons on every workload we bench, while keeping
+//! the engine's observable behaviour bit-for-bit:
 //!
 //! * [`ReadySet`] keeps the ready jobs in the exact `Vec` discipline the
 //!   engine always had (push on release, `swap_remove` on completion), so
-//!   the slice governors iterate over is byte-identical to the old one; a
-//!   min-heap over `(deadline, task, index)` with **lazy deletion** finds
-//!   the EDF job without scanning. Completion leaves the heap entry behind;
-//!   it is discarded when it surfaces.
-//! * [`ReleaseQueue`] pairs the per-task `next_release` vector with a
-//!   min-heap keyed by arrival time, so the next-arrival query is a peek
-//!   instead of a fold over all tasks.
+//!   the slice governors iterate over is byte-identical to the old one.
+//!   Alongside the jobs runs a packed key array — one `[u64; 3]` of
+//!   `[deadline.to_bits(), task, index]` per job — whose lexicographic
+//!   order equals the engine's EDF total order (`total_cmp` on the
+//!   deadline, ties by task id then job index; deadlines are non-negative
+//!   finite, so the bit order is the numeric order). EDF selection is a
+//!   linear argmin over that key array: contiguous cache lines, no float
+//!   compares, no lazy-deletion bookkeeping.
+//! * [`ReleaseQueue`] is just the per-task `next_release` vector; the
+//!   next-arrival query folds a minimum over it and the due-scan walks it
+//!   in task order — which is exactly the (ascending task id) order the
+//!   engine releases simultaneous arrivals in, so no sort is needed.
 //!
 //! Both structures are scratch-friendly: `reset` reuses every allocation,
 //! which is what lets the experiment runner replay thousands of cases
 //! without per-case allocation churn.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
-
 use crate::job::{ActiveJob, JobId};
 use crate::simulator::TIME_EPS;
 
-/// Heap key ordering EDF dispatch: earliest absolute deadline, ties broken
-/// by task id then job index — the exact total order of the original linear
-/// scan, under which the minimum is unique.
-#[derive(Debug, Clone, Copy)]
-struct EdfKey {
-    deadline: f64,
-    id: JobId,
+/// Packs a job's EDF ordering key: lexicographic compare of the array is
+/// the engine's `(deadline total_cmp, task, index)` total order, valid
+/// because deadlines are non-negative finite (`to_bits` is then monotone).
+fn edf_key(deadline: f64, id: JobId) -> [u64; 3] {
+    debug_assert!(
+        deadline.is_finite() && deadline >= 0.0,
+        "deadline must be non-negative finite, got {deadline}"
+    );
+    [deadline.to_bits(), id.task.0 as u64, id.index]
 }
 
-impl PartialEq for EdfKey {
-    fn eq(&self, other: &EdfKey) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for EdfKey {}
-impl PartialOrd for EdfKey {
-    fn partial_cmp(&self, other: &EdfKey) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EdfKey {
-    fn cmp(&self, other: &EdfKey) -> Ordering {
-        self.deadline
-            .total_cmp(&other.deadline)
-            .then(self.id.task.cmp(&other.id.task))
-            .then(self.id.index.cmp(&other.id.index))
-    }
-}
-
-/// The ready (released, incomplete) jobs with `O(log n)` EDF selection.
+/// The ready (released, incomplete) jobs with cache-linear EDF selection.
 ///
 /// Storage is a dense `Vec` with the same push/`swap_remove` discipline the
-/// engine used before heaps existed, so [`ReadySet::jobs`] exposes the jobs
-/// in the identical order. Job positions are tracked per task (a task has
-/// at most a handful of concurrently-ready jobs), so lookups by id are
-/// scan-free without hashing.
+/// engine used before any indexing existed, so [`ReadySet::jobs`] exposes
+/// the jobs in the identical order. The parallel `keys` array mirrors the
+/// jobs position-for-position; it is the only thing the EDF argmin reads.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ReadySet {
     jobs: Vec<ActiveJob>,
-    /// Per task: `(job index, position in jobs)` of its ready jobs.
-    by_task: Vec<Vec<(u64, usize)>>,
-    /// EDF order with lazy deletion: entries of completed jobs linger until
-    /// they surface at the top.
-    heap: BinaryHeap<Reverse<EdfKey>>,
+    /// `[deadline_bits, task, index]` per job, parallel to `jobs`.
+    keys: Vec<[u64; 3]>,
 }
 
 impl ReadySet {
-    /// Clears all state and resizes the per-task index for `n_tasks`.
+    /// Clears all state; `n_tasks` sizes the expected concurrency.
     pub(crate) fn reset(&mut self, n_tasks: usize) {
         self.jobs.clear();
-        self.heap.clear();
-        for slots in &mut self.by_task {
-            slots.clear();
+        self.keys.clear();
+        if self.jobs.capacity() < n_tasks {
+            self.jobs.reserve(n_tasks - self.jobs.capacity());
+            self.keys.reserve(n_tasks - self.keys.capacity());
         }
-        self.by_task.resize_with(n_tasks, Vec::new);
     }
 
     /// The ready jobs, in the engine's canonical (insertion/`swap_remove`)
@@ -104,6 +86,9 @@ impl ReadySet {
     }
 
     /// Mutable access by position (as returned by [`ReadySet::edf_index`]).
+    ///
+    /// Callers mutate execution-progress fields only; a job's deadline is
+    /// fixed at release, so the parallel key array stays in sync.
     pub(crate) fn job_mut(&mut self, i: usize) -> &mut ActiveJob {
         &mut self.jobs[i]
     }
@@ -115,113 +100,64 @@ impl ReadySet {
 
     /// Adds a freshly released job.
     pub(crate) fn push(&mut self, job: ActiveJob) {
-        let id = job.id;
-        let pos = self.jobs.len();
-        self.heap.push(Reverse(EdfKey {
-            deadline: job.deadline,
-            id,
-        }));
-        if let Some(slots) = self.by_task.get_mut(id.task.0) {
-            slots.push((id.index, pos));
-        }
+        self.keys.push(edf_key(job.deadline, job.id));
         self.jobs.push(job);
     }
 
     /// Mutable access to the ready job with `id`, if it is still ready.
     pub(crate) fn job_mut_by_id(&mut self, id: JobId) -> Option<&mut ActiveJob> {
-        let slots = self.by_task.get(id.task.0)?;
-        let pos = slots
+        let pos = self
+            .keys
             .iter()
-            .find(|&&(index, _)| index == id.index)
-            .map(|&(_, pos)| pos)?;
+            .position(|key| key[1] == id.task.0 as u64 && key[2] == id.index)?;
         self.jobs.get_mut(pos)
     }
 
-    /// Position of the job EDF dispatches: earliest deadline, ties broken by
-    /// task id then job index. `None` when no job is ready. Amortized
-    /// `O(log n)`: stale heap entries (completed jobs) are discarded as they
-    /// surface.
-    pub(crate) fn edf_index(&mut self) -> Option<usize> {
-        while let Some(&Reverse(key)) = self.heap.peek() {
-            if let Some(slots) = self.by_task.get(key.id.task.0) {
-                if let Some(&(_, pos)) = slots.iter().find(|&&(index, _)| index == key.id.index) {
-                    return Some(pos);
-                }
+    /// Position of the job EDF dispatches: earliest absolute deadline, ties
+    /// broken by task id then job index — the argmin of the packed key
+    /// array, whose lexicographic order is that exact total order (under
+    /// which the minimum is unique). `None` when no job is ready.
+    pub(crate) fn edf_index(&self) -> Option<usize> {
+        let mut keys = self.keys.iter().enumerate();
+        let (_, first) = keys.next()?;
+        let mut best = 0;
+        let mut best_key = *first;
+        for (i, key) in keys {
+            if *key < best_key {
+                best = i;
+                best_key = *key;
             }
-            self.heap.pop();
         }
-        None
+        Some(best)
     }
 
     /// Removes and returns the job at position `i` (on completion), using
     /// the same `swap_remove` discipline as the original engine so the
-    /// remaining order is unchanged. The job's heap entry is deleted lazily.
+    /// remaining order is unchanged. The key array moves in lock-step.
     pub(crate) fn complete(&mut self, i: usize) -> ActiveJob {
-        let id = self.jobs[i].id;
-        if let Some(slots) = self.by_task.get_mut(id.task.0) {
-            slots.retain(|&(index, _)| index != id.index);
-        }
-        let job = self.jobs.swap_remove(i);
-        if let Some(moved) = self.jobs.get(i) {
-            let moved_id = moved.id;
-            if let Some(slots) = self.by_task.get_mut(moved_id.task.0) {
-                for slot in slots.iter_mut() {
-                    if slot.0 == moved_id.index {
-                        slot.1 = i;
-                    }
-                }
-            }
-        }
-        job
+        self.keys.swap_remove(i);
+        self.jobs.swap_remove(i)
     }
 
     /// Drains the remaining jobs (end of horizon) in storage order.
     pub(crate) fn drain_jobs(&mut self) -> std::vec::Drain<'_, ActiveJob> {
-        self.heap.clear();
-        for slots in &mut self.by_task {
-            slots.clear();
-        }
+        self.keys.clear();
         self.jobs.drain(..)
     }
 }
 
-/// Heap key ordering releases: earliest arrival, ties by task id.
-#[derive(Debug, Clone, Copy)]
-struct RelKey {
-    time: f64,
-    task: usize,
-}
-
-impl PartialEq for RelKey {
-    fn eq(&self, other: &RelKey) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for RelKey {}
-impl PartialOrd for RelKey {
-    fn partial_cmp(&self, other: &RelKey) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for RelKey {
-    fn cmp(&self, other: &RelKey) -> Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.task.cmp(&other.task))
-    }
-}
-
-/// Per-task next-release instants with an `O(1)` next-arrival query.
+/// Per-task next-release instants.
 ///
-/// Invariant (outside [`ReleaseQueue::pop_due`] processing): the heap holds
-/// exactly one entry per task, keyed by that task's current next release.
-/// During release processing the due tasks' entries are temporarily out of
-/// the heap; [`ReleaseQueue::min_with_pending`] accounts for them so
-/// next-arrival queries stay exact throughout.
+/// The dense `f64` vector is the single source of truth: the next-arrival
+/// query is a fold-min over it (bit-exact equal to any indexed minimum over
+/// the same values) and the due-scan walks it in ascending task id — the
+/// order the engine releases simultaneous arrivals in. At release-set sizes
+/// (tens of tasks) the scans are cheaper than maintaining a heap, and they
+/// stay exact mid-batch: a due task's slot already holds its advanced time
+/// the moment [`ReleaseQueue::set_time`] runs, with no re-queue step.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ReleaseQueue {
     next_release: Vec<f64>,
-    heap: BinaryHeap<Reverse<RelKey>>,
 }
 
 impl ReleaseQueue {
@@ -229,10 +165,6 @@ impl ReleaseQueue {
     pub(crate) fn reset(&mut self, phases: impl Iterator<Item = f64>) {
         self.next_release.clear();
         self.next_release.extend(phases);
-        self.heap.clear();
-        for (task, &time) in self.next_release.iter().enumerate() {
-            self.heap.push(Reverse(RelKey { time, task }));
-        }
     }
 
     /// The per-task next-release instants (what [`SchedulerView`] exposes).
@@ -247,52 +179,31 @@ impl ReleaseQueue {
         self.next_release[task]
     }
 
-    /// The earliest next release over all tasks whose entry is in the heap.
-    /// Exact whenever no due tasks are pending re-queue.
+    /// The earliest next release over all tasks (infinite when empty).
+    /// Always exact, including mid-batch: advanced times are visible the
+    /// moment they are set.
     pub(crate) fn next_arrival(&self) -> f64 {
-        self.heap
-            .peek()
-            .map_or(f64::INFINITY, |&Reverse(key)| key.time)
-    }
-
-    /// The earliest next release counting both the heap and the `pending`
-    /// due tasks popped by [`ReleaseQueue::pop_due`] but not yet re-queued.
-    pub(crate) fn min_with_pending(&self, pending: &[usize]) -> f64 {
-        pending
+        self.next_release
             .iter()
-            .fold(self.next_arrival(), |min, &task| min.min(self.time(task)))
+            .fold(f64::INFINITY, |min, &time| min.min(time))
     }
 
-    /// Pops every task due at `now` (within event tolerance) with a release
-    /// strictly before `horizon` into `due`, sorted by task id — the order
-    /// the original engine released simultaneous arrivals in. The caller
-    /// must advance each due task ([`ReleaseQueue::set_time`]) and then
-    /// re-queue it ([`ReleaseQueue::requeue`]).
-    pub(crate) fn pop_due(&mut self, now: f64, horizon: f64, due: &mut Vec<usize>) {
+    /// Collects every task due at `now` (within event tolerance) with a
+    /// release strictly before `horizon` into `due`, in ascending task id —
+    /// the order the original engine released simultaneous arrivals in.
+    /// The caller advances each due task via [`ReleaseQueue::set_time`].
+    pub(crate) fn pop_due(&self, now: f64, horizon: f64, due: &mut Vec<usize>) {
         due.clear();
-        while let Some(&Reverse(key)) = self.heap.peek() {
-            if key.time <= now + TIME_EPS && key.time < horizon {
-                due.push(key.task);
-                self.heap.pop();
-            } else {
-                break;
+        for (task, &time) in self.next_release.iter().enumerate() {
+            if time <= now + TIME_EPS && time < horizon {
+                due.push(task);
             }
         }
-        due.sort_unstable();
     }
 
-    /// Updates `task`'s next release without touching the heap (used while
-    /// the task is pending re-queue).
+    /// Updates `task`'s next release.
     pub(crate) fn set_time(&mut self, task: usize, time: f64) {
         self.next_release[task] = time;
-    }
-
-    /// Restores `task`'s heap entry at its current next-release instant.
-    pub(crate) fn requeue(&mut self, task: usize) {
-        self.heap.push(Reverse(RelKey {
-            time: self.next_release[task],
-            task,
-        }));
     }
 }
 
@@ -314,8 +225,8 @@ mod tests {
         )
     }
 
-    /// The reference EDF selection the heap must reproduce: the original
-    /// linear scan.
+    /// The reference EDF selection the key argmin must reproduce: the
+    /// original linear scan over the job structs.
     fn linear_edf_index(ready: &[ActiveJob]) -> Option<usize> {
         if ready.is_empty() {
             return None;
@@ -354,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    fn completion_uses_swap_remove_order_and_lazy_deletion() {
+    fn completion_uses_swap_remove_order_and_key_sync() {
         let mut ready = ReadySet::default();
         ready.reset(4);
         for j in [
@@ -371,7 +282,7 @@ mod tests {
         assert_eq!(done.id.task, TaskId(0));
         // swap_remove moved the last job into slot 0.
         assert_eq!(ready.jobs()[0].id.task, TaskId(3));
-        // The stale heap entry for T0#0 must be skipped.
+        // The key array must have moved in lock-step.
         assert_eq!(ready.edf_index(), linear_edf_index(ready.jobs()));
         assert_eq!(ready.jobs().len(), 3);
         // Lookups by id track the moved position.
@@ -396,12 +307,12 @@ mod tests {
         assert_eq!(rq.next_arrival(), 0.5);
         let mut due = Vec::new();
         rq.pop_due(1.0, 100.0, &mut due);
-        assert_eq!(due, vec![1, 2]); // sorted by task id, not pop order
-        assert_eq!(rq.min_with_pending(&due), 0.5);
+        assert_eq!(due, vec![1, 2]); // ascending task id
+        // Mid-batch the due tasks still hold their old times...
+        assert_eq!(rq.next_arrival(), 0.5);
         rq.set_time(1, 10.5);
-        rq.requeue(1);
         rq.set_time(2, 11.0);
-        rq.requeue(2);
+        // ...and advanced times are visible with no re-queue step.
         assert_eq!(rq.next_arrival(), 2.0);
     }
 
@@ -422,11 +333,11 @@ mod tests {
 
         proptest! {
             /// Property: after any sequence of releases and completions,
-            /// the lazy-deletion heap selects exactly the job the original
+            /// the packed-key argmin selects exactly the job the original
             /// linear scan would — including deadline ties, which the
             /// small deadline grid makes frequent.
             #[test]
-            fn heap_edf_matches_linear_scan(
+            fn key_argmin_matches_linear_scan(
                 ops in proptest::collection::vec(
                     (0usize..5, 0u32..12, 0u32..3),
                     1..80,
@@ -437,7 +348,7 @@ mod tests {
                 let mut per_task_index = [0u64; 5];
                 for (task, grid, coin) in ops {
                     // Two-in-three pushes keep the set populated so
-                    // completions (and lazy deletions) actually happen.
+                    // completions (and key swaps) actually happen.
                     if coin < 2 || ready.is_empty() {
                         let deadline = f64::from(grid) * 0.25 + 1.0;
                         ready.push(job(task, per_task_index[task], deadline));
@@ -456,7 +367,7 @@ mod tests {
     }
 
     /// Deterministic LCG-driven stress: random release/complete sequences,
-    /// heap selection must equal the linear scan at every step.
+    /// key-argmin selection must equal the linear scan at every step.
     #[test]
     fn random_sequences_match_linear_scan() {
         let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -486,7 +397,7 @@ mod tests {
                 assert_eq!(
                     ready.edf_index(),
                     linear_edf_index(ready.jobs()),
-                    "heap and linear scan diverged"
+                    "key argmin and linear scan diverged"
                 );
             }
         }

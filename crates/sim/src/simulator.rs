@@ -177,6 +177,13 @@ impl SimScratch {
     pub fn new() -> SimScratch {
         SimScratch::default()
     }
+
+    /// The event queue's timing-wheel occupancy counters from the last
+    /// kernel-driven run through this scratch (zeroed before each run;
+    /// all-zero after direct oracle runs, which bypass the kernel).
+    pub fn queue_stats(&self) -> crate::QueueStats {
+        self.kernel.queue_stats()
+    }
 }
 
 /// A reusable simulator for one task set on one processor.

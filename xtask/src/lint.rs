@@ -65,9 +65,13 @@ const HOT_PATH_FILES: &[&str] = &[
     // The kernel's per-event dispatch and queue live inside the `sim`
     // crate and are already covered by HOT_PATH_CRATES; they are pinned
     // here by name so the coverage survives any future re-scoping of the
-    // crate-level list.
+    // crate-level list. `queue.rs` (dense ready/release sets) and
+    // `component.rs` (the per-core facade with the SoA task table and the
+    // batched release loop) joined when the hot path went data-oriented.
     "crates/sim/src/event.rs",
     "crates/sim/src/kernel.rs",
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/component.rs",
 ];
 
 /// Crates bound by the determinism contract (DESIGN.md §12): everything
@@ -372,8 +376,15 @@ mod tests {
         // file list directly as well as the end-to-end coverage.
         assert!(HOT_PATH_FILES.contains(&"crates/sim/src/event.rs"));
         assert!(HOT_PATH_FILES.contains(&"crates/sim/src/kernel.rs"));
+        assert!(HOT_PATH_FILES.contains(&"crates/sim/src/queue.rs"));
+        assert!(HOT_PATH_FILES.contains(&"crates/sim/src/component.rs"));
         let src = "fn f() { loop { let v = xs.to_vec(); } }";
-        for rel in ["crates/sim/src/event.rs", "crates/sim/src/kernel.rs"] {
+        for rel in [
+            "crates/sim/src/event.rs",
+            "crates/sim/src/kernel.rs",
+            "crates/sim/src/queue.rs",
+            "crates/sim/src/component.rs",
+        ] {
             let report = one(rel, "sim", src);
             assert_eq!(report.violations.len(), 1, "{rel}");
             assert_eq!(report.violations[0].rule, "hot-path-alloc", "{rel}");
